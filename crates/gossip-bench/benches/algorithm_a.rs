@@ -1,0 +1,51 @@
+//! Criterion bench for experiment E2: wall-clock cost of running the paper's
+//! non-convex Algorithm A to the Definition 1 threshold on dumbbell graphs,
+//! including the spectral set-up (`T_van` estimation) and the simulation
+//! itself as separate benchmarks.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_bench::runner::adversarial_initial;
+use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig};
+use gossip_graph::generators::dumbbell;
+use gossip_sim::engine::{AsyncSimulator, SimulationConfig};
+use gossip_sim::stopping::StoppingRule;
+
+fn bench_algorithm_a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_algorithm_a_dumbbell");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &half in &[8usize, 16, 32, 64] {
+        let (graph, partition) = dumbbell(half).expect("valid dumbbell");
+        let initial = adversarial_initial(&partition);
+
+        group.bench_with_input(BenchmarkId::new("construct", 2 * half), &half, |b, _| {
+            b.iter(|| {
+                SparseCutAlgorithm::from_partition(&graph, &partition, SparseCutConfig::default())
+                    .expect("valid partition")
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("run", 2 * half), &half, |b, _| {
+            b.iter(|| {
+                let algorithm = SparseCutAlgorithm::from_partition(
+                    &graph,
+                    &partition,
+                    SparseCutConfig::default(),
+                )
+                .expect("valid partition");
+                let config = SimulationConfig::new(11)
+                    .with_stopping_rule(StoppingRule::definition1().or_max_time(50_000.0))
+                    .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                let mut sim = AsyncSimulator::new(&graph, initial.clone(), algorithm, config)
+                    .expect("valid simulation");
+                sim.run().expect("run succeeds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm_a);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion bench for experiment E7: cost of running the related-work
+//! baselines (synchronous first/second-order diffusion, asynchronous momentum
+//! gossip) to the Definition 1 threshold on the dumbbell.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_bench::runner::adversarial_initial;
+use gossip_core::diffusion::{FirstOrderDiffusion, SecondOrderDiffusion};
+use gossip_core::two_time_scale::TwoTimeScaleGossip;
+use gossip_graph::generators::dumbbell;
+use gossip_sim::engine::{AsyncSimulator, SimulationConfig};
+use gossip_sim::stopping::StoppingRule;
+use gossip_sim::sync::{SyncConfig, SyncSimulator};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_baselines_dumbbell");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &half in &[8usize, 16] {
+        let (graph, partition) = dumbbell(half).expect("valid dumbbell");
+        let initial = adversarial_initial(&partition);
+
+        group.bench_with_input(
+            BenchmarkId::new("first_order_diffusion", 2 * half),
+            &half,
+            |b, _| {
+                b.iter(|| {
+                    let config = SyncConfig::new().with_stopping_rule(
+                        StoppingRule::definition1().or_max_ticks(1_000_000),
+                    );
+                    let mut sim = SyncSimulator::new(
+                        &graph,
+                        initial.clone(),
+                        FirstOrderDiffusion::new(),
+                        config,
+                    )
+                    .expect("valid simulation");
+                    sim.run().expect("run succeeds")
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("second_order_diffusion", 2 * half),
+            &half,
+            |b, _| {
+                b.iter(|| {
+                    let config = SyncConfig::new().with_stopping_rule(
+                        StoppingRule::definition1().or_max_ticks(1_000_000),
+                    );
+                    let mut sim = SyncSimulator::new(
+                        &graph,
+                        initial.clone(),
+                        SecondOrderDiffusion::new(1.8).expect("valid beta"),
+                        config,
+                    )
+                    .expect("valid simulation");
+                    sim.run().expect("run succeeds")
+                })
+            },
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("momentum_gossip", 2 * half),
+            &half,
+            |b, _| {
+                b.iter(|| {
+                    let config = SimulationConfig::new(3)
+                        .with_stopping_rule(StoppingRule::definition1().or_max_time(50_000.0))
+                        .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                    let mut sim = AsyncSimulator::new(
+                        &graph,
+                        initial.clone(),
+                        TwoTimeScaleGossip::for_graph(&graph, 0.7).expect("valid momentum"),
+                        config,
+                    )
+                    .expect("valid simulation");
+                    sim.run().expect("run succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

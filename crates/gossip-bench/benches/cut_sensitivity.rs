@@ -1,0 +1,62 @@
+//! Criterion bench for experiment E6: cost of converging vanilla gossip and
+//! Algorithm A as the number of bridge edges between two ER clusters varies.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gossip_bench::runner::adversarial_initial;
+use gossip_core::convex::VanillaGossip;
+use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig};
+use gossip_graph::generators::bridged_clusters;
+use gossip_sim::engine::{AsyncSimulator, SimulationConfig};
+use gossip_sim::stopping::StoppingRule;
+
+fn bench_cut_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_cut_width");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for &bridges in &[1usize, 4, 16] {
+        let (graph, partition) =
+            bridged_clusters(16, 16, bridges, 0.5, 42).expect("valid clusters");
+        let initial = adversarial_initial(&partition);
+        group.bench_with_input(
+            BenchmarkId::new("vanilla", bridges),
+            &bridges,
+            |b, _| {
+                b.iter(|| {
+                    let config = SimulationConfig::new(5)
+                        .with_stopping_rule(StoppingRule::definition1().or_max_time(20_000.0))
+                        .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                    let mut sim =
+                        AsyncSimulator::new(&graph, initial.clone(), VanillaGossip::new(), config)
+                            .expect("valid simulation");
+                    sim.run().expect("run succeeds")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("algorithm_a", bridges),
+            &bridges,
+            |b, _| {
+                b.iter(|| {
+                    let algorithm = SparseCutAlgorithm::from_partition(
+                        &graph,
+                        &partition,
+                        SparseCutConfig::default(),
+                    )
+                    .expect("valid partition");
+                    let config = SimulationConfig::new(5)
+                        .with_stopping_rule(StoppingRule::definition1().or_max_time(20_000.0))
+                        .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                    let mut sim = AsyncSimulator::new(&graph, initial.clone(), algorithm, config)
+                        .expect("valid simulation");
+                    sim.run().expect("run succeeds")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cut_sensitivity);
+criterion_main!(benches);

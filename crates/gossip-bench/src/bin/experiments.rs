@@ -1,0 +1,153 @@
+//! Experiment harness binary.
+//!
+//! Regenerates every experiment table of the reproduction (E1–E10, see
+//! `DESIGN.md` §5 and `EXPERIMENTS.md`).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p gossip-bench --release --bin experiments             # full run
+//! cargo run -p gossip-bench --release --bin experiments -- --quick  # reduced sizes
+//! cargo run -p gossip-bench --release --bin experiments -- --only E1 E3
+//! cargo run -p gossip-bench --release --bin experiments -- --json results.json
+//! ```
+
+use gossip_bench::runner::{self, HarnessConfig};
+use gossip_bench::Table;
+use std::collections::BTreeSet;
+
+fn print_usage() {
+    eprintln!(
+        "usage: experiments [--quick] [--seed <u64>] [--only E1 E2 ...] [--json <path>]"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = HarnessConfig::full();
+    let mut only: BTreeSet<String> = BTreeSet::new();
+    let mut json_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => config.quick = true,
+            "--seed" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(seed) => config.seed = seed,
+                    None => {
+                        eprintln!("--seed requires an unsigned integer");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--only" => {
+                i += 1;
+                while i < args.len() && !args[i].starts_with("--") {
+                    only.insert(args[i].to_uppercase());
+                    i += 1;
+                }
+                continue;
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => json_path = Some(path.clone()),
+                    None => {
+                        eprintln!("--json requires a path");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let wanted = |id: &str| only.is_empty() || only.contains(id);
+    let mut tables: Vec<Table> = Vec::new();
+
+    let run = || -> runner::BenchResult<Vec<Table>> {
+        let mut out = Vec::new();
+        if wanted("E1") || wanted("E2") || wanted("E3") {
+            let sweep = runner::run_dumbbell_sweep(&config)?;
+            if wanted("E1") {
+                out.push(runner::table_e1(&sweep));
+            }
+            if wanted("E2") {
+                out.push(runner::table_e2(&sweep));
+            }
+            if wanted("E3") {
+                out.push(runner::table_e3(&sweep));
+            }
+        }
+        if wanted("E4") {
+            out.push(runner::run_e4(&config)?.1);
+        }
+        if wanted("E5") {
+            out.push(runner::run_e5(&config)?.1);
+        }
+        if wanted("E6") {
+            let (cut, c) = runner::run_e6(&config)?;
+            out.push(cut);
+            out.push(c);
+        }
+        if wanted("E7") {
+            out.push(runner::run_e7(&config)?);
+        }
+        if wanted("E8") {
+            out.push(runner::run_e8(&config)?);
+        }
+        if wanted("E9") {
+            out.push(runner::run_e9(&config)?);
+        }
+        if wanted("E10") {
+            out.push(runner::run_e10(&config)?.1);
+        }
+        Ok(out)
+    };
+
+    match run() {
+        Ok(result) => tables.extend(result),
+        Err(error) => {
+            eprintln!("experiment harness failed: {error}");
+            std::process::exit(1);
+        }
+    }
+
+    println!(
+        "# Sparse-cut gossip experiment harness ({} mode, seed {})\n",
+        if config.quick { "quick" } else { "full" },
+        config.seed
+    );
+    for table in &tables {
+        println!("{table}");
+    }
+
+    if let Some(path) = json_path {
+        match serde_json::to_string_pretty(&tables) {
+            Ok(json) => {
+                if let Err(error) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {error}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote JSON results to {path}");
+            }
+            Err(error) => {
+                eprintln!("failed to serialize results: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Instrumented handler wrappers used by the proof-mechanics experiments.
+//!
+//! * [`CutTickProbe`] wraps a convex algorithm and records, at every tick of
+//!   a cut edge, how much the block-one mean `y(t)` moved — the quantity
+//!   Section 2 bounds by `2/n₁` per tick.
+//! * [`EpochProbe`] wraps Algorithm A (or any handler) and records the
+//!   variance right after every non-convex transfer of the designated edge,
+//!   yielding the per-epoch increments of `log var X(T_k⁺)` that Section 3
+//!   stochastically dominates with the lazy `±log n` walk.
+
+use gossip_graph::partition::Block;
+use gossip_graph::{EdgeId, Partition};
+use gossip_sim::handler::{EdgeTickContext, EdgeTickHandler};
+use gossip_sim::values::NodeValues;
+
+/// Records the movement of the block-one mean at every cut-edge tick.
+#[derive(Debug, Clone)]
+pub struct CutTickProbe<H> {
+    inner: H,
+    partition: Partition,
+    /// Absolute change of the block-one mean at each cut-edge tick.
+    pub block_mean_deltas: Vec<f64>,
+    /// Times of the cut-edge ticks.
+    pub cut_tick_times: Vec<f64>,
+}
+
+impl<H> CutTickProbe<H> {
+    /// Wraps `inner`, probing cut edges of `partition`.
+    pub fn new(inner: H, partition: Partition) -> Self {
+        CutTickProbe {
+            inner,
+            partition,
+            block_mean_deltas: Vec::new(),
+            cut_tick_times: Vec::new(),
+        }
+    }
+
+    /// The largest observed per-tick movement of the block-one mean.
+    pub fn max_delta(&self) -> f64 {
+        self.block_mean_deltas
+            .iter()
+            .copied()
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Number of cut-edge ticks observed.
+    pub fn cut_tick_count(&self) -> usize {
+        self.cut_tick_times.len()
+    }
+}
+
+impl<H: EdgeTickHandler> EdgeTickHandler for CutTickProbe<H> {
+    fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+        let crosses = self.partition.is_cut_edge(&ctx.edge);
+        let before = if crosses {
+            Some(values.block_mean(&self.partition, Block::One))
+        } else {
+            None
+        };
+        self.inner.on_edge_tick(values, ctx);
+        if let Some(before) = before {
+            let after = values.block_mean(&self.partition, Block::One);
+            self.block_mean_deltas.push((after - before).abs());
+            self.cut_tick_times.push(ctx.time);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cut-tick-probe"
+    }
+}
+
+/// Records the variance right after every firing of a designated edge's
+/// scheduled update (Algorithm A's epoch boundaries `T_k⁺`).
+#[derive(Debug, Clone)]
+pub struct EpochProbe<H> {
+    inner: H,
+    designated_edge: EdgeId,
+    epoch_ticks: u64,
+    renormalize: bool,
+    /// Variance immediately after each transfer (`var X(T_k⁺)`).  When
+    /// renormalization is enabled this is relative to the unit variance the
+    /// state was rescaled to at the previous epoch boundary.
+    pub post_transfer_variance: Vec<f64>,
+    /// Variance immediately before each transfer (`var X(T_k⁻)`), on the same
+    /// scale as the corresponding post-transfer entry.
+    pub pre_transfer_variance: Vec<f64>,
+    /// Times of the transfers.
+    pub transfer_times: Vec<f64>,
+}
+
+impl<H> EpochProbe<H> {
+    /// Wraps `inner`; `designated_edge` and `epoch_ticks` must match the
+    /// wrapped algorithm's schedule (take them from
+    /// [`gossip_core::sparse_cut::SparseCutAlgorithm::designated_edge`] and
+    /// [`gossip_core::sparse_cut::SparseCutAlgorithm::epoch_ticks`]).
+    pub fn new(inner: H, designated_edge: EdgeId, epoch_ticks: u64) -> Self {
+        EpochProbe {
+            inner,
+            designated_edge,
+            epoch_ticks: epoch_ticks.max(1),
+            renormalize: false,
+            post_transfer_variance: Vec::new(),
+            pre_transfer_variance: Vec::new(),
+            transfer_times: Vec::new(),
+        }
+    }
+
+    /// Enables renormalization: after recording the post-transfer variance,
+    /// the centered state is rescaled to unit variance.  Because every
+    /// algorithm studied here is linear, this does not change the
+    /// distribution of subsequent per-epoch contraction factors, but it keeps
+    /// the variance away from the floating-point floor so that arbitrarily
+    /// many epochs can be observed in one run.
+    pub fn with_renormalization(mut self) -> Self {
+        self.renormalize = true;
+        self
+    }
+
+    /// Per-epoch increments of `log var X(T_k⁺)`: without renormalization the
+    /// differences of consecutive log-variances, with renormalization simply
+    /// the log of each post-transfer variance (the state had unit variance at
+    /// the start of the epoch).  Empty if fewer than two transfers were
+    /// observed.
+    pub fn log_variance_increments(&self) -> Vec<f64> {
+        if self.renormalize {
+            self.post_transfer_variance
+                .iter()
+                .skip(1)
+                .map(|v| v.max(f64::MIN_POSITIVE).ln())
+                .collect()
+        } else {
+            self.post_transfer_variance
+                .windows(2)
+                .map(|w| (w[1].max(f64::MIN_POSITIVE)).ln() - (w[0].max(f64::MIN_POSITIVE)).ln())
+                .collect()
+        }
+    }
+
+    /// Number of transfers observed.
+    pub fn transfer_count(&self) -> usize {
+        self.transfer_times.len()
+    }
+}
+
+impl<H: EdgeTickHandler> EdgeTickHandler for EpochProbe<H> {
+    fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+        let is_transfer =
+            ctx.edge_id == self.designated_edge && ctx.edge_tick_count % self.epoch_ticks == 0;
+        if is_transfer {
+            self.pre_transfer_variance.push(values.variance());
+        }
+        self.inner.on_edge_tick(values, ctx);
+        if is_transfer {
+            let variance = values.variance();
+            self.post_transfer_variance.push(variance);
+            self.transfer_times.push(ctx.time);
+            if self.renormalize && variance > 0.0 {
+                let mean = values.mean();
+                let scale = 1.0 / variance.sqrt();
+                for i in 0..values.len() {
+                    let node = gossip_graph::NodeId(i);
+                    let centered = values.get(node) - mean;
+                    values.set(node, mean + centered * scale);
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "epoch-probe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_core::convex::VanillaGossip;
+    use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig};
+    use gossip_graph::generators::dumbbell;
+    use gossip_sim::engine::{AsyncSimulator, SimulationConfig};
+    use gossip_sim::stopping::StoppingRule;
+
+    fn adversarial(partition: &Partition) -> NodeValues {
+        gossip_core::averaging_time::AveragingTimeEstimator::adversarial_initial(partition)
+    }
+
+    #[test]
+    fn cut_tick_probe_bounds_block_mean_movement() {
+        let (graph, partition) = dumbbell(8).unwrap();
+        let probe = CutTickProbe::new(VanillaGossip::new(), partition.clone());
+        let config = SimulationConfig::new(3)
+            .with_stopping_rule(StoppingRule::max_time(40.0));
+        let mut sim =
+            AsyncSimulator::new(&graph, adversarial(&partition), probe, config).unwrap();
+        let _ = sim.run().unwrap();
+        // The probe itself is consumed by the simulator; re-run with a manual
+        // loop instead to inspect it.
+        let mut probe = CutTickProbe::new(VanillaGossip::new(), partition.clone());
+        let mut values = adversarial(&partition);
+        let cut_edge = partition.cut_edges()[0];
+        let internal_edge = graph
+            .edge_ids()
+            .find(|&e| !partition.is_cut_edge(&graph.edge(e).unwrap()))
+            .unwrap();
+        for k in 1..=50u64 {
+            let edge_id = if k % 5 == 0 { cut_edge } else { internal_edge };
+            let ctx = EdgeTickContext {
+                graph: &graph,
+                edge: graph.edge(edge_id).unwrap(),
+                edge_id,
+                time: k as f64 * 0.1,
+                edge_tick_count: k,
+                global_tick_count: k,
+            };
+            probe.on_edge_tick(&mut values, &ctx);
+        }
+        assert_eq!(probe.cut_tick_count(), 10);
+        assert_eq!(probe.block_mean_deltas.len(), 10);
+        // Section 2 bound: each cut tick moves y(t) by at most 2/n1 = 0.25.
+        assert!(probe.max_delta() <= 2.0 / 8.0 + 1e-12);
+        assert_eq!(probe.name(), "cut-tick-probe");
+    }
+
+    #[test]
+    fn epoch_probe_records_transfers() {
+        let (graph, partition) = dumbbell(8).unwrap();
+        let algo = SparseCutAlgorithm::from_partition(
+            &graph,
+            &partition,
+            SparseCutConfig::new().with_t_van_sum(1.0).with_epoch_constant(1.0),
+        )
+        .unwrap();
+        let designated = algo.designated_edge();
+        let epoch_ticks = algo.epoch_ticks();
+        let mut probe = EpochProbe::new(algo, designated, epoch_ticks);
+        let mut values = adversarial(&partition);
+        // Tick the designated edge through several epochs, with internal
+        // mixing in between left out deliberately (the probe only cares about
+        // the bookkeeping).
+        for k in 1..=(4 * epoch_ticks) {
+            let ctx = EdgeTickContext {
+                graph: &graph,
+                edge: graph.edge(designated).unwrap(),
+                edge_id: designated,
+                time: k as f64,
+                edge_tick_count: k,
+                global_tick_count: k,
+            };
+            probe.on_edge_tick(&mut values, &ctx);
+        }
+        assert_eq!(probe.transfer_count(), 4);
+        assert_eq!(probe.pre_transfer_variance.len(), 4);
+        assert_eq!(probe.post_transfer_variance.len(), 4);
+        assert_eq!(probe.log_variance_increments().len(), 3);
+        assert_eq!(probe.name(), "epoch-probe");
+    }
+}

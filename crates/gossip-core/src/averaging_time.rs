@@ -1,0 +1,435 @@
+//! Empirical estimation of the averaging time of Definition 1.
+//!
+//! The paper defines `T_av` as (essentially) the earliest time `t` such that,
+//! for the worst initial vector, the probability that the normalized variance
+//! `var X(T)/var X(0)` ever exceeds `1/e²` again after `t` is below `1/e`.
+//! The estimator here makes that operational:
+//!
+//! 1. run `R` independent simulations from a given initial condition (by
+//!    default the adversarial cut-aligned vector from Section 2: `+1` on `V₁`
+//!    and `−n₁/n₂` on `V₂`, which is the vector the lower-bound proof uses
+//!    and empirically the worst case for sparse-cut instances);
+//! 2. for each run record the **settling time** — the last sampled time at
+//!    which the normalized variance was still `≥ 1/e²` (runs continue until
+//!    the variance has fallen well below the threshold, so later excursions
+//!    by non-monotone algorithms such as Algorithm A are captured);
+//! 3. report the `(1 − 1/e)`-quantile of the settling times, the empirical
+//!    analogue of Definition 1, along with the mean and the raw samples.
+
+use crate::{CoreError, Result};
+use gossip_graph::{Graph, Partition};
+use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig};
+use gossip_sim::handler::EdgeTickHandler;
+use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
+use gossip_sim::trace::TraceConfig;
+use gossip_sim::values::NodeValues;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the estimator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Base RNG seed; run `r` uses `seed + r`.
+    pub seed: u64,
+    /// Number of independent runs.
+    pub runs: usize,
+    /// The variance-ratio threshold of Definition 1 (default `1/e²`).
+    pub threshold: f64,
+    /// Each run continues until the variance ratio falls below
+    /// `threshold × confirmation_factor` (or the time cap), so that late
+    /// excursions above the threshold are observed.  Must lie in `(0, 1]`.
+    pub confirmation_factor: f64,
+    /// Hard cap on simulated time per run.
+    pub max_time: f64,
+    /// How often (in ticks) the variance is sampled; larger values trade
+    /// temporal resolution for speed on big graphs.
+    pub check_every_ticks: u64,
+    /// Which clock sampler to use.
+    pub clock_model: ClockModel,
+    /// The quantile of settling times reported as the averaging time
+    /// (default `1 − 1/e`, matching Definition 1).
+    pub quantile: f64,
+}
+
+impl EstimatorConfig {
+    /// Creates a configuration with the given seed and defaults
+    /// (15 runs, Definition 1 threshold, `1 − 1/e` quantile).
+    pub fn new(seed: u64) -> Self {
+        EstimatorConfig {
+            seed,
+            runs: 15,
+            threshold: DEFINITION1_THRESHOLD,
+            confirmation_factor: 0.05,
+            max_time: 1e6,
+            check_every_ticks: 1,
+            clock_model: ClockModel::PerEdgeQueue,
+            quantile: 1.0 - (-1.0f64).exp(),
+        }
+    }
+
+    /// Sets the number of runs.
+    pub fn with_runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the variance-ratio threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Sets the per-run time cap.
+    pub fn with_max_time(mut self, max_time: f64) -> Self {
+        self.max_time = max_time;
+        self
+    }
+
+    /// Sets the variance sampling stride in ticks.
+    pub fn with_check_every_ticks(mut self, ticks: u64) -> Self {
+        self.check_every_ticks = ticks.max(1);
+        self
+    }
+
+    /// Selects the clock sampler.
+    pub fn with_clock_model(mut self, model: ClockModel) -> Self {
+        self.clock_model = model;
+        self
+    }
+
+    /// Sets the reported quantile.
+    pub fn with_quantile(mut self, quantile: f64) -> Self {
+        self.quantile = quantile;
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.runs == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "estimator requires at least one run".into(),
+            });
+        }
+        if !(0.0 < self.threshold && self.threshold < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("threshold must lie in (0, 1), got {}", self.threshold),
+            });
+        }
+        if !(0.0 < self.confirmation_factor && self.confirmation_factor <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!(
+                    "confirmation factor must lie in (0, 1], got {}",
+                    self.confirmation_factor
+                ),
+            });
+        }
+        if !(self.max_time > 0.0 && self.max_time.is_finite()) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("max_time must be positive and finite, got {}", self.max_time),
+            });
+        }
+        if !(0.0 < self.quantile && self.quantile < 1.0) {
+            return Err(CoreError::InvalidConfig {
+                reason: format!("quantile must lie in (0, 1), got {}", self.quantile),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The estimator's result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AveragingTimeEstimate {
+    /// The reported averaging time: the configured quantile of the per-run
+    /// settling times.
+    pub averaging_time: f64,
+    /// Mean of the per-run settling times.
+    pub mean_settling_time: f64,
+    /// Maximum per-run settling time observed.
+    pub max_settling_time: f64,
+    /// The raw settling time of every run, in run order.
+    pub settling_times: Vec<f64>,
+    /// Number of runs whose variance ratio actually dropped below the
+    /// confirmation level before the time cap.
+    pub confirmed_runs: usize,
+    /// Number of runs that hit the time cap instead (their settling time is
+    /// censored at the cap and the estimate is a lower bound).
+    pub censored_runs: usize,
+}
+
+impl AveragingTimeEstimate {
+    /// `true` if every run converged below the confirmation level (no
+    /// censoring).
+    pub fn fully_confirmed(&self) -> bool {
+        self.censored_runs == 0
+    }
+}
+
+/// Monte-Carlo estimator of Definition 1's averaging time.
+#[derive(Debug, Clone)]
+pub struct AveragingTimeEstimator {
+    config: EstimatorConfig,
+}
+
+impl AveragingTimeEstimator {
+    /// Creates an estimator.
+    pub fn new(config: EstimatorConfig) -> Self {
+        AveragingTimeEstimator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EstimatorConfig {
+        &self.config
+    }
+
+    /// The adversarial initial condition of Section 2: `+1` on `V₁`,
+    /// `−n₁/n₂` on `V₂` (mean exactly zero).
+    pub fn adversarial_initial(partition: &Partition) -> NodeValues {
+        let n1 = partition.block_one_size() as f64;
+        let n2 = partition.block_two_size() as f64;
+        let mut values = vec![0.0; partition.node_count()];
+        for &node in partition.block_one() {
+            values[node.index()] = 1.0;
+        }
+        for &node in partition.block_two() {
+            values[node.index()] = -n1 / n2;
+        }
+        NodeValues::from_values(values).expect("finite by construction")
+    }
+
+    /// Estimates the averaging time of the algorithm produced by `factory`
+    /// starting from the adversarial cut-aligned initial condition.
+    ///
+    /// `factory` is called once per run so that algorithms with internal
+    /// state (counters, RNGs, memory) start fresh each time.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors and propagates simulation failures.
+    pub fn estimate<H, F>(
+        &self,
+        graph: &Graph,
+        partition: &Partition,
+        factory: F,
+    ) -> Result<AveragingTimeEstimate>
+    where
+        H: EdgeTickHandler,
+        F: Fn() -> H,
+    {
+        let initial = Self::adversarial_initial(partition);
+        self.estimate_with_initial(graph, Some(partition), &initial, factory)
+    }
+
+    /// Estimates the averaging time from an explicit initial condition.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors and propagates simulation failures.
+    pub fn estimate_with_initial<H, F>(
+        &self,
+        graph: &Graph,
+        partition: Option<&Partition>,
+        initial: &NodeValues,
+        factory: F,
+    ) -> Result<AveragingTimeEstimate>
+    where
+        H: EdgeTickHandler,
+        F: Fn() -> H,
+    {
+        self.config.validate()?;
+        let initial_variance = initial.variance();
+        let mut settling_times = Vec::with_capacity(self.config.runs);
+        let mut confirmed_runs = 0usize;
+        let mut censored_runs = 0usize;
+
+        for run in 0..self.config.runs {
+            let seed = self.config.seed.wrapping_add(run as u64);
+            let stop = StoppingRule::variance_ratio_below(
+                self.config.threshold * self.config.confirmation_factor,
+            )
+            .or_max_time(self.config.max_time);
+            let mut sim_config = SimulationConfig::new(seed)
+                .with_stopping_rule(stop)
+                .with_clock_model(self.config.clock_model)
+                .with_check_every_ticks(self.config.check_every_ticks)
+                .with_trace(TraceConfig::every_ticks(self.config.check_every_ticks));
+            if let Some(p) = partition {
+                sim_config = sim_config.with_partition(p.clone());
+            }
+            let mut simulator =
+                AsyncSimulator::new(graph, initial.clone(), factory(), sim_config)?;
+            let outcome = simulator.run()?;
+            if outcome.converged() {
+                confirmed_runs += 1;
+            } else {
+                censored_runs += 1;
+            }
+            let trace = outcome
+                .trace
+                .as_ref()
+                .expect("trace recording was requested");
+            let settle = if initial_variance <= 0.0 {
+                0.0
+            } else {
+                trace
+                    .points()
+                    .iter()
+                    .filter(|p| p.variance / initial_variance >= self.config.threshold)
+                    .map(|p| p.time)
+                    .fold(0.0_f64, f64::max)
+            };
+            settling_times.push(settle);
+        }
+
+        let mut sorted = settling_times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("settling times are finite"));
+        let index = ((self.config.quantile * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len())
+            - 1;
+        let averaging_time = sorted[index];
+        let mean_settling_time =
+            settling_times.iter().sum::<f64>() / settling_times.len() as f64;
+        let max_settling_time = sorted.last().copied().unwrap_or(0.0);
+
+        Ok(AveragingTimeEstimate {
+            averaging_time,
+            mean_settling_time,
+            max_settling_time,
+            settling_times,
+            confirmed_runs,
+            censored_runs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convex::VanillaGossip;
+    use crate::sparse_cut::{SparseCutAlgorithm, SparseCutConfig};
+    use gossip_graph::generators::{complete, dumbbell};
+    use gossip_graph::Partition;
+
+    #[test]
+    fn config_validation() {
+        let bad_runs = EstimatorConfig::new(1).with_runs(0);
+        let bad_threshold = EstimatorConfig::new(1).with_threshold(0.0);
+        let bad_time = EstimatorConfig::new(1).with_max_time(0.0);
+        let bad_quantile = EstimatorConfig::new(1).with_quantile(1.0);
+        let (g, p) = dumbbell(3).unwrap();
+        for config in [bad_runs, bad_threshold, bad_time, bad_quantile] {
+            let est = AveragingTimeEstimator::new(config);
+            assert!(est.estimate(&g, &p, VanillaGossip::new).is_err());
+        }
+        let mut ok = EstimatorConfig::new(1);
+        ok.confirmation_factor = 0.0;
+        assert!(AveragingTimeEstimator::new(ok)
+            .estimate(&g, &p, VanillaGossip::new)
+            .is_err());
+    }
+
+    #[test]
+    fn adversarial_initial_has_zero_mean_and_unit_block_values() {
+        let (_, p) = dumbbell(5).unwrap();
+        let v = AveragingTimeEstimator::adversarial_initial(&p);
+        assert!(v.mean().abs() < 1e-12);
+        assert_eq!(v.get(gossip_graph::NodeId(0)), 1.0);
+        assert_eq!(v.get(gossip_graph::NodeId(9)), -1.0);
+        // Asymmetric case: block two holds −n1/n2.
+        let (g2, _) = dumbbell(2).unwrap();
+        let p2 = Partition::from_block_one(&g2, &[gossip_graph::NodeId(0)]).unwrap();
+        let v2 = AveragingTimeEstimator::adversarial_initial(&p2);
+        assert!((v2.get(gossip_graph::NodeId(3)) + 1.0 / 3.0).abs() < 1e-12);
+        assert!(v2.mean().abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanilla_on_complete_graph_settles_quickly() {
+        let g = complete(10).unwrap();
+        let p = Partition::from_block_one(
+            &g,
+            &(0..5).map(gossip_graph::NodeId).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let est = AveragingTimeEstimator::new(
+            EstimatorConfig::new(7).with_runs(5).with_max_time(500.0),
+        );
+        let result = est.estimate(&g, &p, VanillaGossip::new).unwrap();
+        assert!(result.fully_confirmed());
+        assert_eq!(result.settling_times.len(), 5);
+        assert!(result.averaging_time > 0.0);
+        assert!(result.averaging_time <= result.max_settling_time + 1e-12);
+        assert!(result.mean_settling_time <= result.max_settling_time + 1e-12);
+        // A complete graph on 10 nodes averages in a handful of time units.
+        assert!(result.averaging_time < 20.0);
+    }
+
+    #[test]
+    fn zero_variance_initial_settles_immediately() {
+        let g = complete(4).unwrap();
+        let p = Partition::from_block_one(&g, &[gossip_graph::NodeId(0)]).unwrap();
+        let est = AveragingTimeEstimator::new(EstimatorConfig::new(3).with_runs(3));
+        let initial = NodeValues::constant(4, 1.0);
+        let result = est
+            .estimate_with_initial(&g, Some(&p), &initial, VanillaGossip::new)
+            .unwrap();
+        assert_eq!(result.averaging_time, 0.0);
+        assert!(result.fully_confirmed());
+    }
+
+    #[test]
+    fn censoring_reported_when_time_cap_too_small() {
+        // Vanilla gossip on the dumbbell needs Ω(n1) time; cap far below it.
+        let (g, p) = dumbbell(16).unwrap();
+        let est = AveragingTimeEstimator::new(
+            EstimatorConfig::new(5).with_runs(3).with_max_time(0.5),
+        );
+        let result = est.estimate(&g, &p, VanillaGossip::new).unwrap();
+        assert_eq!(result.censored_runs, 3);
+        assert!(!result.fully_confirmed());
+    }
+
+    #[test]
+    fn algorithm_a_beats_vanilla_on_dumbbell_estimates() {
+        // At small n Algorithm A's epoch overhead C·ln n·T_van can exceed the
+        // convex Θ(n₁) cost, so use a moderately sized instance and the
+        // moderate epoch constant C = 2 to test the asymptotic relationship.
+        let (g, p) = dumbbell(20).unwrap();
+        let est = AveragingTimeEstimator::new(
+            EstimatorConfig::new(11)
+                .with_runs(5)
+                .with_max_time(20_000.0),
+        );
+        let vanilla = est.estimate(&g, &p, VanillaGossip::new).unwrap();
+        let algo_a = est
+            .estimate(&g, &p, || {
+                SparseCutAlgorithm::from_partition(
+                    &g,
+                    &p,
+                    SparseCutConfig::new().with_epoch_constant(2.0),
+                )
+                .expect("valid partition")
+            })
+            .unwrap();
+        assert!(vanilla.fully_confirmed());
+        assert!(algo_a.fully_confirmed());
+        assert!(
+            algo_a.averaging_time < vanilla.averaging_time,
+            "Algorithm A ({}) should beat vanilla ({}) on the dumbbell",
+            algo_a.averaging_time,
+            vanilla.averaging_time
+        );
+    }
+
+    #[test]
+    fn quantile_selection_is_order_statistic() {
+        // With quantile ~0.63 and 5 runs, the 4th smallest settling time is
+        // reported (ceil(0.632 * 5) = 4).
+        let (g, p) = dumbbell(4).unwrap();
+        let est = AveragingTimeEstimator::new(
+            EstimatorConfig::new(2).with_runs(5).with_max_time(5_000.0),
+        );
+        let result = est.estimate(&g, &p, VanillaGossip::new).unwrap();
+        let mut sorted = result.settling_times.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((result.averaging_time - sorted[3]).abs() < 1e-12);
+    }
+}

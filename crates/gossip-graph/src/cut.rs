@@ -1,0 +1,208 @@
+//! Finding a sparse cut when one is not given.
+//!
+//! The paper assumes the partition `(G₁, G₂)` and a designated cut edge `e_c`
+//! are known to the algorithm.  For workloads where only the graph is given
+//! (e.g. a stochastic block model sample), this module recovers a good
+//! two-block partition by **spectral bisection**: compute the Fiedler vector,
+//! sort the vertices by their Fiedler value, and take the prefix ("sweep cut")
+//! minimizing conductance.  It also provides a plain sign-split and an
+//! exhaustive search for tiny graphs, used in tests as ground truth.
+
+use crate::partition::Block;
+use crate::{spectral, Graph, GraphError, NodeId, Partition, Result};
+
+/// Strategy used by [`find_sparse_cut`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutStrategy {
+    /// Split the vertices by the sign of their Fiedler-vector entry.
+    FiedlerSign,
+    /// Sort by Fiedler value and take the prefix with the smallest
+    /// conductance (the classic sweep cut; never worse than the sign split
+    /// for conductance).
+    SweepCut,
+}
+
+/// Finds a two-block partition with small conductance using spectral methods.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for graphs with fewer than two
+/// nodes or no edges, [`GraphError::Disconnected`] for disconnected graphs,
+/// and propagates eigensolver failures.
+pub fn find_sparse_cut(graph: &Graph, strategy: CutStrategy) -> Result<Partition> {
+    if graph.node_count() < 2 || graph.edge_count() == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "sparse-cut search requires at least two nodes and one edge".into(),
+        });
+    }
+    if !crate::traversal::is_connected(graph) {
+        return Err(GraphError::Disconnected);
+    }
+    let fiedler = spectral::fiedler_vector(graph)?;
+    match strategy {
+        CutStrategy::FiedlerSign => {
+            let block_one: Vec<NodeId> = graph
+                .nodes()
+                .filter(|v| fiedler[v.index()] < 0.0)
+                .collect();
+            let block_one = if block_one.is_empty() || block_one.len() == graph.node_count() {
+                // Degenerate sign pattern (can happen with ties); fall back to
+                // splitting around the median.
+                median_split(graph, &fiedler)
+            } else {
+                block_one
+            };
+            Ok(Partition::from_block_one(graph, &block_one)?.normalized())
+        }
+        CutStrategy::SweepCut => sweep_cut(graph, &fiedler),
+    }
+}
+
+fn median_split(graph: &Graph, fiedler: &gossip_linalg::Vector) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by(|a, b| {
+        fiedler[a.index()]
+            .partial_cmp(&fiedler[b.index()])
+            .expect("Fiedler entries are finite")
+    });
+    order[..graph.node_count() / 2].to_vec()
+}
+
+fn sweep_cut(graph: &Graph, fiedler: &gossip_linalg::Vector) -> Result<Partition> {
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by(|a, b| {
+        fiedler[a.index()]
+            .partial_cmp(&fiedler[b.index()])
+            .expect("Fiedler entries are finite")
+    });
+
+    let mut best: Option<(f64, usize)> = None;
+    for prefix_len in 1..graph.node_count() {
+        let partition = Partition::from_block_one(graph, &order[..prefix_len])?;
+        let phi = partition.conductance();
+        if best.map(|(b, _)| phi < b).unwrap_or(true) {
+            best = Some((phi, prefix_len));
+        }
+    }
+    let (_, prefix_len) = best.expect("at least one prefix is considered");
+    Ok(Partition::from_block_one(graph, &order[..prefix_len])?.normalized())
+}
+
+/// Exhaustively finds the minimum-conductance two-block partition.
+///
+/// Exponential in the node count; intended only as ground truth in tests.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for graphs with more than 20 nodes
+/// (to prevent accidental blow-ups), fewer than two nodes, or no edges.
+pub fn exhaustive_min_conductance_cut(graph: &Graph) -> Result<Partition> {
+    let n = graph.node_count();
+    if n < 2 || graph.edge_count() == 0 {
+        return Err(GraphError::InvalidParameter {
+            reason: "exhaustive cut search requires at least two nodes and one edge".into(),
+        });
+    }
+    if n > 20 {
+        return Err(GraphError::InvalidParameter {
+            reason: format!("exhaustive cut search limited to 20 nodes, got {n}"),
+        });
+    }
+    let mut best: Option<(f64, Vec<Block>)> = None;
+    // Iterate over non-trivial subsets; fix node 0 in block two to halve the work.
+    for mask in 1u64..(1u64 << (n - 1)) {
+        let membership: Vec<Block> = (0..n)
+            .map(|i| {
+                if i > 0 && (mask >> (i - 1)) & 1 == 1 {
+                    Block::One
+                } else {
+                    Block::Two
+                }
+            })
+            .collect();
+        let partition = Partition::from_membership(graph, membership.clone())?;
+        let phi = partition.conductance();
+        if best.as_ref().map(|(b, _)| phi < *b).unwrap_or(true) {
+            best = Some((phi, membership));
+        }
+    }
+    let (_, membership) = best.expect("at least one subset is considered");
+    Ok(Partition::from_membership(graph, membership)?.normalized())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::Graph;
+
+    #[test]
+    fn sweep_cut_recovers_dumbbell_bridge() {
+        let (graph, reference) = generators::dumbbell(8).unwrap();
+        for strategy in [CutStrategy::FiedlerSign, CutStrategy::SweepCut] {
+            let found = find_sparse_cut(&graph, strategy).unwrap();
+            assert_eq!(found.cut_edge_count(), 1, "strategy {strategy:?}");
+            assert_eq!(found.smaller_block_size(), reference.smaller_block_size());
+            // The cut edge must be the designated bridge.
+            assert_eq!(found.cut_edges(), reference.cut_edges());
+        }
+    }
+
+    #[test]
+    fn sweep_cut_on_path_prefers_balanced_middle_cut() {
+        let edges: Vec<(usize, usize)> = (0..7).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(8, &edges).unwrap();
+        let p = find_sparse_cut(&g, CutStrategy::SweepCut).unwrap();
+        assert_eq!(p.cut_edge_count(), 1);
+        // Minimum conductance on a path cuts it near the middle.
+        assert_eq!(p.smaller_block_size(), 4);
+    }
+
+    #[test]
+    fn spectral_matches_exhaustive_on_small_dumbbell() {
+        let (graph, _) = generators::dumbbell(4).unwrap();
+        let spectral = find_sparse_cut(&graph, CutStrategy::SweepCut).unwrap();
+        let exhaustive = exhaustive_min_conductance_cut(&graph).unwrap();
+        assert!((spectral.conductance() - exhaustive.conductance()).abs() < 1e-12);
+        assert_eq!(spectral.cut_edge_count(), exhaustive.cut_edge_count());
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let single = Graph::from_edges(1, &[]).unwrap();
+        assert!(find_sparse_cut(&single, CutStrategy::SweepCut).is_err());
+        let no_edges = Graph::from_edges(3, &[]).unwrap();
+        assert!(find_sparse_cut(&no_edges, CutStrategy::SweepCut).is_err());
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            find_sparse_cut(&disconnected, CutStrategy::SweepCut),
+            Err(GraphError::Disconnected)
+        ));
+        assert!(exhaustive_min_conductance_cut(&single).is_err());
+        let big = generators::complete(21).unwrap();
+        assert!(exhaustive_min_conductance_cut(&big).is_err());
+    }
+
+    #[test]
+    fn exhaustive_on_two_triangles_with_bridge() {
+        // Two triangles {0,1,2} and {3,4,5} joined by the single edge (2,3).
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+        .unwrap();
+        let p = exhaustive_min_conductance_cut(&g).unwrap();
+        assert_eq!(p.cut_edge_count(), 1);
+        assert_eq!(p.smaller_block_size(), 3);
+        let q = find_sparse_cut(&g, CutStrategy::SweepCut).unwrap();
+        assert_eq!(q.cut_edge_count(), 1);
+    }
+
+    #[test]
+    fn sweep_never_worse_than_sign_split() {
+        let (graph, _) = generators::bridged_clusters(10, 12, 3, 0.6, 0xBEEF).unwrap();
+        let sign = find_sparse_cut(&graph, CutStrategy::FiedlerSign).unwrap();
+        let sweep = find_sparse_cut(&graph, CutStrategy::SweepCut).unwrap();
+        assert!(sweep.conductance() <= sign.conductance() + 1e-12);
+    }
+}

@@ -1,0 +1,247 @@
+//! Matrix representations of a graph: adjacency, degree, Laplacian,
+//! normalized Laplacian, and the expected single-tick gossip matrix.
+//!
+//! The spectral gap of these matrices is what makes "internally well
+//! connected" quantitative: the vanilla averaging time of a subgraph scales
+//! like `1/λ₂` of its gossip Laplacian (up to logarithmic factors), which is
+//! exactly the quantity Algorithm A's epoch length is built from.
+
+use crate::{Graph, Result};
+use gossip_linalg::Matrix;
+
+/// Dense adjacency matrix `A` with `A[i][j] = 1` iff `{i, j} ∈ E`.
+pub fn adjacency_matrix(graph: &Graph) -> Matrix {
+    let n = graph.node_count();
+    let mut m = Matrix::zeros(n, n);
+    for edge in graph.edges() {
+        m.set(edge.u().index(), edge.v().index(), 1.0);
+        m.set(edge.v().index(), edge.u().index(), 1.0);
+    }
+    m
+}
+
+/// Dense diagonal degree matrix `D`.
+pub fn degree_matrix(graph: &Graph) -> Matrix {
+    let degrees: Vec<f64> = graph.nodes().map(|v| graph.degree(v) as f64).collect();
+    Matrix::from_diagonal(&degrees)
+}
+
+/// Combinatorial Laplacian `L = D − A`.
+///
+/// `L` is symmetric positive semi-definite with row sums zero; its smallest
+/// eigenvalue is 0 (eigenvector: all-ones) and its second-smallest eigenvalue
+/// `λ₂` is the algebraic connectivity.
+pub fn laplacian(graph: &Graph) -> Matrix {
+    let n = graph.node_count();
+    let mut m = Matrix::zeros(n, n);
+    for edge in graph.edges() {
+        let (u, v) = (edge.u().index(), edge.v().index());
+        m.add_to(u, u, 1.0);
+        m.add_to(v, v, 1.0);
+        m.add_to(u, v, -1.0);
+        m.add_to(v, u, -1.0);
+    }
+    m
+}
+
+/// Symmetric normalized Laplacian `𝓛 = D^{-1/2} L D^{-1/2}`.
+///
+/// Rows/columns of isolated (degree-0) nodes are left as zero.
+pub fn normalized_laplacian(graph: &Graph) -> Matrix {
+    let n = graph.node_count();
+    let lap = laplacian(graph);
+    let inv_sqrt: Vec<f64> = graph
+        .nodes()
+        .map(|v| {
+            let d = graph.degree(v) as f64;
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Matrix::from_fn(n, n, |i, j| lap.get(i, j) * inv_sqrt[i] * inv_sqrt[j])
+}
+
+/// Expected one-tick update matrix of vanilla edge-clock gossip.
+///
+/// When the clock of edge `{i, j}` ticks, the state is multiplied by
+/// `W_{ij} = I − (e_i − e_j)(e_i − e_j)ᵀ / 2`.  With every edge equally likely
+/// to be the next to tick, the expected update matrix is
+///
+/// `W̄ = I − L / (2 |E|)`.
+///
+/// Its second-largest eigenvalue controls the per-tick contraction of the
+/// expected disagreement, and hence the vanilla averaging time.
+///
+/// # Errors
+///
+/// Returns [`crate::GraphError::InvalidParameter`] if the graph has no edges.
+pub fn expected_gossip_matrix(graph: &Graph) -> Result<Matrix> {
+    if graph.edge_count() == 0 {
+        return Err(crate::GraphError::InvalidParameter {
+            reason: "expected gossip matrix requires at least one edge".into(),
+        });
+    }
+    let n = graph.node_count();
+    let lap = laplacian(graph);
+    let scale = 1.0 / (2.0 * graph.edge_count() as f64);
+    let mut m = Matrix::identity(n);
+    for i in 0..n {
+        for j in 0..n {
+            m.add_to(i, j, -scale * lap.get(i, j));
+        }
+    }
+    Ok(m)
+}
+
+/// The single-edge averaging matrix `W_e = I − (e_u − e_v)(e_u − e_v)ᵀ / 2`
+/// applied when edge `e = {u, v}` ticks under vanilla gossip.
+///
+/// # Errors
+///
+/// Returns [`crate::GraphError::EdgeOutOfRange`] for an invalid edge id.
+pub fn single_edge_average_matrix(graph: &Graph, edge: crate::EdgeId) -> Result<Matrix> {
+    let e = graph.edge(edge)?;
+    let n = graph.node_count();
+    let (u, v) = (e.u().index(), e.v().index());
+    let mut m = Matrix::identity(n);
+    m.set(u, u, 0.5);
+    m.set(v, v, 0.5);
+    m.set(u, v, 0.5);
+    m.set(v, u, 0.5);
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+    use gossip_linalg::{SymmetricEigen, Vector};
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn adjacency_symmetric_and_correct() {
+        let a = adjacency_matrix(&triangle());
+        assert!(a.is_symmetric(1e-12));
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(0, 0), 0.0);
+        assert!((a.frobenius_norm().powi(2) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_matrix_diagonal() {
+        let d = degree_matrix(&path(4));
+        assert_eq!(d.get(0, 0), 1.0);
+        assert_eq!(d.get(1, 1), 2.0);
+        assert_eq!(d.get(3, 3), 1.0);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn laplacian_row_sums_zero_and_psd() {
+        let l = laplacian(&triangle());
+        assert!(l.rows_sum_to(0.0, 1e-12));
+        assert!(l.is_symmetric(1e-12));
+        let eig = SymmetricEigen::compute(&l).unwrap();
+        assert!(eig.smallest() > -1e-9);
+        assert!(eig.smallest().abs() < 1e-9);
+        // Triangle = K3: non-zero eigenvalues are all 3.
+        assert!((eig.second_smallest().unwrap() - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn laplacian_quadratic_form_counts_edge_differences() {
+        let g = path(3);
+        let l = laplacian(&g);
+        let x = Vector::from(vec![0.0, 2.0, 5.0]);
+        let expected = (0.0f64 - 2.0).powi(2) + (2.0f64 - 5.0).powi(2);
+        assert!((l.quadratic_form(&x).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_laplacian_spectrum_bounded_by_two() {
+        let g = path(5);
+        let nl = normalized_laplacian(&g);
+        assert!(nl.is_symmetric(1e-12));
+        let eig = SymmetricEigen::compute(&nl).unwrap();
+        assert!(eig.smallest().abs() < 1e-9);
+        assert!(eig.largest() <= 2.0 + 1e-9);
+        // Diagonal entries are 1 for non-isolated nodes.
+        for i in 0..5 {
+            assert!((nl.get(i, i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_handles_isolated_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let nl = normalized_laplacian(&g);
+        assert_eq!(nl.get(2, 2), 0.0);
+        assert_eq!(nl.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn expected_gossip_matrix_is_doubly_stochastic() {
+        let g = triangle();
+        let w = expected_gossip_matrix(&g).unwrap();
+        assert!(w.rows_sum_to(1.0, 1e-12));
+        assert!(w.is_symmetric(1e-12));
+        // Preserves the all-ones vector exactly.
+        let ones = Vector::ones(3);
+        let wo = w.matvec(&ones).unwrap();
+        assert!(wo.distance(&ones).unwrap() < 1e-12);
+        // Its eigenvalues lie in [0, 1] with the top one equal to 1.
+        let eig = SymmetricEigen::compute(&w).unwrap();
+        assert!((eig.largest() - 1.0).abs() < 1e-9);
+        assert!(eig.smallest() > -1e-9);
+    }
+
+    #[test]
+    fn expected_gossip_matrix_requires_edges() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        assert!(expected_gossip_matrix(&g).is_err());
+    }
+
+    #[test]
+    fn single_edge_matrix_averages_endpoints() {
+        let g = path(3);
+        let eid = g.find_edge(crate::NodeId(0), crate::NodeId(1)).unwrap();
+        let w = single_edge_average_matrix(&g, eid).unwrap();
+        let x = Vector::from(vec![4.0, 0.0, 7.0]);
+        let y = w.matvec(&x).unwrap();
+        assert_eq!(y.as_slice(), &[2.0, 2.0, 7.0]);
+        // Doubly stochastic and idempotent (projection).
+        assert!(w.rows_sum_to(1.0, 1e-12));
+        assert_eq!(w.matmul(&w).unwrap(), w);
+        assert!(single_edge_average_matrix(&g, crate::EdgeId(99)).is_err());
+    }
+
+    #[test]
+    fn gossip_matrix_relation_to_laplacian() {
+        // W̄ = I − L/(2|E|): verify entrywise.
+        let g = path(4);
+        let w = expected_gossip_matrix(&g).unwrap();
+        let l = laplacian(&g);
+        let m = graph_identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                let expected = m.get(i, j) - l.get(i, j) / (2.0 * g.edge_count() as f64);
+                assert!((w.get(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    fn graph_identity(n: usize) -> Matrix {
+        Matrix::identity(n)
+    }
+}

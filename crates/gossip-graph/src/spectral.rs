@@ -1,0 +1,207 @@
+//! Spectral quantities of a graph: algebraic connectivity, spectral gap of the
+//! expected gossip matrix, and the Fiedler vector.
+//!
+//! These feed two consumers:
+//!
+//! * `gossip-core` uses `1/λ₂`-style quantities to estimate the vanilla
+//!   averaging times `T_van(G₁)`, `T_van(G₂)` that parametrize Algorithm A's
+//!   epoch length;
+//! * [`crate::cut`] uses the Fiedler vector for spectral bisection when a
+//!   sparse cut is not known in advance.
+
+use crate::{laplacian, Graph, GraphError, Result};
+use gossip_linalg::{SymmetricEigen, Vector};
+use serde::{Deserialize, Serialize};
+
+/// Summary of the spectral quantities relevant to gossip averaging.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectralProfile {
+    /// Algebraic connectivity: second-smallest eigenvalue of the Laplacian.
+    pub algebraic_connectivity: f64,
+    /// Largest Laplacian eigenvalue.
+    pub laplacian_lambda_max: f64,
+    /// Spectral gap `1 − λ₂(W̄)` of the expected gossip matrix
+    /// `W̄ = I − L/(2|E|)`.
+    pub gossip_spectral_gap: f64,
+    /// Relaxation time `1 / gap`, the natural time-scale (in *global* clock
+    /// ticks) on which vanilla gossip mixes.
+    pub relaxation_ticks: f64,
+    /// Number of edges of the graph (so callers can convert between tick
+    /// counts and the absolute time of rate-1 Poisson clocks).
+    pub edge_count: usize,
+    /// Number of nodes.
+    pub node_count: usize,
+}
+
+impl SpectralProfile {
+    /// Computes the profile of a connected graph with at least one edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] for graphs with fewer than two
+    /// nodes or no edges, [`GraphError::Disconnected`] if `λ₂ ≈ 0`, and
+    /// propagates eigensolver failures.
+    pub fn compute(graph: &Graph) -> Result<Self> {
+        if graph.node_count() < 2 {
+            return Err(GraphError::InvalidParameter {
+                reason: "spectral profile requires at least two nodes".into(),
+            });
+        }
+        if graph.edge_count() == 0 {
+            return Err(GraphError::InvalidParameter {
+                reason: "spectral profile requires at least one edge".into(),
+            });
+        }
+        let lap = laplacian::laplacian(graph);
+        let eig = SymmetricEigen::compute(&lap)?;
+        let lambda2 = eig.second_smallest()?;
+        let lambda_max = eig.largest();
+        if lambda2 < 1e-9 {
+            return Err(GraphError::Disconnected);
+        }
+        let gap = lambda2 / (2.0 * graph.edge_count() as f64);
+        Ok(SpectralProfile {
+            algebraic_connectivity: lambda2,
+            laplacian_lambda_max: lambda_max,
+            gossip_spectral_gap: gap,
+            relaxation_ticks: 1.0 / gap,
+            edge_count: graph.edge_count(),
+            node_count: graph.node_count(),
+        })
+    }
+
+    /// Relaxation time expressed in absolute (Poisson-clock) time rather than
+    /// ticks: with `|E|` rate-1 clocks, ticks arrive at rate `|E|`, so the
+    /// absolute relaxation time is `relaxation_ticks / |E|`.
+    pub fn relaxation_time(&self) -> f64 {
+        self.relaxation_ticks / self.edge_count as f64
+    }
+
+    /// Spectral estimate of the ε-averaging time in absolute time, the
+    /// standard `Θ(log(1/ε) / (gap · |E|))` formula specialized to the
+    /// `ε = e⁻²`-style threshold of Definition 1 (`log(1/ε) = 2` plus a
+    /// `log n` term accounting for the worst-case initial vector).
+    pub fn vanilla_averaging_time_estimate(&self) -> f64 {
+        let log_term = 2.0 + (self.node_count as f64).ln();
+        log_term * self.relaxation_time()
+    }
+}
+
+/// Second-smallest eigenvalue of the combinatorial Laplacian.
+///
+/// # Errors
+///
+/// See [`SpectralProfile::compute`]; additionally this returns whatever the
+/// eigensolver reports for degenerate inputs.
+pub fn algebraic_connectivity(graph: &Graph) -> Result<f64> {
+    let lap = laplacian::laplacian(graph);
+    let eig = SymmetricEigen::compute(&lap)?;
+    Ok(eig.second_smallest()?)
+}
+
+/// The Fiedler vector: the unit-norm eigenvector of the Laplacian associated
+/// with the second-smallest eigenvalue.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] for graphs with fewer than two
+/// nodes and propagates eigensolver failures.
+pub fn fiedler_vector(graph: &Graph) -> Result<Vector> {
+    if graph.node_count() < 2 {
+        return Err(GraphError::InvalidParameter {
+            reason: "Fiedler vector requires at least two nodes".into(),
+        });
+    }
+    let lap = laplacian::laplacian(graph);
+    let eig = SymmetricEigen::compute(&lap)?;
+    Ok(eig.second_smallest_eigenvector()?.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    fn complete(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn complete_graph_connectivity_is_n() {
+        let n = 6;
+        let g = complete(n);
+        assert!((algebraic_connectivity(&g).unwrap() - n as f64).abs() < 1e-7);
+    }
+
+    #[test]
+    fn path_graph_connectivity_matches_formula() {
+        let n = 7;
+        let g = path(n);
+        let expected = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
+        assert!((algebraic_connectivity(&g).unwrap() - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn profile_of_complete_graph() {
+        let n = 8;
+        let g = complete(n);
+        let p = SpectralProfile::compute(&g).unwrap();
+        assert!((p.algebraic_connectivity - n as f64).abs() < 1e-6);
+        assert!((p.laplacian_lambda_max - n as f64).abs() < 1e-6);
+        let m = g.edge_count() as f64;
+        assert!((p.gossip_spectral_gap - n as f64 / (2.0 * m)).abs() < 1e-9);
+        assert!((p.relaxation_ticks - 2.0 * m / n as f64).abs() < 1e-6);
+        assert!((p.relaxation_time() - p.relaxation_ticks / m).abs() < 1e-12);
+        assert!(p.vanilla_averaging_time_estimate() > 0.0);
+        assert_eq!(p.node_count, n);
+        assert_eq!(p.edge_count, g.edge_count());
+    }
+
+    #[test]
+    fn profile_rejects_degenerate_graphs() {
+        assert!(SpectralProfile::compute(&Graph::from_edges(1, &[]).unwrap()).is_err());
+        assert!(SpectralProfile::compute(&Graph::from_edges(3, &[]).unwrap()).is_err());
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            SpectralProfile::compute(&disconnected),
+            Err(GraphError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn fiedler_vector_is_orthogonal_to_ones_and_separates_path() {
+        let g = path(6);
+        let f = fiedler_vector(&g).unwrap();
+        assert!((f.norm() - 1.0).abs() < 1e-9);
+        assert!(f.sum().abs() < 1e-8);
+        // On a path the Fiedler vector is monotone, so the two halves have
+        // opposite signs.
+        let first = f[0];
+        let last = f[5];
+        assert!(first * last < 0.0);
+        assert!(fiedler_vector(&Graph::from_edges(1, &[]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn denser_graphs_relax_faster() {
+        let sparse = path(8);
+        let dense = complete(8);
+        let ps = SpectralProfile::compute(&sparse).unwrap();
+        let pd = SpectralProfile::compute(&dense).unwrap();
+        assert!(pd.relaxation_time() < ps.relaxation_time());
+        assert!(
+            pd.vanilla_averaging_time_estimate() < ps.vanilla_averaging_time_estimate()
+        );
+    }
+}

@@ -1,0 +1,521 @@
+//! Eigenvalue computations for symmetric matrices.
+//!
+//! Two tools are provided:
+//!
+//! * [`SymmetricEigen`] — the cyclic Jacobi rotation algorithm, which computes
+//!   the full spectrum and eigenvectors of a symmetric matrix.  Laplacians of
+//!   the graphs in this workspace are small enough that the `O(n³)` sweep cost
+//!   is irrelevant, and Jacobi is simple, robust, and accurate.
+//! * [`PowerIteration`] — power iteration with optional projection, used to
+//!   estimate dominant eigenvalues and operator norms without forming the full
+//!   spectrum.
+//!
+//! The second-smallest Laplacian eigenvalue (the algebraic connectivity) and
+//! its eigenvector (the Fiedler vector) drive both spectral bisection in
+//! `gossip-graph` and the spectral estimate of the vanilla averaging time in
+//! `gossip-core`.
+
+use crate::{LinalgError, Matrix, Result, Vector};
+
+/// Full eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_linalg::{Matrix, SymmetricEigen};
+///
+/// let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]])?;
+/// let eig = SymmetricEigen::compute(&m)?;
+/// assert!((eig.eigenvalues()[0] - 1.0).abs() < 1e-9);
+/// assert!((eig.eigenvalues()[1] - 3.0).abs() < 1e-9);
+/// # Ok::<(), gossip_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    eigenvectors: Vec<Vector>,
+}
+
+impl SymmetricEigen {
+    /// Maximum number of Jacobi sweeps before giving up.
+    const MAX_SWEEPS: usize = 100;
+
+    /// Computes the eigendecomposition of a symmetric matrix.
+    ///
+    /// Eigenvalues are returned in ascending order, with eigenvectors in the
+    /// corresponding order; each eigenvector has unit Euclidean norm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] / [`LinalgError::NotSymmetric`] for
+    /// invalid input, [`LinalgError::Empty`] for a 0×0 matrix, and
+    /// [`LinalgError::NoConvergence`] if the off-diagonal mass does not vanish
+    /// within the sweep budget (which does not happen for well-formed
+    /// symmetric matrices).
+    pub fn compute(matrix: &Matrix) -> Result<Self> {
+        matrix.require_symmetric()?;
+        let n = matrix.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+
+        let mut a = matrix.clone();
+        let mut v = Matrix::identity(n);
+        let scale = matrix.frobenius_norm().max(1.0);
+        let tol = 1e-12 * scale;
+
+        let mut converged = false;
+        for _sweep in 0..Self::MAX_SWEEPS {
+            if a.off_diagonal_abs_sum() <= tol {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = a.get(p, q);
+                    if apq.abs() <= tol / (n * n) as f64 {
+                        continue;
+                    }
+                    let app = a.get(p, p);
+                    let aqq = a.get(q, q);
+                    let theta = (aqq - app) / (2.0 * apq);
+                    // Stable computation of tan of the rotation angle.
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+
+                    // Apply the rotation A <- Jᵀ A J on rows/cols p and q.
+                    for k in 0..n {
+                        let akp = a.get(k, p);
+                        let akq = a.get(k, q);
+                        a.set(k, p, c * akp - s * akq);
+                        a.set(k, q, s * akp + c * akq);
+                    }
+                    for k in 0..n {
+                        let apk = a.get(p, k);
+                        let aqk = a.get(q, k);
+                        a.set(p, k, c * apk - s * aqk);
+                        a.set(q, k, s * apk + c * aqk);
+                    }
+                    // Accumulate eigenvectors: V <- V J.
+                    for k in 0..n {
+                        let vkp = v.get(k, p);
+                        let vkq = v.get(k, q);
+                        v.set(k, p, c * vkp - s * vkq);
+                        v.set(k, q, s * vkp + c * vkq);
+                    }
+                }
+            }
+        }
+        if !converged && a.off_diagonal_abs_sum() > tol {
+            return Err(LinalgError::NoConvergence {
+                iterations: Self::MAX_SWEEPS,
+            });
+        }
+
+        let mut pairs: Vec<(f64, Vector)> = (0..n).map(|i| (a.get(i, i), v.column(i))).collect();
+        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("eigenvalues are finite"));
+        let (eigenvalues, eigenvectors): (Vec<f64>, Vec<Vector>) = pairs.into_iter().unzip();
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues in ascending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Unit-norm eigenvectors, ordered to match [`Self::eigenvalues`].
+    pub fn eigenvectors(&self) -> &[Vector] {
+        &self.eigenvectors
+    }
+
+    /// The smallest eigenvalue.
+    pub fn smallest(&self) -> f64 {
+        self.eigenvalues[0]
+    }
+
+    /// The largest eigenvalue.
+    pub fn largest(&self) -> f64 {
+        *self
+            .eigenvalues
+            .last()
+            .expect("decomposition is never empty")
+    }
+
+    /// The second-smallest eigenvalue.
+    ///
+    /// For a graph Laplacian this is the algebraic connectivity `λ₂`, which
+    /// governs the vanilla gossip averaging time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the matrix was 1×1.
+    pub fn second_smallest(&self) -> Result<f64> {
+        self.eigenvalues.get(1).copied().ok_or(LinalgError::Empty)
+    }
+
+    /// The eigenvector associated with the second-smallest eigenvalue (the
+    /// Fiedler vector for a Laplacian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the matrix was 1×1.
+    pub fn second_smallest_eigenvector(&self) -> Result<&Vector> {
+        self.eigenvectors.get(1).ok_or(LinalgError::Empty)
+    }
+
+    /// The ratio `λ_max / λ₂`, meaningful for Laplacians.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] if the matrix was 1×1.
+    pub fn condition_like_ratio(&self) -> Result<f64> {
+        Ok(self.largest() / self.second_smallest()?)
+    }
+}
+
+/// Power iteration for estimating dominant eigenvalues and operator norms.
+///
+/// # Examples
+///
+/// ```
+/// use gossip_linalg::{Matrix, PowerIteration};
+///
+/// let m = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 1.0]])?;
+/// let result = PowerIteration::new().run(&m)?;
+/// assert!((result.eigenvalue - 2.0).abs() < 1e-6);
+/// # Ok::<(), gossip_linalg::LinalgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerIteration {
+    max_iterations: usize,
+    tolerance: f64,
+    deflate: Vec<Vector>,
+}
+
+/// Outcome of a [`PowerIteration`] run.
+#[derive(Debug, Clone)]
+pub struct PowerIterationResult {
+    /// The estimated dominant eigenvalue (Rayleigh quotient at the last iterate).
+    pub eigenvalue: f64,
+    /// The associated unit-norm eigenvector estimate.
+    pub eigenvector: Vector,
+    /// Number of iterations actually performed.
+    pub iterations: usize,
+}
+
+impl Default for PowerIteration {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PowerIteration {
+    /// Creates a power iteration with default settings (1000 iterations,
+    /// tolerance `1e-12`).
+    pub fn new() -> Self {
+        PowerIteration {
+            max_iterations: 1000,
+            tolerance: 1e-12,
+            deflate: Vec::new(),
+        }
+    }
+
+    /// Sets the maximum number of iterations.
+    pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
+        self.max_iterations = max_iterations;
+        self
+    }
+
+    /// Sets the convergence tolerance on successive eigenvalue estimates.
+    pub fn with_tolerance(mut self, tolerance: f64) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Adds a direction that will be projected out at every step.
+    ///
+    /// Projecting out the all-ones vector lets power iteration on `I − L/d`
+    /// style matrices find the second eigenvalue directly.
+    pub fn with_deflation(mut self, direction: Vector) -> Self {
+        self.deflate.push(direction);
+        self
+    }
+
+    /// Runs the iteration on a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotSquare`] for a non-square matrix,
+    /// [`LinalgError::Empty`] for a 0×0 matrix, and
+    /// [`LinalgError::NoConvergence`] if the eigenvalue estimate has not
+    /// stabilized within the iteration budget.
+    pub fn run(&self, matrix: &Matrix) -> Result<PowerIterationResult> {
+        if !matrix.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: matrix.rows(),
+                cols: matrix.cols(),
+            });
+        }
+        let n = matrix.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+
+        // Deterministic, well-spread starting vector.
+        let mut x: Vector = (0..n)
+            .map(|i| 1.0 + ((i as f64) * 0.7511).sin())
+            .collect();
+        x = self.deflated(&x)?;
+        if x.norm() == 0.0 {
+            x = Vector::basis(n, 0);
+            x = self.deflated(&x)?;
+        }
+        let mut x = x.normalized().unwrap_or_else(|_| Vector::basis(n, 0));
+
+        let mut previous = f64::INFINITY;
+        for iteration in 1..=self.max_iterations {
+            let mut y = matrix.matvec(&x)?;
+            y = self.deflated(&y)?;
+            let norm = y.norm();
+            if norm == 0.0 {
+                // The matrix annihilates the deflated subspace: dominant
+                // eigenvalue there is exactly zero.
+                return Ok(PowerIterationResult {
+                    eigenvalue: 0.0,
+                    eigenvector: x,
+                    iterations: iteration,
+                });
+            }
+            let next = y.scaled(1.0 / norm);
+            let rayleigh = matrix.quadratic_form(&next)? / next.norm_squared();
+            if (rayleigh - previous).abs() <= self.tolerance * rayleigh.abs().max(1.0) {
+                return Ok(PowerIterationResult {
+                    eigenvalue: rayleigh,
+                    eigenvector: next,
+                    iterations: iteration,
+                });
+            }
+            previous = rayleigh;
+            x = next;
+        }
+        Err(LinalgError::NoConvergence {
+            iterations: self.max_iterations,
+        })
+    }
+
+    fn deflated(&self, x: &Vector) -> Result<Vector> {
+        let mut out = x.clone();
+        for d in &self.deflate {
+            if d.norm_squared() > 0.0 {
+                out = out.project_out(d)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    fn path_laplacian(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                let mut d = 0.0;
+                if i > 0 {
+                    d += 1.0;
+                }
+                if i + 1 < n {
+                    d += 1.0;
+                }
+                d
+            } else if i.abs_diff(j) == 1 {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn complete_laplacian(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| if i == j { (n - 1) as f64 } else { -1.0 })
+    }
+
+    #[test]
+    fn jacobi_two_by_two() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let eig = SymmetricEigen::compute(&m).unwrap();
+        assert!(close(eig.eigenvalues()[0], 1.0, 1e-9));
+        assert!(close(eig.eigenvalues()[1], 3.0, 1e-9));
+        assert!(close(eig.smallest(), 1.0, 1e-9));
+        assert!(close(eig.largest(), 3.0, 1e-9));
+    }
+
+    #[test]
+    fn jacobi_rejects_nonsymmetric() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap();
+        assert!(SymmetricEigen::compute(&m).is_err());
+    }
+
+    #[test]
+    fn jacobi_rejects_nonsquare() {
+        let m = Matrix::zeros(2, 3);
+        assert!(SymmetricEigen::compute(&m).is_err());
+    }
+
+    #[test]
+    fn jacobi_diagonal_matrix() {
+        let m = Matrix::from_diagonal(&[3.0, -1.0, 2.0]);
+        let eig = SymmetricEigen::compute(&m).unwrap();
+        assert!(close(eig.eigenvalues()[0], -1.0, 1e-10));
+        assert!(close(eig.eigenvalues()[1], 2.0, 1e-10));
+        assert!(close(eig.eigenvalues()[2], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn complete_graph_laplacian_spectrum() {
+        // K_n Laplacian has eigenvalues 0 and n (with multiplicity n-1).
+        let n = 6;
+        let eig = SymmetricEigen::compute(&complete_laplacian(n)).unwrap();
+        assert!(close(eig.smallest(), 0.0, 1e-8));
+        assert!(close(eig.second_smallest().unwrap(), n as f64, 1e-8));
+        assert!(close(eig.largest(), n as f64, 1e-8));
+    }
+
+    #[test]
+    fn path_laplacian_second_eigenvalue_matches_formula() {
+        // λ₂ of the path P_n Laplacian is 2(1 − cos(π/n)).
+        let n = 8;
+        let eig = SymmetricEigen::compute(&path_laplacian(n)).unwrap();
+        let expected = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
+        assert!(close(eig.second_smallest().unwrap(), expected, 1e-8));
+        assert!(close(eig.smallest(), 0.0, 1e-8));
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::compute(&m).unwrap();
+        for (lambda, vec) in eig.eigenvalues().iter().zip(eig.eigenvectors()) {
+            let mv = m.matvec(vec).unwrap();
+            let lv = vec.scaled(*lambda);
+            assert!(mv.distance(&lv).unwrap() < 1e-8);
+            assert!(close(vec.norm(), 1.0, 1e-9));
+        }
+    }
+
+    #[test]
+    fn second_smallest_errors_on_one_by_one() {
+        let m = Matrix::from_rows(&[vec![5.0]]).unwrap();
+        let eig = SymmetricEigen::compute(&m).unwrap();
+        assert!(eig.second_smallest().is_err());
+        assert!(eig.second_smallest_eigenvector().is_err());
+    }
+
+    #[test]
+    fn power_iteration_dominant_eigenvalue() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let result = PowerIteration::new().run(&m).unwrap();
+        assert!(close(result.eigenvalue, 3.0, 1e-6));
+        assert!(close(result.eigenvector.norm(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn power_iteration_with_deflation_finds_second() {
+        // For K_4 Laplacian, deflating the all-ones vector exposes λ = n = 4.
+        let n = 4;
+        let lap = complete_laplacian(n);
+        let result = PowerIteration::new()
+            .with_deflation(Vector::ones(n))
+            .run(&lap)
+            .unwrap();
+        assert!(close(result.eigenvalue, n as f64, 1e-6));
+    }
+
+    #[test]
+    fn power_iteration_zero_matrix() {
+        let m = Matrix::zeros(3, 3);
+        let result = PowerIteration::new().run(&m).unwrap();
+        assert!(close(result.eigenvalue, 0.0, 1e-12));
+    }
+
+    #[test]
+    fn power_iteration_rejects_nonsquare() {
+        let m = Matrix::zeros(2, 3);
+        assert!(PowerIteration::new().run(&m).is_err());
+    }
+
+    #[test]
+    fn power_iteration_builder() {
+        let p = PowerIteration::new()
+            .with_max_iterations(10)
+            .with_tolerance(1e-3);
+        let m = Matrix::identity(3);
+        let result = p.run(&m).unwrap();
+        assert!(close(result.eigenvalue, 1.0, 1e-3));
+        assert!(result.iterations <= 10);
+    }
+
+    #[test]
+    fn jacobi_and_power_iteration_agree() {
+        let m = Matrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, 4.0, 0.5],
+            vec![1.0, 0.5, 3.0],
+        ])
+        .unwrap();
+        let eig = SymmetricEigen::compute(&m).unwrap();
+        let power = PowerIteration::new().run(&m).unwrap();
+        assert!(close(eig.largest(), power.eigenvalue, 1e-6));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_eigenvalue_sum_equals_trace(n in 1usize..7, seed in 0u64..500) {
+            // Build a random symmetric matrix from a deterministic seed.
+            let m = Matrix::from_fn(n, n, |i, j| {
+                let (a, b) = if i <= j { (i, j) } else { (j, i) };
+                (((a * 31 + b * 17 + seed as usize * 7) % 19) as f64 - 9.0) / 3.0
+            });
+            let eig = SymmetricEigen::compute(&m).unwrap();
+            let sum: f64 = eig.eigenvalues().iter().sum();
+            prop_assert!((sum - m.trace().unwrap()).abs() < 1e-7);
+        }
+
+        #[test]
+        fn prop_eigenvalues_sorted(n in 2usize..7, seed in 0u64..500) {
+            let m = Matrix::from_fn(n, n, |i, j| {
+                let (a, b) = if i <= j { (i, j) } else { (j, i) };
+                (((a * 13 + b * 29 + seed as usize * 3) % 23) as f64 - 11.0) / 4.0
+            });
+            let eig = SymmetricEigen::compute(&m).unwrap();
+            for w in eig.eigenvalues().windows(2) {
+                prop_assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_laplacian_smallest_eigenvalue_zero(n in 2usize..8) {
+            let eig = SymmetricEigen::compute(&complete_laplacian(n)).unwrap();
+            prop_assert!(eig.smallest().abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Operator norms.
+//!
+//! The paper's Section 3 reasons about the ℓ2 → ℓ2 operator norm of the epoch
+//! operators `A_k` (the composition of all linear updates between consecutive
+//! non-convex ticks).  This module provides an exact spectral-norm computation
+//! via the eigenvalues of `AᵀA` and a cheaper power-iteration estimate, plus
+//! the induced 1- and ∞-norms for completeness.
+
+use crate::{Matrix, PowerIteration, Result, SymmetricEigen};
+
+/// Exact spectral norm `‖A‖₂ = σ_max(A)`, computed from the eigenvalues of
+/// `AᵀA` with the Jacobi solver.
+///
+/// # Errors
+///
+/// Propagates errors from the eigensolver (e.g. an empty matrix).
+///
+/// # Examples
+///
+/// ```
+/// use gossip_linalg::{Matrix, norms};
+///
+/// let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]])?;
+/// assert!((norms::spectral_norm(&a)? - 4.0).abs() < 1e-9);
+/// # Ok::<(), gossip_linalg::LinalgError>(())
+/// ```
+pub fn spectral_norm(matrix: &Matrix) -> Result<f64> {
+    let gram = matrix.transpose().matmul(matrix)?;
+    let eig = SymmetricEigen::compute(&gram)?;
+    Ok(eig.largest().max(0.0).sqrt())
+}
+
+/// Power-iteration estimate of the spectral norm.
+///
+/// Cheaper than [`spectral_norm`] for larger matrices; accurate to the given
+/// tolerance when the dominant singular value is separated.
+///
+/// # Errors
+///
+/// Propagates dimension and convergence errors from [`PowerIteration`].
+pub fn spectral_norm_estimate(matrix: &Matrix, max_iterations: usize) -> Result<f64> {
+    let gram = matrix.transpose().matmul(matrix)?;
+    let result = PowerIteration::new()
+        .with_max_iterations(max_iterations)
+        .with_tolerance(1e-10)
+        .run(&gram)?;
+    Ok(result.eigenvalue.max(0.0).sqrt())
+}
+
+/// Induced 1-norm (maximum absolute column sum).
+pub fn induced_one_norm(matrix: &Matrix) -> f64 {
+    (0..matrix.cols())
+        .map(|j| (0..matrix.rows()).map(|i| matrix.get(i, j).abs()).sum())
+        .fold(0.0_f64, f64::max)
+}
+
+/// Induced ∞-norm (maximum absolute row sum).
+pub fn induced_inf_norm(matrix: &Matrix) -> f64 {
+    (0..matrix.rows())
+        .map(|i| matrix.row(i).iter().map(|x| x.abs()).sum())
+        .fold(0.0_f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn spectral_norm_diagonal() {
+        let a = Matrix::from_diagonal(&[1.0, -5.0, 3.0]);
+        assert!((spectral_norm(&a).unwrap() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_norm_rank_one() {
+        // For the rank-one matrix uvᵀ the spectral norm is ‖u‖·‖v‖.
+        let a = Matrix::from_fn(2, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        let expected = (1.0f64 + 4.0).sqrt() * (1.0f64 + 4.0 + 9.0).sqrt();
+        assert!((spectral_norm(&a).unwrap() - expected).abs() < 1e-8);
+    }
+
+    #[test]
+    fn estimate_matches_exact() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0, 0.0], vec![0.0, 3.0, 1.0], vec![1.0, 0.0, 1.0]])
+            .unwrap();
+        let exact = spectral_norm(&a).unwrap();
+        let estimate = spectral_norm_estimate(&a, 5000).unwrap();
+        assert!((exact - estimate).abs() < 1e-6);
+    }
+
+    #[test]
+    fn induced_norms() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0], vec![3.0, 4.0]]).unwrap();
+        assert!((induced_one_norm(&a) - 6.0).abs() < 1e-12);
+        assert!((induced_inf_norm(&a) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_norms_are_one() {
+        let id = Matrix::identity(4);
+        assert!((spectral_norm(&id).unwrap() - 1.0).abs() < 1e-9);
+        assert!((induced_one_norm(&id) - 1.0).abs() < 1e-12);
+        assert!((induced_inf_norm(&id) - 1.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spectral_norm_bounded_by_frobenius(n in 1usize..5, seed in 0u64..300) {
+            let a = Matrix::from_fn(n, n, |i, j| {
+                (((i * 7 + j * 11 + seed as usize) % 17) as f64 - 8.0) / 4.0
+            });
+            let s = spectral_norm(&a).unwrap();
+            prop_assert!(s <= a.frobenius_norm() + 1e-8);
+            // And it dominates |A x| / |x| for a specific probe vector.
+            let x = crate::Vector::ones(n);
+            let ax = a.matvec(&x).unwrap();
+            prop_assert!(ax.norm() <= s * x.norm() + 1e-7);
+        }
+
+        #[test]
+        fn prop_norm_nonnegative_and_submultiplicative(n in 1usize..4, seed in 0u64..200) {
+            let a = Matrix::from_fn(n, n, |i, j| (((i + 3 * j + seed as usize) % 7) as f64) - 3.0);
+            let b = Matrix::from_fn(n, n, |i, j| (((2 * i + j + seed as usize) % 5) as f64) - 2.0);
+            let na = spectral_norm(&a).unwrap();
+            let nb = spectral_norm(&b).unwrap();
+            let nab = spectral_norm(&a.matmul(&b).unwrap()).unwrap();
+            prop_assert!(na >= 0.0 && nb >= 0.0);
+            prop_assert!(nab <= na * nb + 1e-7);
+        }
+    }
+}

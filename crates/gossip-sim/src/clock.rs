@@ -1,0 +1,387 @@
+//! Samplers of the asynchronous edge-tick point process.
+//!
+//! The paper's model attaches an i.i.d. rate-1 Poisson clock to every edge.
+//! Two standard, equivalent ways to sample the resulting sequence of
+//! `(time, edge)` events are provided:
+//!
+//! * [`EdgeClockQueue`] — simulate every edge's clock explicitly: keep the
+//!   next tick time of each edge in a priority queue and, after delivering an
+//!   event, re-arm that edge with a fresh `Exp(1)` inter-arrival time.  This
+//!   is the literal discrete-event view and also yields per-edge tick counts
+//!   (which Algorithm A needs: its non-convex update fires on every `k`-th
+//!   tick of the designated edge).
+//! * [`GlobalTickProcess`] — use the superposition property: the union of
+//!   `|E|` rate-1 processes is a rate-`|E|` Poisson process whose points are
+//!   assigned to edges uniformly at random.  This is cheaper (`O(1)` per
+//!   event) and is what large sweeps use.
+//!
+//! Both samplers are deterministic functions of their seed.
+
+use crate::{Result, SimError};
+use gossip_graph::{EdgeId, Graph};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A single edge-clock tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickEvent {
+    /// Absolute time of the tick.
+    pub time: f64,
+    /// The edge whose clock ticked.
+    pub edge: EdgeId,
+    /// How many times this particular edge has ticked so far, counting this
+    /// tick (so the first tick of an edge has `edge_tick_count == 1`).
+    pub edge_tick_count: u64,
+    /// How many ticks of any edge have occurred so far, counting this one.
+    pub global_tick_count: u64,
+}
+
+/// Common interface of the two tick samplers.
+pub trait TickProcess {
+    /// Produces the next tick event.
+    fn next_tick(&mut self) -> TickEvent;
+
+    /// The current simulated time (time of the last delivered event, `0.0`
+    /// before any event).
+    fn now(&self) -> f64;
+}
+
+/// Samples an `Exp(rate)` inter-arrival time.
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive.
+pub fn exponential_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    // Inverse-CDF sampling; `1 - u` avoids ln(0).
+    let u: f64 = rng.gen::<f64>();
+    -(1.0 - u).ln() / rate
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QueueEntry {
+    time: f64,
+    edge: EdgeId,
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("tick times are finite")
+            .then_with(|| other.edge.index().cmp(&self.edge.index()))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Literal per-edge Poisson clocks, delivered in time order.
+#[derive(Debug, Clone)]
+pub struct EdgeClockQueue {
+    queue: BinaryHeap<QueueEntry>,
+    rng: ChaCha8Rng,
+    edge_tick_counts: Vec<u64>,
+    global_tick_count: u64,
+    now: f64,
+    rate: f64,
+}
+
+impl EdgeClockQueue {
+    /// Creates clocks for every edge of `graph`, each with rate 1, seeded
+    /// deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoEdges`] if the graph has no edges.
+    pub fn new(graph: &Graph, seed: u64) -> Result<Self> {
+        Self::with_rate(graph, seed, 1.0)
+    }
+
+    /// Creates clocks with a custom common rate (useful in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoEdges`] if the graph has no edges, or
+    /// [`SimError::InvalidConfig`] for a non-positive rate.
+    pub fn with_rate(graph: &Graph, seed: u64, rate: f64) -> Result<Self> {
+        if graph.edge_count() == 0 {
+            return Err(SimError::NoEdges);
+        }
+        if rate <= 0.0 || !rate.is_finite() {
+            return Err(SimError::InvalidConfig {
+                reason: format!("clock rate must be positive and finite, got {rate}"),
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut queue = BinaryHeap::with_capacity(graph.edge_count());
+        for edge in graph.edge_ids() {
+            let t = exponential_sample(&mut rng, rate);
+            queue.push(QueueEntry { time: t, edge });
+        }
+        Ok(EdgeClockQueue {
+            queue,
+            rng,
+            edge_tick_counts: vec![0; graph.edge_count()],
+            global_tick_count: 0,
+            now: 0.0,
+            rate,
+        })
+    }
+
+    /// Number of ticks edge `edge` has delivered so far.
+    pub fn edge_tick_count(&self, edge: EdgeId) -> u64 {
+        self.edge_tick_counts[edge.index()]
+    }
+}
+
+impl TickProcess for EdgeClockQueue {
+    fn next_tick(&mut self) -> TickEvent {
+        let entry = self
+            .queue
+            .pop()
+            .expect("queue always holds one entry per edge");
+        self.now = entry.time;
+        self.global_tick_count += 1;
+        self.edge_tick_counts[entry.edge.index()] += 1;
+        // Re-arm this edge's clock.
+        let next = entry.time + exponential_sample(&mut self.rng, self.rate);
+        self.queue.push(QueueEntry {
+            time: next,
+            edge: entry.edge,
+        });
+        TickEvent {
+            time: entry.time,
+            edge: entry.edge,
+            edge_tick_count: self.edge_tick_counts[entry.edge.index()],
+            global_tick_count: self.global_tick_count,
+        }
+    }
+
+    fn now(&self) -> f64 {
+        self.now
+    }
+}
+
+/// Superposition sampler: a global rate-`|E|` Poisson process with uniform
+/// edge assignment.
+#[derive(Debug, Clone)]
+pub struct GlobalTickProcess {
+    rng: ChaCha8Rng,
+    edge_count: usize,
+    edge_tick_counts: Vec<u64>,
+    global_tick_count: u64,
+    now: f64,
+    rate_per_edge: f64,
+}
+
+impl GlobalTickProcess {
+    /// Creates the process for `graph` with rate 1 per edge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoEdges`] if the graph has no edges.
+    pub fn new(graph: &Graph, seed: u64) -> Result<Self> {
+        if graph.edge_count() == 0 {
+            return Err(SimError::NoEdges);
+        }
+        Ok(GlobalTickProcess {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            edge_count: graph.edge_count(),
+            edge_tick_counts: vec![0; graph.edge_count()],
+            global_tick_count: 0,
+            now: 0.0,
+            rate_per_edge: 1.0,
+        })
+    }
+
+    /// Number of ticks edge `edge` has delivered so far.
+    pub fn edge_tick_count(&self, edge: EdgeId) -> u64 {
+        self.edge_tick_counts[edge.index()]
+    }
+}
+
+impl TickProcess for GlobalTickProcess {
+    fn next_tick(&mut self) -> TickEvent {
+        let total_rate = self.rate_per_edge * self.edge_count as f64;
+        self.now += exponential_sample(&mut self.rng, total_rate);
+        let edge = EdgeId(self.rng.gen_range(0..self.edge_count));
+        self.global_tick_count += 1;
+        self.edge_tick_counts[edge.index()] += 1;
+        TickEvent {
+            time: self.now,
+            edge,
+            edge_tick_count: self.edge_tick_counts[edge.index()],
+            global_tick_count: self.global_tick_count,
+        }
+    }
+
+    fn now(&self) -> f64 {
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators::{complete, path};
+    use proptest::prelude::*;
+
+    #[test]
+    fn exponential_sample_mean() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential_sample(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_sample_rejects_zero_rate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = exponential_sample(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn queue_requires_edges_and_valid_rate() {
+        let empty = gossip_graph::Graph::from_edges(3, &[]).unwrap();
+        assert!(matches!(EdgeClockQueue::new(&empty, 1), Err(SimError::NoEdges)));
+        let g = path(3).unwrap();
+        assert!(EdgeClockQueue::with_rate(&g, 1, 0.0).is_err());
+        assert!(EdgeClockQueue::with_rate(&g, 1, f64::NAN).is_err());
+        assert!(matches!(
+            GlobalTickProcess::new(&empty, 1),
+            Err(SimError::NoEdges)
+        ));
+    }
+
+    #[test]
+    fn queue_events_are_time_ordered_and_counted() {
+        let g = complete(5).unwrap();
+        let mut clock = EdgeClockQueue::new(&g, 42).unwrap();
+        let mut last = 0.0;
+        let mut per_edge = vec![0u64; g.edge_count()];
+        for i in 1..=500u64 {
+            let ev = clock.next_tick();
+            assert!(ev.time >= last);
+            assert!(ev.edge.index() < g.edge_count());
+            last = ev.time;
+            per_edge[ev.edge.index()] += 1;
+            assert_eq!(ev.global_tick_count, i);
+            assert_eq!(ev.edge_tick_count, per_edge[ev.edge.index()]);
+            assert_eq!(clock.edge_tick_count(ev.edge), ev.edge_tick_count);
+            assert!((clock.now() - ev.time).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn queue_is_reproducible() {
+        let g = complete(4).unwrap();
+        let mut a = EdgeClockQueue::new(&g, 7).unwrap();
+        let mut b = EdgeClockQueue::new(&g, 7).unwrap();
+        for _ in 0..100 {
+            assert_eq!(a.next_tick(), b.next_tick());
+        }
+        let mut c = EdgeClockQueue::new(&g, 8).unwrap();
+        let differs = (0..100).any(|_| a.next_tick() != c.next_tick());
+        assert!(differs);
+    }
+
+    #[test]
+    fn global_process_counts_and_ordering() {
+        let g = complete(5).unwrap();
+        let mut clock = GlobalTickProcess::new(&g, 11).unwrap();
+        let mut last = 0.0;
+        for i in 1..=500u64 {
+            let ev = clock.next_tick();
+            assert!(ev.time > last);
+            last = ev.time;
+            assert_eq!(ev.global_tick_count, i);
+            assert!(ev.edge.index() < g.edge_count());
+        }
+        let total: u64 = (0..g.edge_count())
+            .map(|e| clock.edge_tick_count(EdgeId(e)))
+            .sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn tick_rate_matches_edge_count() {
+        // With |E| rate-1 clocks, about t·|E| ticks happen by time t.
+        let g = complete(6).unwrap(); // 15 edges
+        let horizon = 200.0;
+        for seed in [1u64, 2, 3] {
+            let mut clock = EdgeClockQueue::new(&g, seed).unwrap();
+            let mut count = 0u64;
+            loop {
+                let ev = clock.next_tick();
+                if ev.time > horizon {
+                    break;
+                }
+                count += 1;
+            }
+            let expected = horizon * g.edge_count() as f64;
+            let sd = expected.sqrt();
+            assert!(
+                (count as f64 - expected).abs() < 6.0 * sd,
+                "count {count} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_edge_counts_are_balanced_in_both_samplers() {
+        let g = complete(4).unwrap(); // 6 edges
+        let ticks = 6_000;
+        let mut q = EdgeClockQueue::new(&g, 3).unwrap();
+        let mut gp = GlobalTickProcess::new(&g, 3).unwrap();
+        for _ in 0..ticks {
+            q.next_tick();
+            gp.next_tick();
+        }
+        for e in g.edge_ids() {
+            for count in [q.edge_tick_count(e), gp.edge_tick_count(e)] {
+                let expected = ticks as f64 / g.edge_count() as f64;
+                assert!(
+                    (count as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                    "edge {e} count {count} far from {expected}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_exponential_samples_positive(seed in 0u64..1000, rate in 0.1f64..10.0) {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..50 {
+                let x = exponential_sample(&mut rng, rate);
+                prop_assert!(x >= 0.0);
+                prop_assert!(x.is_finite());
+            }
+        }
+
+        #[test]
+        fn prop_queue_time_strictly_increases_overall(seed in 0u64..200) {
+            let g = path(6).unwrap();
+            let mut clock = EdgeClockQueue::new(&g, seed).unwrap();
+            let mut last = -1.0;
+            for _ in 0..200 {
+                let ev = clock.next_tick();
+                prop_assert!(ev.time >= last);
+                last = ev.time;
+            }
+        }
+    }
+}

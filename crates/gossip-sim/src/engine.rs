@@ -1,0 +1,509 @@
+//! The asynchronous discrete-event driver.
+//!
+//! [`AsyncSimulator`] owns the state vector, a tick sampler, and a handler;
+//! [`AsyncSimulator::run`] repeatedly draws the next edge tick, invokes the
+//! handler, updates the trace, and evaluates the stopping rule.
+
+use crate::clock::{EdgeClockQueue, GlobalTickProcess, TickProcess};
+use crate::handler::{EdgeTickContext, EdgeTickHandler};
+use crate::stopping::{SimulationStatus, StopReason, StoppingRule};
+use crate::trace::{Trace, TraceConfig, TraceRecorder};
+use crate::values::NodeValues;
+use crate::{Result, SimError};
+use gossip_graph::{Graph, Partition};
+use serde::{Deserialize, Serialize};
+
+/// Which tick sampler the simulator uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockModel {
+    /// Explicit per-edge exponential clocks ([`EdgeClockQueue`]).
+    PerEdgeQueue,
+    /// Global rate-`|E|` process with uniform edge choice
+    /// ([`GlobalTickProcess`]).
+    GlobalUniform,
+}
+
+/// Configuration of an asynchronous run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// RNG seed; every run is a deterministic function of the seed.
+    pub seed: u64,
+    /// When to stop.
+    pub stopping_rule: StoppingRule,
+    /// Which tick sampler to use.
+    pub clock_model: ClockModel,
+    /// Optional trace recording.
+    pub trace: Option<TraceConfig>,
+    /// Optional partition, used for block statistics in traces and available
+    /// to analyses of the outcome.
+    pub partition: Option<Partition>,
+    /// Hard safety cap on the number of processed events, independent of the
+    /// stopping rule.
+    pub max_events: u64,
+    /// How often (in ticks) the stopping rule is evaluated.  Variance is
+    /// `O(n)` to compute, so sweeps over large graphs set this above 1.
+    pub check_every_ticks: u64,
+}
+
+impl SimulationConfig {
+    /// Creates a configuration with the given seed and defaults: Definition 1
+    /// stopping with a generous tick guard, per-edge clocks, no trace.
+    pub fn new(seed: u64) -> Self {
+        SimulationConfig {
+            seed,
+            stopping_rule: StoppingRule::default(),
+            clock_model: ClockModel::PerEdgeQueue,
+            trace: None,
+            partition: None,
+            max_events: 200_000_000,
+            check_every_ticks: 1,
+        }
+    }
+
+    /// Sets the stopping rule.
+    pub fn with_stopping_rule(mut self, rule: StoppingRule) -> Self {
+        self.stopping_rule = rule;
+        self
+    }
+
+    /// Selects the tick sampler.
+    pub fn with_clock_model(mut self, model: ClockModel) -> Self {
+        self.clock_model = model;
+        self
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Attaches a partition (for block statistics and downstream analysis).
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Sets the hard event cap.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Sets how often the stopping rule is evaluated.
+    pub fn with_check_every_ticks(mut self, ticks: u64) -> Self {
+        self.check_every_ticks = ticks.max(1);
+        self
+    }
+}
+
+/// Result of an asynchronous run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// The node values when the run stopped.
+    pub final_values: NodeValues,
+    /// Variance of the initial values.
+    pub initial_variance: f64,
+    /// Variance of the final values.
+    pub final_variance: f64,
+    /// Simulated time at which the run stopped.
+    pub elapsed_time: f64,
+    /// Number of edge ticks processed.
+    pub total_ticks: u64,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// The recorded trace, if tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+impl SimulationOutcome {
+    /// The normalized final variance `var X(T) / var X(0)`.
+    pub fn variance_ratio(&self) -> f64 {
+        if self.initial_variance <= 0.0 {
+            0.0
+        } else {
+            self.final_variance / self.initial_variance
+        }
+    }
+
+    /// `true` if the run stopped because it converged.
+    pub fn converged(&self) -> bool {
+        self.stop_reason == StopReason::Converged
+    }
+}
+
+enum Sampler {
+    Queue(EdgeClockQueue),
+    Global(GlobalTickProcess),
+}
+
+impl Sampler {
+    fn next_tick(&mut self) -> crate::clock::TickEvent {
+        match self {
+            Sampler::Queue(q) => q.next_tick(),
+            Sampler::Global(g) => g.next_tick(),
+        }
+    }
+}
+
+/// Asynchronous gossip simulator.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct AsyncSimulator<'g, H> {
+    graph: &'g Graph,
+    values: NodeValues,
+    handler: H,
+    config: SimulationConfig,
+    sampler: Sampler,
+    initial_variance: f64,
+}
+
+impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
+    /// Creates a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StateSizeMismatch`] if `initial` does not have one
+    /// value per node, [`SimError::NoEdges`] for an edgeless graph, and
+    /// [`SimError::NonFiniteValue`] for non-finite initial values.
+    pub fn new(
+        graph: &'g Graph,
+        initial: NodeValues,
+        handler: H,
+        config: SimulationConfig,
+    ) -> Result<Self> {
+        if initial.len() != graph.node_count() {
+            return Err(SimError::StateSizeMismatch {
+                nodes: graph.node_count(),
+                values: initial.len(),
+            });
+        }
+        initial.check_finite()?;
+        let sampler = match config.clock_model {
+            ClockModel::PerEdgeQueue => Sampler::Queue(EdgeClockQueue::new(graph, config.seed)?),
+            ClockModel::GlobalUniform => {
+                Sampler::Global(GlobalTickProcess::new(graph, config.seed)?)
+            }
+        };
+        let initial_variance = initial.variance();
+        Ok(AsyncSimulator {
+            graph,
+            values: initial,
+            handler,
+            config,
+            sampler,
+            initial_variance,
+        })
+    }
+
+    /// The current node values.
+    pub fn values(&self) -> &NodeValues {
+        &self.values
+    }
+
+    /// The graph being simulated.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// Borrows the handler (useful for instrumented handlers that accumulate
+    /// measurements during the run).
+    pub fn handler(&self) -> &H {
+        &self.handler
+    }
+
+    /// Consumes the simulator and returns the handler together with the final
+    /// node values.
+    pub fn into_parts(self) -> (H, NodeValues) {
+        (self.handler, self.values)
+    }
+
+    /// Runs until the stopping rule fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EventBudgetExhausted`] if the hard event cap is hit
+    /// before any stopping rule fires, and [`SimError::NonFiniteValue`] if the
+    /// handler produces NaN or infinite values.
+    pub fn run(&mut self) -> Result<SimulationOutcome> {
+        let mut recorder = self
+            .config
+            .trace
+            .clone()
+            .map(|cfg| TraceRecorder::new(cfg, self.config.partition.clone()));
+
+        // A run may be asked to stop before any event (e.g. zero initial
+        // variance).
+        let initial_status = SimulationStatus {
+            time: 0.0,
+            ticks: 0,
+            variance: self.initial_variance,
+            initial_variance: self.initial_variance,
+        };
+        if let Some(reason) = self.config.stopping_rule.evaluate(&initial_status) {
+            return Ok(self.finish(0.0, 0, reason, recorder));
+        }
+
+        let mut ticks = 0u64;
+        let mut time;
+        loop {
+            if ticks >= self.config.max_events {
+                return Err(SimError::EventBudgetExhausted { events: ticks });
+            }
+            let event = self.sampler.next_tick();
+            ticks = event.global_tick_count;
+            time = event.time;
+            let edge = self.graph.edge(event.edge)?;
+            let ctx = EdgeTickContext {
+                graph: self.graph,
+                edge,
+                edge_id: event.edge,
+                time,
+                edge_tick_count: event.edge_tick_count,
+                global_tick_count: event.global_tick_count,
+            };
+            self.handler.on_edge_tick(&mut self.values, &ctx);
+
+            if let Some(rec) = recorder.as_mut() {
+                rec.record(time, ticks, &self.values, false);
+            }
+
+            if ticks % self.config.check_every_ticks == 0 {
+                self.values.check_finite()?;
+                let status = SimulationStatus {
+                    time,
+                    ticks,
+                    variance: self.values.variance(),
+                    initial_variance: self.initial_variance,
+                };
+                if let Some(reason) = self.config.stopping_rule.evaluate(&status) {
+                    return Ok(self.finish(time, ticks, reason, recorder));
+                }
+            }
+        }
+    }
+
+    fn finish(
+        &mut self,
+        time: f64,
+        ticks: u64,
+        reason: StopReason,
+        recorder: Option<TraceRecorder>,
+    ) -> SimulationOutcome {
+        let trace = recorder.map(|mut rec| {
+            rec.record(time, ticks.max(1), &self.values, true);
+            rec.finish()
+        });
+        SimulationOutcome {
+            final_variance: self.values.variance(),
+            final_values: self.values.clone(),
+            initial_variance: self.initial_variance,
+            elapsed_time: time,
+            total_ticks: ticks,
+            stop_reason: reason,
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::NoOpHandler;
+    use gossip_graph::generators::{complete, dumbbell, path};
+    use gossip_graph::NodeId;
+
+    struct Vanilla;
+
+    impl EdgeTickHandler for Vanilla {
+        fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+            let (u, v) = ctx.edge.endpoints();
+            values.average_pair(u, v);
+        }
+
+        fn name(&self) -> &str {
+            "vanilla"
+        }
+    }
+
+    struct Poison;
+
+    impl EdgeTickHandler for Poison {
+        fn on_edge_tick(&mut self, values: &mut NodeValues, _ctx: &EdgeTickContext<'_>) {
+            values.set(NodeId(0), f64::NAN);
+        }
+    }
+
+    fn spike(n: usize) -> NodeValues {
+        let mut v = vec![0.0; n];
+        v[0] = n as f64;
+        NodeValues::from_values(v).unwrap()
+    }
+
+    #[test]
+    fn validates_state_size_and_edges() {
+        let g = complete(3).unwrap();
+        let bad = NodeValues::constant(4, 0.0);
+        assert!(matches!(
+            AsyncSimulator::new(&g, bad, NoOpHandler, SimulationConfig::new(1)),
+            Err(SimError::StateSizeMismatch { .. })
+        ));
+        let edgeless = gossip_graph::Graph::from_edges(3, &[]).unwrap();
+        assert!(matches!(
+            AsyncSimulator::new(
+                &edgeless,
+                NodeValues::constant(3, 0.0),
+                NoOpHandler,
+                SimulationConfig::new(1)
+            ),
+            Err(SimError::NoEdges)
+        ));
+    }
+
+    #[test]
+    fn zero_initial_variance_stops_immediately() {
+        let g = complete(3).unwrap();
+        let values = NodeValues::constant(3, 5.0);
+        let mut sim =
+            AsyncSimulator::new(&g, values, Vanilla, SimulationConfig::new(1)).unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.total_ticks, 0);
+        assert!(outcome.converged());
+        assert_eq!(outcome.variance_ratio(), 0.0);
+    }
+
+    #[test]
+    fn vanilla_gossip_converges_on_complete_graph() {
+        let g = complete(8).unwrap();
+        let initial = spike(8);
+        let mean = initial.mean();
+        let config = SimulationConfig::new(3)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(1e-8).or_max_ticks(1_000_000));
+        let mut sim = AsyncSimulator::new(&g, initial, Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(outcome.converged());
+        assert!(outcome.variance_ratio() < 1e-8);
+        // Mass conservation: mean preserved to numerical precision.
+        assert!((outcome.final_values.mean() - mean).abs() < 1e-9);
+        assert!(outcome.elapsed_time > 0.0);
+        assert!(outcome.total_ticks > 0);
+    }
+
+    #[test]
+    fn noop_handler_hits_time_limit() {
+        let g = complete(4).unwrap();
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::definition1().or_max_time(3.0));
+        let mut sim = AsyncSimulator::new(&g, spike(4), NoOpHandler, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.stop_reason, StopReason::TimeLimit);
+        assert!(outcome.elapsed_time >= 3.0);
+        assert!((outcome.variance_ratio() - 1.0).abs() < 1e-12);
+        assert!(!outcome.converged());
+    }
+
+    #[test]
+    fn event_budget_guard_fires() {
+        let g = complete(4).unwrap();
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.0))
+            .with_max_events(100);
+        let mut sim = AsyncSimulator::new(&g, spike(4), NoOpHandler, config).unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::EventBudgetExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn non_finite_values_detected() {
+        let g = complete(3).unwrap();
+        let config = SimulationConfig::new(5);
+        let mut sim = AsyncSimulator::new(&g, spike(3), Poison, config).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let g = dumbbell(4).unwrap().0;
+        let run = |seed: u64| {
+            let config = SimulationConfig::new(seed)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(100_000));
+            let mut sim = AsyncSimulator::new(&g, spike(8), Vanilla, config).unwrap();
+            sim.run().unwrap()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.total_ticks, b.total_ticks);
+        assert_eq!(a.final_values, b.final_values);
+        let c = run(12);
+        assert!(a.total_ticks != c.total_ticks || a.final_values != c.final_values);
+    }
+
+    #[test]
+    fn both_clock_models_converge() {
+        let g = complete(6).unwrap();
+        for model in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            let config = SimulationConfig::new(9)
+                .with_clock_model(model)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500_000));
+            let mut sim = AsyncSimulator::new(&g, spike(6), Vanilla, config).unwrap();
+            let outcome = sim.run().unwrap();
+            assert!(outcome.converged(), "model {model:?} did not converge");
+        }
+    }
+
+    #[test]
+    fn trace_recording_and_block_statistics() {
+        let (g, partition) = dumbbell(3).unwrap();
+        let initial =
+            NodeValues::from_values(vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0]).unwrap();
+        let config = SimulationConfig::new(2)
+            .with_partition(partition)
+            .with_trace(TraceConfig::every_ticks(1).with_block_statistics())
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000));
+        let mut sim = AsyncSimulator::new(&g, initial, Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        let trace = outcome.trace.as_ref().expect("trace requested");
+        assert!(!trace.is_empty());
+        // The first recorded point must carry block statistics.
+        assert!(trace.points()[0].block_mean_one.is_some());
+        // Variance at the last point matches the outcome.
+        let last = trace.last().unwrap();
+        assert!((last.variance - outcome.final_variance).abs() < 1e-12);
+        // The mean column is constant (mass conservation) across the trace.
+        for p in trace.points() {
+            assert!(p.mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn check_every_ticks_reduces_evaluations_but_still_stops() {
+        let g = path(10).unwrap();
+        let config = SimulationConfig::new(4)
+            .with_check_every_ticks(50)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000));
+        let mut sim = AsyncSimulator::new(&g, spike(10), Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(outcome.converged());
+        assert_eq!(outcome.total_ticks % 50, 0);
+    }
+
+    #[test]
+    fn config_builder_round_trip() {
+        let (_, partition) = dumbbell(2).unwrap();
+        let c = SimulationConfig::new(7)
+            .with_stopping_rule(StoppingRule::max_ticks(10))
+            .with_clock_model(ClockModel::GlobalUniform)
+            .with_trace(TraceConfig::every_ticks(2))
+            .with_partition(partition.clone())
+            .with_max_events(123)
+            .with_check_every_ticks(0);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.clock_model, ClockModel::GlobalUniform);
+        assert_eq!(c.max_events, 123);
+        assert_eq!(c.check_every_ticks, 1);
+        assert_eq!(c.partition, Some(partition));
+        assert!(c.trace.is_some());
+    }
+}

@@ -1,0 +1,168 @@
+//! The algorithm interface: what happens when an edge clock ticks.
+//!
+//! A gossip algorithm, in the paper's sense, is a rule that — at the tick of
+//! edge `e = (v, w)` — updates the values of the incident vertices based on
+//! present (and possibly past) values of `v`, `w`, and their neighbours.
+//! [`EdgeTickHandler::on_edge_tick`] receives the mutable state plus an
+//! [`EdgeTickContext`] carrying everything the rule is allowed to look at:
+//! the edge, the time, the per-edge tick counter (Algorithm A's schedule is
+//! phrased in terms of "the `k`-th tick of `e_c`"), and the graph for
+//! neighbourhood queries.
+
+use crate::values::NodeValues;
+use gossip_graph::{Edge, EdgeId, Graph};
+
+/// Everything an update rule may consult when an edge ticks.
+#[derive(Debug, Clone, Copy)]
+pub struct EdgeTickContext<'a> {
+    /// The graph being averaged over.
+    pub graph: &'a Graph,
+    /// The edge whose clock ticked.
+    pub edge: Edge,
+    /// Identifier of the ticking edge.
+    pub edge_id: EdgeId,
+    /// Absolute (continuous) time of the tick.
+    pub time: f64,
+    /// How many times this edge has ticked so far, including this tick
+    /// (the paper's `k`).
+    pub edge_tick_count: u64,
+    /// How many edge ticks have occurred in total, including this one.
+    pub global_tick_count: u64,
+}
+
+/// An asynchronous gossip update rule.
+///
+/// Implementations mutate `values` in place.  Linear, mass-conserving rules
+/// (everything studied in the paper) keep `values.sum()` exactly constant;
+/// the simulator's tests verify this for all bundled algorithms.
+pub trait EdgeTickHandler {
+    /// Applies the update for one tick of `ctx.edge`.
+    fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>);
+
+    /// A short human-readable name used in traces and experiment tables.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+impl<T: EdgeTickHandler + ?Sized> EdgeTickHandler for &mut T {
+    fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+        (**self).on_edge_tick(values, ctx);
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<T: EdgeTickHandler + ?Sized> EdgeTickHandler for Box<T> {
+    fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+        (**self).on_edge_tick(values, ctx);
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A handler that does nothing.  Useful as a baseline and in tests of the
+/// driver machinery itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoOpHandler;
+
+impl EdgeTickHandler for NoOpHandler {
+    fn on_edge_tick(&mut self, _values: &mut NodeValues, _ctx: &EdgeTickContext<'_>) {}
+
+    fn name(&self) -> &str {
+        "no-op"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_graph::generators::path;
+    use gossip_graph::NodeId;
+
+    struct Recorder {
+        seen: Vec<(EdgeId, u64)>,
+    }
+
+    impl EdgeTickHandler for Recorder {
+        fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+            self.seen.push((ctx.edge_id, ctx.edge_tick_count));
+            let (u, v) = ctx.edge.endpoints();
+            values.average_pair(u, v);
+        }
+
+        fn name(&self) -> &str {
+            "recorder"
+        }
+    }
+
+    #[test]
+    fn context_fields_are_passed_through() {
+        let graph = path(3).unwrap();
+        let mut values = NodeValues::from_values(vec![2.0, 0.0, 0.0]).unwrap();
+        let edge_id = EdgeId(0);
+        let edge = graph.edge(edge_id).unwrap();
+        let ctx = EdgeTickContext {
+            graph: &graph,
+            edge,
+            edge_id,
+            time: 1.5,
+            edge_tick_count: 3,
+            global_tick_count: 10,
+        };
+        let mut recorder = Recorder { seen: Vec::new() };
+        recorder.on_edge_tick(&mut values, &ctx);
+        assert_eq!(recorder.seen, vec![(edge_id, 3)]);
+        assert_eq!(values.get(NodeId(0)), 1.0);
+        assert_eq!(values.get(NodeId(1)), 1.0);
+        assert_eq!(recorder.name(), "recorder");
+    }
+
+    #[test]
+    fn noop_handler_leaves_state_unchanged() {
+        let graph = path(2).unwrap();
+        let mut values = NodeValues::from_values(vec![1.0, -1.0]).unwrap();
+        let ctx = EdgeTickContext {
+            graph: &graph,
+            edge: graph.edge(EdgeId(0)).unwrap(),
+            edge_id: EdgeId(0),
+            time: 0.1,
+            edge_tick_count: 1,
+            global_tick_count: 1,
+        };
+        let mut handler = NoOpHandler;
+        handler.on_edge_tick(&mut values, &ctx);
+        assert_eq!(values.as_slice(), &[1.0, -1.0]);
+        assert_eq!(handler.name(), "no-op");
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let graph = path(2).unwrap();
+        let mut values = NodeValues::from_values(vec![3.0, 1.0]).unwrap();
+        let ctx = EdgeTickContext {
+            graph: &graph,
+            edge: graph.edge(EdgeId(0)).unwrap(),
+            edge_id: EdgeId(0),
+            time: 0.2,
+            edge_tick_count: 1,
+            global_tick_count: 1,
+        };
+        let mut inner = Recorder { seen: Vec::new() };
+        {
+            let mut by_ref: &mut Recorder = &mut inner;
+            <&mut Recorder as EdgeTickHandler>::on_edge_tick(&mut by_ref, &mut values, &ctx);
+            assert_eq!(<&mut Recorder as EdgeTickHandler>::name(&by_ref), "recorder");
+        }
+        assert_eq!(inner.seen.len(), 1);
+
+        let mut boxed: Box<dyn EdgeTickHandler> = Box::new(NoOpHandler);
+        boxed.on_edge_tick(&mut values, &ctx);
+        assert_eq!(boxed.name(), "no-op");
+        assert_eq!(values.as_slice(), &[2.0, 2.0]);
+    }
+}

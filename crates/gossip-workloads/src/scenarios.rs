@@ -1,0 +1,296 @@
+//! Named sparse-cut scenarios.
+//!
+//! A [`Scenario`] is a declarative description of a graph family with a
+//! sparse cut; [`Scenario::instantiate`] materializes it (seeded, hence
+//! reproducible) into a [`ScenarioInstance`] carrying the graph, its
+//! canonical partition, and a human-readable name for experiment tables.
+
+use crate::{Result, WorkloadError};
+use gossip_graph::generators;
+use gossip_graph::{Graph, Partition};
+use serde::{Deserialize, Serialize};
+
+/// A declarative description of a sparse-cut workload graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Two cliques `K_half` joined by one bridge edge (the paper's example).
+    Dumbbell {
+        /// Nodes per clique.
+        half: usize,
+    },
+    /// Two cliques of different sizes joined by one bridge edge.
+    Barbell {
+        /// Nodes in the left clique.
+        left: usize,
+        /// Nodes in the right clique.
+        right: usize,
+    },
+    /// Two connected Erdős–Rényi clusters joined by `bridges` edges.
+    BridgedClusters {
+        /// Nodes in the first cluster.
+        n1: usize,
+        /// Nodes in the second cluster.
+        n2: usize,
+        /// Number of bridge edges.
+        bridges: usize,
+        /// Within-cluster edge probability.
+        p: f64,
+    },
+    /// A two-block stochastic block model.
+    TwoBlockSbm {
+        /// Nodes in the first block.
+        n1: usize,
+        /// Nodes in the second block.
+        n2: usize,
+        /// Within-block edge probability.
+        p_in: f64,
+        /// Cross-block edge probability.
+        p_out: f64,
+    },
+    /// Two grids connected by a narrow corridor.
+    GridCorridor {
+        /// Rows per grid.
+        rows: usize,
+        /// Columns per grid.
+        cols: usize,
+        /// Number of corridor edges (≤ rows).
+        corridor_width: usize,
+    },
+}
+
+impl Scenario {
+    /// Builds the graph and its canonical partition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator parameter errors.
+    pub fn instantiate(&self, seed: u64) -> Result<ScenarioInstance> {
+        let (graph, partition) = match self {
+            Scenario::Dumbbell { half } => generators::dumbbell(*half)?,
+            Scenario::Barbell { left, right } => generators::barbell(*left, *right)?,
+            Scenario::BridgedClusters { n1, n2, bridges, p } => {
+                generators::bridged_clusters(*n1, *n2, *bridges, *p, seed)?
+            }
+            Scenario::TwoBlockSbm {
+                n1,
+                n2,
+                p_in,
+                p_out,
+            } => generators::two_block_sbm(*n1, *n2, *p_in, *p_out, seed)?,
+            Scenario::GridCorridor {
+                rows,
+                cols,
+                corridor_width,
+            } => generators::grid_corridor(*rows, *cols, *corridor_width)?,
+        };
+        Ok(ScenarioInstance {
+            name: self.name(),
+            seed,
+            graph,
+            partition,
+        })
+    }
+
+    /// A short name used in experiment tables.
+    pub fn name(&self) -> String {
+        match self {
+            Scenario::Dumbbell { half } => format!("dumbbell-{half}"),
+            Scenario::Barbell { left, right } => format!("barbell-{left}-{right}"),
+            Scenario::BridgedClusters { n1, n2, bridges, .. } => {
+                format!("bridged-{n1}-{n2}-b{bridges}")
+            }
+            Scenario::TwoBlockSbm { n1, n2, .. } => format!("sbm-{n1}-{n2}"),
+            Scenario::GridCorridor {
+                rows,
+                cols,
+                corridor_width,
+            } => format!("grid-corridor-{rows}x{cols}-w{corridor_width}"),
+        }
+    }
+
+    /// Total number of nodes the instantiated graph will have.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Scenario::Dumbbell { half } => 2 * half,
+            Scenario::Barbell { left, right } => left + right,
+            Scenario::BridgedClusters { n1, n2, .. } => n1 + n2,
+            Scenario::TwoBlockSbm { n1, n2, .. } => n1 + n2,
+            Scenario::GridCorridor { rows, cols, .. } => 2 * rows * cols,
+        }
+    }
+}
+
+/// A materialized scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioInstance {
+    /// Scenario name (from [`Scenario::name`]).
+    pub name: String,
+    /// Seed used to instantiate the scenario.
+    pub seed: u64,
+    /// The graph.
+    pub graph: Graph,
+    /// The canonical sparse-cut partition.
+    pub partition: Partition,
+}
+
+impl ScenarioInstance {
+    /// Validates that the instance satisfies the paper's Notation 1
+    /// (connected graph, both blocks internally connected, non-empty cut).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::InvalidParameter`] describing the violated
+    /// requirement.
+    pub fn validate_notation1(&self) -> Result<()> {
+        if !gossip_graph::traversal::is_connected(&self.graph) {
+            return Err(WorkloadError::InvalidParameter {
+                reason: format!("scenario {} is not connected", self.name),
+            });
+        }
+        if self.partition.cut_edge_count() == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                reason: format!("scenario {} has an empty cut", self.name),
+            });
+        }
+        self.partition
+            .require_blocks_connected(&self.graph)
+            .map_err(|_| WorkloadError::InvalidParameter {
+                reason: format!("scenario {} has a disconnected block", self.name),
+            })
+    }
+}
+
+/// The standard collection of scenarios used by experiment E8 (robustness
+/// beyond the clean dumbbell), at a size comparable to `total_nodes`.
+pub fn robustness_suite(total_nodes: usize) -> Vec<Scenario> {
+    let half = (total_nodes / 2).max(4);
+    let other = total_nodes - half;
+    // Aim for roughly three cross-block edges in the SBM so the cut stays
+    // sparse at every suite size.
+    let p_out = (3.0 / (half * other) as f64).min(0.5);
+    vec![
+        Scenario::Dumbbell { half },
+        Scenario::BridgedClusters {
+            n1: half,
+            n2: other,
+            bridges: 2,
+            p: 0.4,
+        },
+        Scenario::TwoBlockSbm {
+            n1: half,
+            n2: other,
+            p_in: 0.5,
+            p_out,
+        },
+        Scenario::GridCorridor {
+            rows: 4,
+            cols: (half / 4).max(2),
+            corridor_width: 1,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_instantiate_and_satisfy_notation1() {
+        let scenarios = vec![
+            Scenario::Dumbbell { half: 6 },
+            Scenario::Barbell { left: 4, right: 9 },
+            Scenario::BridgedClusters {
+                n1: 8,
+                n2: 10,
+                bridges: 3,
+                p: 0.5,
+            },
+            Scenario::TwoBlockSbm {
+                n1: 8,
+                n2: 10,
+                p_in: 0.7,
+                p_out: 0.05,
+            },
+            Scenario::GridCorridor {
+                rows: 3,
+                cols: 4,
+                corridor_width: 2,
+            },
+        ];
+        for scenario in scenarios {
+            let instance = scenario.instantiate(42).unwrap();
+            assert_eq!(instance.graph.node_count(), scenario.node_count());
+            assert!(!instance.name.is_empty());
+            assert_eq!(instance.seed, 42);
+            instance.validate_notation1().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_scenarios_propagate_errors() {
+        assert!(Scenario::Dumbbell { half: 1 }.instantiate(0).is_err());
+        assert!(Scenario::BridgedClusters {
+            n1: 0,
+            n2: 5,
+            bridges: 1,
+            p: 0.5
+        }
+        .instantiate(0)
+        .is_err());
+        assert!(Scenario::GridCorridor {
+            rows: 3,
+            cols: 3,
+            corridor_width: 9
+        }
+        .instantiate(0)
+        .is_err());
+    }
+
+    #[test]
+    fn names_include_parameters() {
+        assert_eq!(Scenario::Dumbbell { half: 16 }.name(), "dumbbell-16");
+        assert_eq!(
+            Scenario::GridCorridor {
+                rows: 4,
+                cols: 5,
+                corridor_width: 2
+            }
+            .name(),
+            "grid-corridor-4x5-w2"
+        );
+        assert!(Scenario::TwoBlockSbm {
+            n1: 3,
+            n2: 4,
+            p_in: 0.5,
+            p_out: 0.1
+        }
+        .name()
+        .contains("sbm"));
+    }
+
+    #[test]
+    fn seeded_random_scenarios_are_reproducible() {
+        let s = Scenario::BridgedClusters {
+            n1: 10,
+            n2: 12,
+            bridges: 2,
+            p: 0.4,
+        };
+        let a = s.instantiate(7).unwrap();
+        let b = s.instantiate(7).unwrap();
+        assert_eq!(a.graph, b.graph);
+        let c = s.instantiate(8).unwrap();
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn robustness_suite_is_valid() {
+        let suite = robustness_suite(24);
+        assert_eq!(suite.len(), 4);
+        for scenario in suite {
+            let instance = scenario.instantiate(11).unwrap();
+            instance.validate_notation1().unwrap();
+            assert!(instance.partition.cut_edge_count() >= 1);
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Parameter sweeps.
+//!
+//! Each experiment varies one knob while holding the rest fixed; the helpers
+//! here produce the standard grids (graph sizes doubling from 16 to 512, cut
+//! widths, epoch constants) so that benches, examples, and the harness all
+//! agree on what was measured.
+
+use crate::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional parameter sweep with a label for tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sweep<T> {
+    /// Name of the swept parameter (e.g. `"n"`, `"|E12|"`, `"C"`).
+    pub parameter: String,
+    /// The values to sweep over, in the order they are run.
+    pub values: Vec<T>,
+}
+
+impl<T> Sweep<T> {
+    /// Creates a sweep.
+    pub fn new(parameter: impl Into<String>, values: Vec<T>) -> Self {
+        Sweep {
+            parameter: parameter.into(),
+            values,
+        }
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.values.iter()
+    }
+}
+
+/// Doubling total graph sizes `min_n, 2·min_n, …` up to `max_n` inclusive.
+pub fn doubling_sizes(min_n: usize, max_n: usize) -> Sweep<usize> {
+    let mut values = Vec::new();
+    let mut n = min_n.max(2);
+    while n <= max_n {
+        values.push(n);
+        n *= 2;
+    }
+    Sweep::new("n", values)
+}
+
+/// The dumbbell size sweep used by experiments E1–E3: total sizes doubling
+/// from `min_n` to `max_n`, each mapped to a [`Scenario::Dumbbell`] with
+/// `half = n/2`.
+pub fn dumbbell_size_sweep(min_n: usize, max_n: usize) -> Sweep<Scenario> {
+    let sizes = doubling_sizes(min_n.max(8), max_n);
+    Sweep::new(
+        "n",
+        sizes
+            .values
+            .iter()
+            .map(|&n| Scenario::Dumbbell { half: n / 2 })
+            .collect(),
+    )
+}
+
+/// The cut-width sweep used by experiment E6: bridged ER clusters of fixed
+/// size with `1, 2, 4, …` bridge edges up to `max_bridges`.
+pub fn cut_width_sweep(cluster_size: usize, p: f64, max_bridges: usize) -> Sweep<Scenario> {
+    let mut values = Vec::new();
+    let mut bridges = 1usize;
+    while bridges <= max_bridges {
+        values.push(Scenario::BridgedClusters {
+            n1: cluster_size,
+            n2: cluster_size,
+            bridges,
+            p,
+        });
+        bridges *= 2;
+    }
+    Sweep::new("|E12|", values)
+}
+
+/// The epoch-constant sweep used by experiment E6's second half: the paper's
+/// `C` over `{1, 2, 4, 8}` (plus any extras supplied).
+pub fn epoch_constant_sweep(extra: &[f64]) -> Sweep<f64> {
+    let mut values = vec![1.0, 2.0, 4.0, 8.0];
+    values.extend_from_slice(extra);
+    Sweep::new("C", values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_sizes_basic() {
+        let s = doubling_sizes(16, 128);
+        assert_eq!(s.values, vec![16, 32, 64, 128]);
+        assert_eq!(s.parameter, "n");
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert!(doubling_sizes(100, 50).is_empty());
+        // Degenerate minimum is clamped to 2.
+        assert_eq!(doubling_sizes(0, 4).values, vec![2, 4]);
+    }
+
+    #[test]
+    fn dumbbell_sweep_halves_sizes() {
+        let s = dumbbell_size_sweep(16, 64);
+        assert_eq!(s.len(), 3);
+        for (scenario, expected_n) in s.iter().zip([16usize, 32, 64]) {
+            assert_eq!(scenario.node_count(), expected_n);
+            assert!(matches!(scenario, Scenario::Dumbbell { .. }));
+        }
+    }
+
+    #[test]
+    fn cut_width_sweep_doubles_bridges() {
+        let s = cut_width_sweep(12, 0.5, 8);
+        assert_eq!(s.len(), 4);
+        let widths: Vec<usize> = s
+            .iter()
+            .map(|sc| match sc {
+                Scenario::BridgedClusters { bridges, .. } => *bridges,
+                _ => panic!("unexpected scenario"),
+            })
+            .collect();
+        assert_eq!(widths, vec![1, 2, 4, 8]);
+        assert_eq!(s.parameter, "|E12|");
+    }
+
+    #[test]
+    fn epoch_constant_sweep_appends_extras() {
+        let s = epoch_constant_sweep(&[16.0]);
+        assert_eq!(s.values, vec![1.0, 2.0, 4.0, 8.0, 16.0]);
+        assert_eq!(epoch_constant_sweep(&[]).len(), 4);
+    }
+}

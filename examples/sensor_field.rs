@@ -1,0 +1,111 @@
+//! A domain-flavoured scenario: two rooms full of densely meshed temperature
+//! sensors, connected only through a single doorway radio link, must agree on
+//! the building-wide average temperature.
+//!
+//! Each room's mesh is internally well connected (every sensor hears most of
+//! its roommates), but the rooms disagree systematically (one is warmer), so
+//! the disagreement is aligned with the sparse cut: exactly the regime where
+//! the paper shows convex gossip stalls and the non-convex Algorithm A helps.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example sensor_field
+//! ```
+
+use sparse_cut_gossip::prelude::*;
+
+fn room_temperatures(partition: &Partition, warm: f64, cool: f64, wiggle: f64) -> NodeValues {
+    let mut values = vec![0.0; partition.node_count()];
+    for (i, &node) in partition.block_one().iter().enumerate() {
+        values[node.index()] = warm + wiggle * ((i % 5) as f64 - 2.0) / 10.0;
+    }
+    for (i, &node) in partition.block_two().iter().enumerate() {
+        values[node.index()] = cool + wiggle * ((i % 7) as f64 - 3.0) / 10.0;
+    }
+    NodeValues::from_values(values).expect("finite temperatures")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two rooms of 60 sensors each, densely meshed inside (each pair of
+    // roommates is linked with probability 0.8), joined by one doorway link.
+    let scenario = Scenario::BridgedClusters {
+        n1: 60,
+        n2: 60,
+        bridges: 1,
+        p: 0.8,
+    };
+    let instance = scenario.instantiate(2024)?;
+    let graph = &instance.graph;
+    let partition = &instance.partition;
+    println!(
+        "sensor field: {} ({} sensors, {} links, doorway width {})",
+        instance.name,
+        graph.node_count(),
+        graph.edge_count(),
+        partition.cut_edge_count()
+    );
+
+    let initial = room_temperatures(partition, 24.0, 18.0, 1.0);
+    let true_average = initial.mean();
+    println!("true average temperature: {true_average:.3} °C");
+    println!(
+        "Theorem 1: any convex protocol needs ≳ {:.0} time units here",
+        theorem1_lower_bound(partition)
+    );
+    println!();
+    println!("| protocol | time to Definition-1 accuracy | max sensor error (°C) |");
+    println!("| --- | --- | --- |");
+
+    let mut vanilla_time = None;
+    let mut algorithm_a_time = None;
+    for (name, handler) in [
+        (
+            "vanilla gossip",
+            Box::new(VanillaGossip::new()) as Box<dyn EdgeTickHandler>,
+        ),
+        (
+            "momentum gossip (0.7)",
+            Box::new(TwoTimeScaleGossip::for_graph(graph, 0.7)?),
+        ),
+        (
+            "Algorithm A",
+            Box::new(SparseCutAlgorithm::from_partition(
+                graph,
+                partition,
+                SparseCutConfig::new().with_epoch_constant(2.0),
+            )?),
+        ),
+    ] {
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::definition1().or_max_time(100_000.0))
+            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+        let mut simulator = AsyncSimulator::new(graph, initial.clone(), handler, config)?;
+        let outcome = simulator.run()?;
+        let max_error = outcome
+            .final_values
+            .as_slice()
+            .iter()
+            .fold(0.0_f64, |acc, &x| acc.max((x - true_average).abs()));
+        println!(
+            "| {} | {:.1} | {:.3} |",
+            name, outcome.elapsed_time, max_error
+        );
+        match name {
+            "vanilla gossip" => vanilla_time = Some(outcome.elapsed_time),
+            "Algorithm A" => algorithm_a_time = Some(outcome.elapsed_time),
+            _ => {}
+        }
+    }
+
+    println!();
+    if let (Some(vanilla), Some(algorithm_a)) = (vanilla_time, algorithm_a_time) {
+        println!(
+            "Algorithm A crosses the doorway with one large non-convex transfer per epoch: \
+             it reaches Definition-1 accuracy {:.1}x faster than vanilla gossip on this \
+             instance (and the gap widens as the rooms grow).",
+            vanilla / algorithm_a.max(1e-9)
+        );
+    }
+    Ok(())
+}

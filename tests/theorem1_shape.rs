@@ -1,0 +1,89 @@
+//! Integration test for the shape of Theorem 1: on the dumbbell graph every
+//! convex (class `C`) algorithm's measured averaging time scales with the
+//! `min(n₁,n₂)/|E₁₂|` lower bound, and in particular grows roughly linearly
+//! with `n`.
+
+use sparse_cut_gossip::prelude::*;
+
+fn measure<H, F>(half: usize, factory: F, seed: u64) -> (f64, f64)
+where
+    H: EdgeTickHandler,
+    F: Fn() -> H,
+{
+    let (graph, partition) = dumbbell(half).expect("valid dumbbell");
+    let estimator = AveragingTimeEstimator::new(
+        EstimatorConfig::new(seed)
+            .with_runs(4)
+            .with_max_time(80.0 * theorem1_lower_bound(&partition) + 200.0)
+            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
+    );
+    let estimate = estimator
+        .estimate(&graph, &partition, factory)
+        .expect("estimation succeeds");
+    assert!(
+        estimate.fully_confirmed(),
+        "runs must converge below the confirmation level"
+    );
+    (estimate.averaging_time, theorem1_lower_bound(&partition))
+}
+
+#[test]
+fn vanilla_gossip_is_lower_bounded_and_grows_with_n() {
+    let (t_small, bound_small) = measure(8, VanillaGossip::new, 11);
+    let (t_large, bound_large) = measure(32, VanillaGossip::new, 12);
+    // The measured time respects (a constant times) the Theorem 1 bound.
+    assert!(
+        t_small > 0.3 * bound_small,
+        "T_av {t_small} too small against bound {bound_small}"
+    );
+    assert!(
+        t_large > 0.3 * bound_large,
+        "T_av {t_large} too small against bound {bound_large}"
+    );
+    // Quadrupling n roughly quadruples the averaging time (allow a wide
+    // stochastic margin: at least 2x growth).
+    assert!(
+        t_large > 2.0 * t_small,
+        "expected roughly linear growth, got {t_small} -> {t_large}"
+    );
+}
+
+#[test]
+fn other_convex_members_are_also_cut_limited() {
+    let (weighted, bound) = measure(16, || WeightedConvexGossip::new(0.7).unwrap(), 21);
+    assert!(
+        weighted > 0.3 * bound,
+        "weighted convex gossip {weighted} beat the bound {bound}"
+    );
+    let (random_neighbor, bound) = measure(16, || RandomNeighborGossip::new(77), 22);
+    assert!(
+        random_neighbor > 0.3 * bound,
+        "random-neighbour gossip {random_neighbor} beat the bound {bound}"
+    );
+}
+
+#[test]
+fn lower_bound_weakens_as_the_cut_widens() {
+    // With more bridge edges the Theorem 1 bound shrinks and vanilla gossip
+    // indeed gets faster.
+    let time_with_bridges = |bridges: usize, seed: u64| {
+        let (graph, partition) =
+            bridged_clusters(12, 12, bridges, 0.6, 3).expect("valid clusters");
+        let estimator = AveragingTimeEstimator::new(
+            EstimatorConfig::new(seed)
+                .with_runs(4)
+                .with_max_time(5_000.0)
+                .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
+        );
+        estimator
+            .estimate(&graph, &partition, VanillaGossip::new)
+            .expect("estimation succeeds")
+            .averaging_time
+    };
+    let narrow = time_with_bridges(1, 31);
+    let wide = time_with_bridges(8, 32);
+    assert!(
+        narrow > 1.5 * wide,
+        "a single-bridge cut ({narrow}) should be much slower than an 8-bridge cut ({wide})"
+    );
+}

@@ -1,0 +1,107 @@
+//! Integration test for the shape of Theorem 2: Algorithm A's averaging time
+//! on the dumbbell stays polylogarithmic — it grows far slower than the
+//! convex algorithms' linear growth, so the speed-up widens with `n`.
+
+use sparse_cut_gossip::prelude::*;
+
+fn averaging_time<H, F>(half: usize, factory: F, seed: u64) -> f64
+where
+    H: EdgeTickHandler,
+    F: Fn() -> H,
+{
+    let (graph, partition) = dumbbell(half).expect("valid dumbbell");
+    let estimator = AveragingTimeEstimator::new(
+        EstimatorConfig::new(seed)
+            .with_runs(4)
+            .with_max_time(80.0 * theorem1_lower_bound(&partition) + 400.0)
+            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
+    );
+    estimator
+        .estimate(&graph, &partition, factory)
+        .expect("estimation succeeds")
+        .averaging_time
+}
+
+fn algorithm_a_factory<'a>(
+    graph: &'a Graph,
+    partition: &'a Partition,
+) -> impl Fn() -> SparseCutAlgorithm + 'a {
+    move || {
+        SparseCutAlgorithm::from_partition(
+            graph,
+            partition,
+            SparseCutConfig::new().with_epoch_constant(2.0),
+        )
+        .expect("valid partition")
+    }
+}
+
+#[test]
+fn algorithm_a_beats_vanilla_at_moderate_sizes() {
+    let half = 24;
+    let (graph, partition) = dumbbell(half).expect("valid dumbbell");
+    let vanilla = averaging_time(half, VanillaGossip::new, 41);
+    let algo = averaging_time(half, algorithm_a_factory(&graph, &partition), 42);
+    assert!(
+        algo < vanilla,
+        "Algorithm A ({algo}) should beat vanilla ({vanilla}) at n = {}",
+        2 * half
+    );
+}
+
+#[test]
+fn algorithm_a_growth_is_much_slower_than_vanilla_growth() {
+    let sizes = [8usize, 32];
+    let mut vanilla_times = Vec::new();
+    let mut algo_times = Vec::new();
+    for (i, &half) in sizes.iter().enumerate() {
+        let (graph, partition) = dumbbell(half).expect("valid dumbbell");
+        vanilla_times.push(averaging_time(half, VanillaGossip::new, 50 + i as u64));
+        algo_times.push(averaging_time(
+            half,
+            algorithm_a_factory(&graph, &partition),
+            60 + i as u64,
+        ));
+    }
+    let vanilla_growth = vanilla_times[1] / vanilla_times[0];
+    let algo_growth = algo_times[1] / algo_times[0];
+    // Quadrupling n: vanilla grows ~4x, Algorithm A should grow by a much
+    // smaller factor.  Require at least a 1.8x gap between the growth rates
+    // to stay robust to Monte-Carlo noise.
+    assert!(
+        vanilla_growth > 1.8 * algo_growth,
+        "growth rates too close: vanilla {vanilla_growth:.2}x vs Algorithm A {algo_growth:.2}x"
+    );
+}
+
+#[test]
+fn speedup_widens_with_n() {
+    let speedup_at = |half: usize, seed: u64| {
+        let (graph, partition) = dumbbell(half).expect("valid dumbbell");
+        let vanilla = averaging_time(half, VanillaGossip::new, seed);
+        let algo = averaging_time(half, algorithm_a_factory(&graph, &partition), seed + 1);
+        vanilla / algo.max(1e-9)
+    };
+    let small = speedup_at(8, 70);
+    let large = speedup_at(32, 80);
+    assert!(
+        large > small,
+        "speed-up should widen with n: {small:.2}x at n=16 vs {large:.2}x at n=64"
+    );
+    assert!(large > 1.5, "speed-up at n=64 should be material, got {large:.2}x");
+}
+
+#[test]
+fn theorem2_quantity_tracks_measured_time_within_constant() {
+    let half = 32;
+    let (graph, partition) = dumbbell(half).expect("valid dumbbell");
+    let bounds = BoundsSummary::compute(&graph, &partition, 2.0).expect("bounds computable");
+    let algo = averaging_time(half, algorithm_a_factory(&graph, &partition), 91);
+    // The measured time should be within a generous constant factor of the
+    // C·ln n·(T_van+T_van) quantity (the natural per-epoch time scale).
+    assert!(
+        algo < 20.0 * bounds.theorem2_upper_bound + 20.0,
+        "Algorithm A time {algo} far above the Theorem 2 scale {}",
+        bounds.theorem2_upper_bound
+    );
+}

@@ -1,0 +1,113 @@
+//! End-to-end workload tests: every named scenario × initial condition runs
+//! through the full stack (generator → partition → algorithm → simulator →
+//! estimator) and produces sane results.
+
+use sparse_cut_gossip::prelude::*;
+use sparse_cut_gossip::workloads::scenarios::robustness_suite;
+
+#[test]
+fn robustness_suite_runs_both_algorithms_end_to_end() {
+    for (index, scenario) in robustness_suite(24).into_iter().enumerate() {
+        let instance = scenario.instantiate(7 + index as u64).expect("valid scenario");
+        instance.validate_notation1().expect("Notation 1 holds");
+        let graph = &instance.graph;
+        let partition = &instance.partition;
+        let estimator = AveragingTimeEstimator::new(
+            EstimatorConfig::new(13 + index as u64)
+                .with_runs(3)
+                .with_max_time(80.0 * theorem1_lower_bound(partition) + 400.0)
+                .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
+        );
+        let vanilla = estimator
+            .estimate(graph, partition, VanillaGossip::new)
+            .expect("vanilla estimation succeeds");
+        let algo = estimator
+            .estimate(graph, partition, || {
+                SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
+                    .expect("valid partition")
+            })
+            .expect("Algorithm A estimation succeeds");
+        assert!(vanilla.fully_confirmed(), "{}: vanilla censored", instance.name);
+        assert!(algo.fully_confirmed(), "{}: Algorithm A censored", instance.name);
+        assert!(vanilla.averaging_time > 0.0);
+        assert!(algo.averaging_time > 0.0);
+    }
+}
+
+#[test]
+fn every_initial_condition_runs_on_the_grid_corridor() {
+    let scenario = Scenario::GridCorridor {
+        rows: 3,
+        cols: 4,
+        corridor_width: 1,
+    };
+    let instance = scenario.instantiate(3).expect("valid scenario");
+    let graph = &instance.graph;
+    let partition = &instance.partition;
+    let conditions = vec![
+        InitialCondition::AdversarialCut,
+        InitialCondition::Spike { spike_at: 0 },
+        InitialCondition::Uniform { lo: -1.0, hi: 1.0 },
+        InitialCondition::Gaussian { mean: 5.0, std: 2.0 },
+        InitialCondition::LinearField,
+    ];
+    for condition in conditions {
+        let initial = condition
+            .generate(graph.node_count(), Some(partition), 11)
+            .expect("valid initial condition");
+        let target = initial.mean();
+        let config = SimulationConfig::new(19)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(1e-4).or_max_time(100_000.0))
+            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+        let algorithm =
+            SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
+                .expect("valid partition");
+        let mut simulator =
+            AsyncSimulator::new(graph, initial, algorithm, config).expect("valid setup");
+        let outcome = simulator.run().expect("run succeeds");
+        assert!(
+            outcome.converged(),
+            "{} did not converge on the grid corridor",
+            condition.name()
+        );
+        assert!((outcome.final_values.mean() - target).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn experiment_descriptors_cover_all_ids_and_reference_real_targets() {
+    for id in ExperimentId::all() {
+        let descriptor = id.descriptor();
+        assert_eq!(descriptor.id, id);
+        assert!(
+            descriptor.bench_target.contains("harness")
+                || descriptor.bench_target.contains("gossip-bench"),
+            "{id}: bench target should reference the harness or a bench file"
+        );
+    }
+}
+
+#[test]
+fn sparse_cut_detection_recovers_the_planted_cut_on_workload_graphs() {
+    // Spectral bisection (used when no partition is given) recovers the
+    // planted cut of the SBM workload, tying the cut-finding substrate into
+    // the workload layer.
+    let scenario = Scenario::TwoBlockSbm {
+        n1: 12,
+        n2: 12,
+        p_in: 0.8,
+        p_out: 0.02,
+    };
+    let instance = scenario.instantiate(5).expect("valid scenario");
+    let found = sparse_cut_gossip::graph::cut::find_sparse_cut(
+        &instance.graph,
+        sparse_cut_gossip::graph::cut::CutStrategy::SweepCut,
+    )
+    .expect("spectral bisection succeeds");
+    assert_eq!(
+        found.cut_edge_count(),
+        instance.partition.cut_edge_count(),
+        "spectral bisection should recover the planted sparse cut"
+    );
+    assert_eq!(found.smaller_block_size(), 12);
+}
