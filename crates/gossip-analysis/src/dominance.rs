@@ -228,7 +228,13 @@ mod tests {
         let n = 16;
         let log_n = (n as f64).ln();
         // Observed increments that satisfy the Lemma 1 structure.
-        let observed = vec![-2.0 * log_n, 0.3 * log_n, -1.6 * log_n, -3.0 * log_n, 0.9 * log_n];
+        let observed = vec![
+            -2.0 * log_n,
+            0.3 * log_n,
+            -1.6 * log_n,
+            -3.0 * log_n,
+            0.9 * log_n,
+        ];
         let coupled = couple_observed(&observed, n).unwrap();
         let mut sum = 0.0;
         for (i, &inc) in observed.iter().enumerate() {

@@ -31,7 +31,7 @@ impl Histogram {
                 reason: "histogram requires at least one bin".into(),
             });
         }
-        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
             return Err(AnalysisError::InvalidParameter {
                 reason: format!("invalid histogram range [{lo}, {hi})"),
             });

@@ -3,13 +3,13 @@
 //! including the spectral set-up (`T_van` estimation) and the simulation
 //! itself as separate benchmarks.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gossip_bench::runner::adversarial_initial;
 use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig};
 use gossip_graph::generators::dumbbell;
 use gossip_sim::engine::{AsyncSimulator, SimulationConfig};
 use gossip_sim::stopping::StoppingRule;
+use std::time::Duration;
 
 fn bench_algorithm_a(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_algorithm_a_dumbbell");

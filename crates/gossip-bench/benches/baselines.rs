@@ -2,7 +2,6 @@
 //! baselines (synchronous first/second-order diffusion, asynchronous momentum
 //! gossip) to the Definition 1 threshold on the dumbbell.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gossip_bench::runner::adversarial_initial;
 use gossip_core::diffusion::{FirstOrderDiffusion, SecondOrderDiffusion};
@@ -11,6 +10,7 @@ use gossip_graph::generators::dumbbell;
 use gossip_sim::engine::{AsyncSimulator, SimulationConfig};
 use gossip_sim::stopping::StoppingRule;
 use gossip_sim::sync::{SyncConfig, SyncSimulator};
+use std::time::Duration;
 
 fn bench_baselines(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_baselines_dumbbell");
@@ -26,9 +26,8 @@ fn bench_baselines(c: &mut Criterion) {
             &half,
             |b, _| {
                 b.iter(|| {
-                    let config = SyncConfig::new().with_stopping_rule(
-                        StoppingRule::definition1().or_max_ticks(1_000_000),
-                    );
+                    let config = SyncConfig::new()
+                        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(1_000_000));
                     let mut sim = SyncSimulator::new(
                         &graph,
                         initial.clone(),
@@ -46,9 +45,8 @@ fn bench_baselines(c: &mut Criterion) {
             &half,
             |b, _| {
                 b.iter(|| {
-                    let config = SyncConfig::new().with_stopping_rule(
-                        StoppingRule::definition1().or_max_ticks(1_000_000),
-                    );
+                    let config = SyncConfig::new()
+                        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(1_000_000));
                     let mut sim = SyncSimulator::new(
                         &graph,
                         initial.clone(),

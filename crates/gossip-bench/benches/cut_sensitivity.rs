@@ -1,7 +1,6 @@
 //! Criterion bench for experiment E6: cost of converging vanilla gossip and
 //! Algorithm A as the number of bridge edges between two ER clusters varies.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gossip_bench::runner::adversarial_initial;
 use gossip_core::convex::VanillaGossip;
@@ -9,6 +8,7 @@ use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig};
 use gossip_graph::generators::bridged_clusters;
 use gossip_sim::engine::{AsyncSimulator, SimulationConfig};
 use gossip_sim::stopping::StoppingRule;
+use std::time::Duration;
 
 fn bench_cut_sensitivity(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_cut_width");
@@ -19,21 +19,17 @@ fn bench_cut_sensitivity(c: &mut Criterion) {
         let (graph, partition) =
             bridged_clusters(16, 16, bridges, 0.5, 42).expect("valid clusters");
         let initial = adversarial_initial(&partition);
-        group.bench_with_input(
-            BenchmarkId::new("vanilla", bridges),
-            &bridges,
-            |b, _| {
-                b.iter(|| {
-                    let config = SimulationConfig::new(5)
-                        .with_stopping_rule(StoppingRule::definition1().or_max_time(20_000.0))
-                        .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
-                    let mut sim =
-                        AsyncSimulator::new(&graph, initial.clone(), VanillaGossip::new(), config)
-                            .expect("valid simulation");
-                    sim.run().expect("run succeeds")
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("vanilla", bridges), &bridges, |b, _| {
+            b.iter(|| {
+                let config = SimulationConfig::new(5)
+                    .with_stopping_rule(StoppingRule::definition1().or_max_time(20_000.0))
+                    .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                let mut sim =
+                    AsyncSimulator::new(&graph, initial.clone(), VanillaGossip::new(), config)
+                        .expect("valid simulation");
+                sim.run().expect("run succeeds")
+            })
+        });
         group.bench_with_input(
             BenchmarkId::new("algorithm_a", bridges),
             &bridges,

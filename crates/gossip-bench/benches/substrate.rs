@@ -3,7 +3,6 @@
 //! the main algorithms.  These are the micro-benchmarks that explain where
 //! the experiment harness spends its time.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gossip_core::bounds;
 use gossip_core::convex::VanillaGossip;
@@ -12,6 +11,7 @@ use gossip_graph::generators::{dumbbell, erdos_renyi};
 use gossip_graph::spectral::SpectralProfile;
 use gossip_sim::clock::{EdgeClockQueue, GlobalTickProcess, TickProcess};
 use gossip_sim::handler::{EdgeTickContext, EdgeTickHandler};
+use std::time::Duration;
 
 fn bench_graph_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrate_graph_generation");
@@ -82,7 +82,8 @@ fn bench_per_tick_updates(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     let (graph, partition) = dumbbell(32).expect("valid dumbbell");
-    let initial = gossip_core::averaging_time::AveragingTimeEstimator::adversarial_initial(&partition);
+    let initial =
+        gossip_core::averaging_time::AveragingTimeEstimator::adversarial_initial(&partition);
     let edge_id = gossip_graph::EdgeId(0);
     let ctx = EdgeTickContext {
         graph: &graph,

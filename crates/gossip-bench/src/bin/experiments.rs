@@ -17,9 +17,7 @@ use gossip_bench::Table;
 use std::collections::BTreeSet;
 
 fn print_usage() {
-    eprintln!(
-        "usage: experiments [--quick] [--seed <u64>] [--only E1 E2 ...] [--json <path>]"
-    );
+    eprintln!("usage: experiments [--quick] [--seed <u64>] [--only E1 E2 ...] [--json <path>]");
 }
 
 fn main() {

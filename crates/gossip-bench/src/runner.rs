@@ -374,8 +374,11 @@ pub fn run_e5(config: &HarnessConfig) -> BenchResult<(Vec<E5Row>, Table)> {
         let (graph, partition) = gossip_graph::generators::dumbbell(*half)?;
         // Start from a within-block-noisy vector so that several epochs are
         // needed (the clean adversarial vector converges after one transfer).
-        let initial = gossip_workloads::InitialCondition::Uniform { lo: -1.0, hi: 1.0 }
-            .generate(graph.node_count(), Some(&partition), config.seed ^ 0x55)?;
+        let initial = gossip_workloads::InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
+            graph.node_count(),
+            Some(&partition),
+            config.seed ^ 0x55,
+        )?;
         let algorithm = SparseCutAlgorithm::from_partition(
             &graph,
             &partition,
@@ -488,13 +491,10 @@ pub fn run_e6(config: &HarnessConfig) -> BenchResult<(Table, Table)> {
         &["C", "epoch ticks", "Algorithm A T_av"],
     );
     for (index, &c) in constants.iter().enumerate() {
-        let estimator = config.estimator(
-            800 + index as u64,
-            4000.0,
-            graph.edge_count(),
-        );
+        let estimator = config.estimator(800 + index as u64, 4000.0, graph.edge_count());
         let algo_config = SparseCutConfig::new().with_epoch_constant(c);
-        let probe_algo = SparseCutAlgorithm::from_partition(&graph, &partition, algo_config.clone())?;
+        let probe_algo =
+            SparseCutAlgorithm::from_partition(&graph, &partition, algo_config.clone())?;
         let estimate = estimator.estimate(&graph, &partition, || {
             SparseCutAlgorithm::from_partition(&graph, &partition, algo_config.clone())
                 .expect("valid partition")
@@ -517,9 +517,8 @@ fn sync_settling_time<H: RoundHandler>(
     initial: NodeValues,
     handler: H,
 ) -> BenchResult<f64> {
-    let config = SyncConfig::new().with_stopping_rule(
-        StoppingRule::definition1().or_max_ticks(5_000_000),
-    );
+    let config =
+        SyncConfig::new().with_stopping_rule(StoppingRule::definition1().or_max_ticks(5_000_000));
     let mut simulator = SyncSimulator::new(graph, initial, handler, config)?;
     let outcome = simulator.run()?;
     Ok(outcome.equivalent_time)
@@ -552,14 +551,11 @@ pub fn run_e7(config: &HarnessConfig) -> BenchResult<Table> {
         let initial = AveragingTimeEstimator::adversarial_initial(&partition);
 
         let fos = sync_settling_time(&graph, initial.clone(), FirstOrderDiffusion::new())?;
-        let sos = sync_settling_time(
-            &graph,
-            initial.clone(),
-            SecondOrderDiffusion::new(1.8)?,
-        )?;
+        let sos = sync_settling_time(&graph, initial.clone(), SecondOrderDiffusion::new(1.8)?)?;
 
         let lower = bounds::theorem1_lower_bound(&partition);
-        let estimator = config.estimator(900 + index as u64, 80.0 * lower + 400.0, graph.edge_count());
+        let estimator =
+            config.estimator(900 + index as u64, 80.0 * lower + 400.0, graph.edge_count());
         let momentum = estimator.estimate(&graph, &partition, || {
             TwoTimeScaleGossip::for_graph(&graph, 0.7).expect("valid momentum")
         })?;
@@ -609,8 +605,11 @@ pub fn run_e8(config: &HarnessConfig) -> BenchResult<Table> {
         let graph = &instance.graph;
         let partition = &instance.partition;
         let lower = bounds::theorem1_lower_bound(partition);
-        let estimator =
-            config.estimator(1000 + index as u64, 80.0 * lower + 400.0, graph.edge_count());
+        let estimator = config.estimator(
+            1000 + index as u64,
+            80.0 * lower + 400.0,
+            graph.edge_count(),
+        );
         let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
         let algo = estimator.estimate(graph, partition, || {
             SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
@@ -689,9 +688,18 @@ pub fn run_e10(config: &HarnessConfig) -> BenchResult<(Vec<E10Row>, Table)> {
             "exact balance n1·n2/n".to_string(),
             TransferCoefficient::ExactBalance,
         ),
-        ("paper literal n1".to_string(), TransferCoefficient::PaperLiteral),
-        ("convex 1.0 (swap)".to_string(), TransferCoefficient::Custom(1.0)),
-        ("convex 0.5 (average)".to_string(), TransferCoefficient::Custom(0.5)),
+        (
+            "paper literal n1".to_string(),
+            TransferCoefficient::PaperLiteral,
+        ),
+        (
+            "convex 1.0 (swap)".to_string(),
+            TransferCoefficient::Custom(1.0),
+        ),
+        (
+            "convex 0.5 (average)".to_string(),
+            TransferCoefficient::Custom(0.5),
+        ),
     ];
     let mut rows = Vec::new();
     for (name, coefficient) in choices {
@@ -714,7 +722,12 @@ pub fn run_e10(config: &HarnessConfig) -> BenchResult<(Vec<E10Row>, Table)> {
     let descriptor = ExperimentId::E10.descriptor();
     let mut table = Table::new(
         format!("{}: {}", descriptor.id, descriptor.title),
-        &["transfer coefficient", "γ", "T_av (capped)", "censored runs"],
+        &[
+            "transfer coefficient",
+            "γ",
+            "T_av (capped)",
+            "censored runs",
+        ],
     );
     for row in &rows {
         table.push_row(vec![

@@ -67,6 +67,19 @@ impl Table {
     }
 }
 
+// The vendored `serde` stand-in ships a no-op derive (see vendor/README.md),
+// so the one type this workspace actually writes to disk carries a
+// hand-written impl against the vendored JSON data model.
+impl serde::Serialize for Table {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("title".to_string(), self.title.to_json_value()),
+            ("columns".to_string(), self.columns.to_json_value()),
+            ("rows".to_string(), self.rows.to_json_value()),
+        ])
+    }
+}
+
 impl fmt::Display for Table {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "### {}", self.title)?;

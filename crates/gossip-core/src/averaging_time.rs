@@ -123,7 +123,10 @@ impl EstimatorConfig {
         }
         if !(self.max_time > 0.0 && self.max_time.is_finite()) {
             return Err(CoreError::InvalidConfig {
-                reason: format!("max_time must be positive and finite, got {}", self.max_time),
+                reason: format!(
+                    "max_time must be positive and finite, got {}",
+                    self.max_time
+                ),
             });
         }
         if !(0.0 < self.quantile && self.quantile < 1.0) {
@@ -161,6 +164,22 @@ impl AveragingTimeEstimate {
     pub fn fully_confirmed(&self) -> bool {
         self.censored_runs == 0
     }
+}
+
+/// Derives the simulation seed of run `run` from the estimator's base seed.
+///
+/// A plain `base + run` would make estimators with nearby base seeds share
+/// most of their sample paths (runs {s, s+1, …} and {s+1, s+2, …} overlap),
+/// which silently correlates experiments that pick adjacent seeds and can
+/// even make their reported quantiles collide bit-for-bit.  Mixing with
+/// splitmix64 gives every `(base, run)` pair an effectively independent
+/// stream while staying a pure function of the pinned seed.
+fn derive_run_seed(base: u64, run: u64) -> u64 {
+    let mut z = base ^ run.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Monte-Carlo estimator of Definition 1's averaging time.
@@ -241,7 +260,7 @@ impl AveragingTimeEstimator {
         let mut censored_runs = 0usize;
 
         for run in 0..self.config.runs {
-            let seed = self.config.seed.wrapping_add(run as u64);
+            let seed = derive_run_seed(self.config.seed, run as u64);
             let stop = StoppingRule::variance_ratio_below(
                 self.config.threshold * self.config.confirmation_factor,
             )
@@ -254,8 +273,7 @@ impl AveragingTimeEstimator {
             if let Some(p) = partition {
                 sim_config = sim_config.with_partition(p.clone());
             }
-            let mut simulator =
-                AsyncSimulator::new(graph, initial.clone(), factory(), sim_config)?;
+            let mut simulator = AsyncSimulator::new(graph, initial.clone(), factory(), sim_config)?;
             let outcome = simulator.run()?;
             if outcome.converged() {
                 confirmed_runs += 1;
@@ -285,8 +303,7 @@ impl AveragingTimeEstimator {
             .clamp(1, sorted.len())
             - 1;
         let averaging_time = sorted[index];
-        let mean_settling_time =
-            settling_times.iter().sum::<f64>() / settling_times.len() as f64;
+        let mean_settling_time = settling_times.iter().sum::<f64>() / settling_times.len() as f64;
         let max_settling_time = sorted.last().copied().unwrap_or(0.0);
 
         Ok(AveragingTimeEstimate {
@@ -344,14 +361,11 @@ mod tests {
     #[test]
     fn vanilla_on_complete_graph_settles_quickly() {
         let g = complete(10).unwrap();
-        let p = Partition::from_block_one(
-            &g,
-            &(0..5).map(gossip_graph::NodeId).collect::<Vec<_>>(),
-        )
-        .unwrap();
-        let est = AveragingTimeEstimator::new(
-            EstimatorConfig::new(7).with_runs(5).with_max_time(500.0),
-        );
+        let p =
+            Partition::from_block_one(&g, &(0..5).map(gossip_graph::NodeId).collect::<Vec<_>>())
+                .unwrap();
+        let est =
+            AveragingTimeEstimator::new(EstimatorConfig::new(7).with_runs(5).with_max_time(500.0));
         let result = est.estimate(&g, &p, VanillaGossip::new).unwrap();
         assert!(result.fully_confirmed());
         assert_eq!(result.settling_times.len(), 5);
@@ -379,9 +393,8 @@ mod tests {
     fn censoring_reported_when_time_cap_too_small() {
         // Vanilla gossip on the dumbbell needs Ω(n1) time; cap far below it.
         let (g, p) = dumbbell(16).unwrap();
-        let est = AveragingTimeEstimator::new(
-            EstimatorConfig::new(5).with_runs(3).with_max_time(0.5),
-        );
+        let est =
+            AveragingTimeEstimator::new(EstimatorConfig::new(5).with_runs(3).with_max_time(0.5));
         let result = est.estimate(&g, &p, VanillaGossip::new).unwrap();
         assert_eq!(result.censored_runs, 3);
         assert!(!result.fully_confirmed());

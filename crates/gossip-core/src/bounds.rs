@@ -121,11 +121,7 @@ impl BoundsSummary {
             convex_lower_bound: theorem1_lower_bound(partition),
             t_van_block_one: t1,
             t_van_block_two: t2,
-            theorem2_upper_bound: theorem2_upper_bound(
-                epoch_constant,
-                t1 + t2,
-                graph.node_count(),
-            ),
+            theorem2_upper_bound: theorem2_upper_bound(epoch_constant, t1 + t2, graph.node_count()),
             epoch_constant,
         })
     }
@@ -192,10 +188,7 @@ mod tests {
         assert!(t1 > 0.0);
         // A single-node block has T_van = 0.
         let (g2, p2) = bridged_clusters(1, 5, 1, 0.9, 3).unwrap();
-        assert_eq!(
-            t_van_spectral_block(&g2, &p2, Block::One).unwrap(),
-            0.0
-        );
+        assert_eq!(t_van_spectral_block(&g2, &p2, Block::One).unwrap(), 0.0);
         let t_big = t_van_spectral_block(&g2, &p2, Block::Two).unwrap();
         assert!(t_big > 0.0);
     }
@@ -204,18 +197,18 @@ mod tests {
     fn t_van_block_rejects_disconnected_block() {
         // Path 0-1-2-3 with blocks {0, 2} / {1, 3}: both blocks disconnected.
         let g = gossip_graph::Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
-        let p = Partition::from_block_one(
-            &g,
-            &[gossip_graph::NodeId(0), gossip_graph::NodeId(2)],
-        )
-        .unwrap();
+        let p = Partition::from_block_one(&g, &[gossip_graph::NodeId(0), gossip_graph::NodeId(2)])
+            .unwrap();
         assert!(t_van_spectral_block(&g, &p, Block::One).is_err());
     }
 
     #[test]
     fn epoch_length_is_at_least_one_tick() {
         assert_eq!(epoch_length_ticks(4.0, 0.0001, 16.0), 1);
-        assert_eq!(epoch_length_ticks(4.0, 1.0, 16.0), (4.0f64 * 16.0f64.ln()).ceil() as u64);
+        assert_eq!(
+            epoch_length_ticks(4.0, 1.0, 16.0),
+            (4.0f64 * 16.0f64.ln()).ceil() as u64
+        );
         assert!(epoch_length_ticks(1.0, 10.0, 1024.0) > 1);
     }
 
@@ -243,29 +236,17 @@ mod tests {
         // around one (the crossover point); it grows quickly with n, which
         // the next test checks.
         assert!(s.predicted_speedup() > 0.5);
-        let large = BoundsSummary::compute(
-            &dumbbell(64).unwrap().0,
-            &dumbbell(64).unwrap().1,
-            4.0,
-        )
-        .unwrap();
+        let large = BoundsSummary::compute(&dumbbell(64).unwrap().0, &dumbbell(64).unwrap().1, 4.0)
+            .unwrap();
         assert!(large.predicted_speedup() > 2.0);
     }
 
     #[test]
     fn predicted_speedup_grows_with_n_on_dumbbell() {
-        let small = BoundsSummary::compute(
-            &dumbbell(8).unwrap().0,
-            &dumbbell(8).unwrap().1,
-            4.0,
-        )
-        .unwrap();
-        let large = BoundsSummary::compute(
-            &dumbbell(64).unwrap().0,
-            &dumbbell(64).unwrap().1,
-            4.0,
-        )
-        .unwrap();
+        let small =
+            BoundsSummary::compute(&dumbbell(8).unwrap().0, &dumbbell(8).unwrap().1, 4.0).unwrap();
+        let large = BoundsSummary::compute(&dumbbell(64).unwrap().0, &dumbbell(64).unwrap().1, 4.0)
+            .unwrap();
         assert!(large.predicted_speedup() > small.predicted_speedup());
     }
 

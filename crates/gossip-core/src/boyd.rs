@@ -81,7 +81,11 @@ impl GossipMatrixAnalysis {
         let fixed = expected
             .matvec(&ones)
             .map_err(gossip_graph::GraphError::from)?;
-        if fixed.distance(&ones).map_err(gossip_graph::GraphError::from)? > 1e-6 {
+        if fixed
+            .distance(&ones)
+            .map_err(gossip_graph::GraphError::from)?
+            > 1e-6
+        {
             return Err(CoreError::InvalidConfig {
                 reason: "expected matrix must fix the all-ones vector (conserve mass)".into(),
             });

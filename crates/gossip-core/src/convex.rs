@@ -229,10 +229,9 @@ mod tests {
     fn convex_rules_keep_values_in_initial_range() {
         // The range-preservation property used in Section 2 of the paper.
         let (g, _) = dumbbell(4).unwrap();
-        let initial = NodeValues::from_values(vec![1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0])
-            .unwrap();
-        let config = SimulationConfig::new(8)
-            .with_stopping_rule(StoppingRule::max_ticks(20_000));
+        let initial =
+            NodeValues::from_values(vec![1.0, 1.0, 1.0, 1.0, -1.0, -1.0, -1.0, -1.0]).unwrap();
+        let config = SimulationConfig::new(8).with_stopping_rule(StoppingRule::max_ticks(20_000));
         let mut sim = AsyncSimulator::new(&g, initial, VanillaGossip::new(), config).unwrap();
         let outcome = sim.run().unwrap();
         assert!(outcome.final_values.min().unwrap() >= -1.0 - 1e-12);

@@ -190,8 +190,14 @@ mod tests {
         assert!(SecondOrderDiffusion::new(0.9).is_err());
         assert!(SecondOrderDiffusion::new(2.0).is_err());
         assert!(SecondOrderDiffusion::new(1.5).is_ok());
-        assert!(SecondOrderDiffusion::new(1.5).unwrap().with_step(-1.0).is_err());
-        assert_eq!(FirstOrderDiffusion::default().name(), "first-order-diffusion");
+        assert!(SecondOrderDiffusion::new(1.5)
+            .unwrap()
+            .with_step(-1.0)
+            .is_err());
+        assert_eq!(
+            FirstOrderDiffusion::default().name(),
+            "first-order-diffusion"
+        );
         assert_eq!(
             SecondOrderDiffusion::new(1.2).unwrap().name(),
             "second-order-diffusion"
@@ -217,8 +223,7 @@ mod tests {
         let sum = initial.sum();
         let config = SyncConfig::new()
             .with_stopping_rule(StoppingRule::variance_ratio_below(1e-6).or_max_ticks(100_000));
-        let mut sim =
-            SyncSimulator::new(&g, initial, FirstOrderDiffusion::new(), config).unwrap();
+        let mut sim = SyncSimulator::new(&g, initial, FirstOrderDiffusion::new(), config).unwrap();
         let outcome = sim.run().unwrap();
         assert!(outcome.converged());
         assert!((outcome.final_values.sum() - sum).abs() < 1e-8);
@@ -237,7 +242,7 @@ mod tests {
             assert!((outcome.final_values.sum() - 24.0).abs() < 1e-6);
             outcome.rounds
         };
-        let fos = rounds_of(Box::new(FirstOrderDiffusion::new()));
+        let fos = rounds_of(Box::<FirstOrderDiffusion>::default());
         // On a long path the first-order factor rho is close to 1; use a
         // strong beta.
         let sos = rounds_of(Box::new(SecondOrderDiffusion::new(1.8).unwrap()));
@@ -253,21 +258,16 @@ mod tests {
         // bridge, so the round count grows with the clique size.
         let rounds_for = |half: usize| {
             let (g, _) = dumbbell(half).unwrap();
-            let config = SyncConfig::new().with_stopping_rule(
-                StoppingRule::definition1().or_max_ticks(2_000_000),
-            );
+            let config = SyncConfig::new()
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000));
             let initial = {
                 let mut v = vec![1.0; half];
-                v.extend(std::iter::repeat(-1.0).take(half));
+                v.extend(std::iter::repeat_n(-1.0, half));
                 NodeValues::from_values(v).unwrap()
             };
-            let mut sim = SyncSimulator::new(
-                &g,
-                initial,
-                SecondOrderDiffusion::new(1.6).unwrap(),
-                config,
-            )
-            .unwrap();
+            let mut sim =
+                SyncSimulator::new(&g, initial, SecondOrderDiffusion::new(1.6).unwrap(), config)
+                    .unwrap();
             sim.run().unwrap().rounds
         };
         let small = rounds_for(8);

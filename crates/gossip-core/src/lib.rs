@@ -162,11 +162,12 @@ mod tests {
             gossip_graph::GraphError::Disconnected
         ))
         .is_some());
-        assert!(std::error::Error::source(&CoreError::Sim(gossip_sim::SimError::NoEdges)).is_some());
-        assert!(std::error::Error::source(&CoreError::InvalidConfig {
-            reason: "x".into()
-        })
-        .is_none());
+        assert!(
+            std::error::Error::source(&CoreError::Sim(gossip_sim::SimError::NoEdges)).is_some()
+        );
+        assert!(
+            std::error::Error::source(&CoreError::InvalidConfig { reason: "x".into() }).is_none()
+        );
     }
 
     #[test]

@@ -39,10 +39,11 @@ use gossip_sim::values::NodeValues;
 use serde::{Deserialize, Serialize};
 
 /// Choice of the non-convex transfer coefficient `γ`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum TransferCoefficient {
     /// `γ = n₁·n₂/n` — cancels the between-block imbalance exactly (up to the
     /// within-block deviations); the default.
+    #[default]
     ExactBalance,
     /// `γ = n₁` — the coefficient as literally stated in the paper.
     PaperLiteral,
@@ -50,19 +51,11 @@ pub enum TransferCoefficient {
     Custom(f64),
 }
 
-impl Default for TransferCoefficient {
-    fn default() -> Self {
-        TransferCoefficient::ExactBalance
-    }
-}
-
 impl TransferCoefficient {
     /// Resolves the coefficient for block sizes `n1`, `n2`.
     pub fn resolve(&self, n1: usize, n2: usize) -> f64 {
         match self {
-            TransferCoefficient::ExactBalance => {
-                (n1 as f64) * (n2 as f64) / ((n1 + n2) as f64)
-            }
+            TransferCoefficient::ExactBalance => (n1 as f64) * (n2 as f64) / ((n1 + n2) as f64),
             TransferCoefficient::PaperLiteral => n1 as f64,
             TransferCoefficient::Custom(gamma) => *gamma,
         }
@@ -286,7 +279,7 @@ impl EdgeTickHandler for SparseCutAlgorithm {
         if ctx.edge_id == self.designated_edge {
             // Fire on every `epoch_ticks`-th tick of e_c (the paper's
             // "k ≡ −1 (mod m)" schedule up to a fixed offset of one tick).
-            if ctx.edge_tick_count % self.epoch_ticks == 0 {
+            if ctx.edge_tick_count.is_multiple_of(self.epoch_ticks) {
                 values.transfer_pair_update(self.endpoint_one, self.endpoint_two, self.gamma);
                 self.transfers += 1;
             }
@@ -334,7 +327,10 @@ mod tests {
         assert!((TransferCoefficient::ExactBalance.resolve(2, 6) - 1.5).abs() < 1e-12);
         assert!((TransferCoefficient::PaperLiteral.resolve(8, 8) - 8.0).abs() < 1e-12);
         assert!((TransferCoefficient::Custom(2.5).resolve(8, 8) - 2.5).abs() < 1e-12);
-        assert_eq!(TransferCoefficient::default(), TransferCoefficient::ExactBalance);
+        assert_eq!(
+            TransferCoefficient::default(),
+            TransferCoefficient::ExactBalance
+        );
     }
 
     #[test]
@@ -379,15 +375,16 @@ mod tests {
         ));
         // Partition of a different graph.
         let (_, other_partition) = dumbbell(5).unwrap();
-        assert!(SparseCutAlgorithm::from_partition(&g, &other_partition, SparseCutConfig::new())
-            .is_err());
+        assert!(
+            SparseCutAlgorithm::from_partition(&g, &other_partition, SparseCutConfig::new())
+                .is_err()
+        );
     }
 
     #[test]
     fn default_designated_edge_is_the_bridge() {
         let (g, p) = dumbbell(6).unwrap();
-        let algo =
-            SparseCutAlgorithm::from_partition(&g, &p, SparseCutConfig::default()).unwrap();
+        let algo = SparseCutAlgorithm::from_partition(&g, &p, SparseCutConfig::default()).unwrap();
         let bridge = g.edge(algo.designated_edge()).unwrap();
         assert_eq!(
             bridge.endpoints(),
@@ -451,7 +448,9 @@ mod tests {
     #[test]
     fn transfer_fires_only_on_epoch_boundary_and_conserves_mass() {
         let (g, p) = dumbbell(4).unwrap();
-        let config = SparseCutConfig::new().with_t_van_sum(3.0).with_epoch_constant(1.0);
+        let config = SparseCutConfig::new()
+            .with_t_van_sum(3.0)
+            .with_epoch_constant(1.0);
         let mut algo = SparseCutAlgorithm::from_partition(&g, &p, config).unwrap();
         let m = algo.epoch_ticks();
         assert!(m >= 1);
@@ -488,7 +487,9 @@ mod tests {
         let mut algo = SparseCutAlgorithm::from_partition(
             &g,
             &p,
-            SparseCutConfig::new().with_t_van_sum(1.0).with_epoch_constant(1e-9),
+            SparseCutConfig::new()
+                .with_t_van_sum(1.0)
+                .with_epoch_constant(1e-9),
         )
         .unwrap();
         assert_eq!(algo.epoch_ticks(), 1);
@@ -546,8 +547,7 @@ mod tests {
     #[test]
     fn algorithm_a_converges_fast_on_dumbbell() {
         let (g, p) = dumbbell(8).unwrap();
-        let algo =
-            SparseCutAlgorithm::from_partition(&g, &p, SparseCutConfig::default()).unwrap();
+        let algo = SparseCutAlgorithm::from_partition(&g, &p, SparseCutConfig::default()).unwrap();
         let config = SimulationConfig::new(17)
             .with_stopping_rule(StoppingRule::definition1().or_max_time(5_000.0));
         let mut sim = AsyncSimulator::new(&g, adversarial(&p), algo, config).unwrap();
@@ -563,8 +563,7 @@ mod tests {
     #[test]
     fn algorithm_a_converges_on_asymmetric_barbell() {
         let (g, p) = barbell(4, 12).unwrap();
-        let algo =
-            SparseCutAlgorithm::from_partition(&g, &p, SparseCutConfig::default()).unwrap();
+        let algo = SparseCutAlgorithm::from_partition(&g, &p, SparseCutConfig::default()).unwrap();
         let config = SimulationConfig::new(23)
             .with_stopping_rule(StoppingRule::definition1().or_max_time(5_000.0));
         let mut sim = AsyncSimulator::new(&g, adversarial(&p), algo, config).unwrap();

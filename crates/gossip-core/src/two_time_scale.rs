@@ -132,15 +132,16 @@ mod tests {
             vanilla.on_edge_tick(&mut b, &ctx);
         }
         for i in 0..5 {
-            assert!((a.get(gossip_graph::NodeId(i)) - b.get(gossip_graph::NodeId(i))).abs() < 1e-12);
+            assert!(
+                (a.get(gossip_graph::NodeId(i)) - b.get(gossip_graph::NodeId(i))).abs() < 1e-12
+            );
         }
     }
 
     #[test]
     fn momentum_updates_conserve_sum_exactly() {
         let g = complete(6).unwrap();
-        let mut values =
-            NodeValues::from_values(vec![3.0, -1.0, 4.0, -1.0, 5.0, -9.0]).unwrap();
+        let mut values = NodeValues::from_values(vec![3.0, -1.0, 4.0, -1.0, 5.0, -9.0]).unwrap();
         let sum = values.sum();
         let mut algo = TwoTimeScaleGossip::for_graph(&g, 0.8).unwrap();
         for t in 0..500u64 {
@@ -187,9 +188,8 @@ mod tests {
     fn converges_on_complete_graph() {
         let g = complete(8).unwrap();
         let initial: Vec<f64> = (0..8).map(|i| i as f64).collect();
-        let config = SimulationConfig::new(3).with_stopping_rule(
-            StoppingRule::variance_ratio_below(1e-4).or_max_ticks(1_000_000),
-        );
+        let config = SimulationConfig::new(3)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(1e-4).or_max_ticks(1_000_000));
         let mut sim = AsyncSimulator::new(
             &g,
             NodeValues::from_values(initial).unwrap(),
@@ -210,9 +210,8 @@ mod tests {
         let time_for = |half: usize, seed: u64| {
             let (g, p) = dumbbell(half).unwrap();
             let initial = crate::averaging_time::AveragingTimeEstimator::adversarial_initial(&p);
-            let config = SimulationConfig::new(seed).with_stopping_rule(
-                StoppingRule::definition1().or_max_time(200_000.0),
-            );
+            let config = SimulationConfig::new(seed)
+                .with_stopping_rule(StoppingRule::definition1().or_max_time(200_000.0));
             let mut sim = AsyncSimulator::new(
                 &g,
                 initial,

@@ -41,10 +41,8 @@ pub fn find_sparse_cut(graph: &Graph, strategy: CutStrategy) -> Result<Partition
     let fiedler = spectral::fiedler_vector(graph)?;
     match strategy {
         CutStrategy::FiedlerSign => {
-            let block_one: Vec<NodeId> = graph
-                .nodes()
-                .filter(|v| fiedler[v.index()] < 0.0)
-                .collect();
+            let block_one: Vec<NodeId> =
+                graph.nodes().filter(|v| fiedler[v.index()] < 0.0).collect();
             let block_one = if block_one.is_empty() || block_one.len() == graph.node_count() {
                 // Degenerate sign pattern (can happen with ties); fall back to
                 // splitting around the median.
@@ -186,11 +184,8 @@ mod tests {
     #[test]
     fn exhaustive_on_two_triangles_with_bridge() {
         // Two triangles {0,1,2} and {3,4,5} joined by the single edge (2,3).
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+            .unwrap();
         let p = exhaustive_min_conductance_cut(&g).unwrap();
         assert_eq!(p.cut_edge_count(), 1);
         assert_eq!(p.smaller_block_size(), 3);

@@ -147,7 +147,10 @@ pub fn hypercube(dimension: usize) -> Result<Graph> {
 ///
 /// Returns [`GraphError::InvalidParameter`] if either side is empty.
 pub fn complete_bipartite(a: usize, b: usize) -> Result<Graph> {
-    require(a >= 1 && b >= 1, "complete bipartite requires both sides non-empty")?;
+    require(
+        a >= 1 && b >= 1,
+        "complete bipartite requires both sides non-empty",
+    )?;
     let mut builder = GraphBuilder::new(a + b);
     for i in 0..a {
         for j in 0..b {

@@ -68,7 +68,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph> {
             reason: format!("random regular graph requires 0 < d < n, got d = {d}, n = {n}"),
         });
     }
-    if (n * d) % 2 != 0 {
+    if !(n * d).is_multiple_of(2) {
         return Err(GraphError::InvalidParameter {
             reason: format!("n·d must be even, got n = {n}, d = {d}"),
         });
@@ -77,7 +77,7 @@ pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph> {
     const MAX_ATTEMPTS: usize = 1000;
     'attempt: for _ in 0..MAX_ATTEMPTS {
         // Stubs: d copies of every node, shuffled and paired off.
-        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(&mut rng);
         let mut builder = GraphBuilder::new(n);
         for pair in stubs.chunks(2) {
@@ -120,7 +120,9 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<(Graph, Vec<
         });
     }
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let positions: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let positions: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let mut builder = GraphBuilder::new(n);
     let r2 = radius * radius;
     for i in 0..n {

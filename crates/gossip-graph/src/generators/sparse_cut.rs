@@ -173,10 +173,8 @@ pub fn two_block_sbm(
         if partition.cut_edge_count() == 0 {
             continue;
         }
-        if n1 > 1 || n2 > 1 {
-            if partition.require_blocks_connected(&graph).is_err() {
-                continue;
-            }
+        if (n1 > 1 || n2 > 1) && partition.require_blocks_connected(&graph).is_err() {
+            continue;
         }
         return Ok((graph, partition));
     }
@@ -194,7 +192,11 @@ pub fn two_block_sbm(
 ///
 /// Returns [`GraphError::InvalidParameter`] if any dimension is zero or
 /// `corridor_width` is zero or exceeds `rows`.
-pub fn grid_corridor(rows: usize, cols: usize, corridor_width: usize) -> Result<(Graph, Partition)> {
+pub fn grid_corridor(
+    rows: usize,
+    cols: usize,
+    corridor_width: usize,
+) -> Result<(Graph, Partition)> {
     if rows == 0 || cols == 0 {
         return Err(GraphError::InvalidParameter {
             reason: "grid corridor requires positive dimensions".into(),
@@ -202,9 +204,7 @@ pub fn grid_corridor(rows: usize, cols: usize, corridor_width: usize) -> Result<
     }
     if corridor_width == 0 || corridor_width > rows {
         return Err(GraphError::InvalidParameter {
-            reason: format!(
-                "corridor width must lie in 1..={rows}, got {corridor_width}"
-            ),
+            reason: format!("corridor width must lie in 1..={rows}, got {corridor_width}"),
         });
     }
     let side = rows * cols;

@@ -76,7 +76,11 @@ impl Edge {
         if a == b {
             return Err(GraphError::SelfLoop { node: a.index() });
         }
-        let (u, v) = if a.index() < b.index() { (a, b) } else { (b, a) };
+        let (u, v) = if a.index() < b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         Ok(Edge { u, v })
     }
 
@@ -208,9 +212,7 @@ impl Graph {
         if a.index() >= self.node_count || b.index() >= self.node_count || a == b {
             return None;
         }
-        self.neighbors(a)
-            .find(|(n, _)| *n == b)
-            .map(|(_, e)| e)
+        self.neighbors(a).find(|(n, _)| *n == b).map(|(_, e)| e)
     }
 
     /// Returns `true` if nodes `a` and `b` are adjacent.

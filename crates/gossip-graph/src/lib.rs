@@ -106,10 +106,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::EdgeOutOfRange { edge, edge_count } => {
-                write!(f, "edge {edge} out of range for graph with {edge_count} edges")
+                write!(
+                    f,
+                    "edge {edge} out of range for graph with {edge_count} edges"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} not allowed"),
             GraphError::DuplicateEdge { a, b } => {

@@ -406,11 +406,9 @@ mod tests {
     fn rejects_bad_partitions() {
         let g = path4();
         assert!(Partition::from_block_one(&g, &[]).is_err());
-        assert!(Partition::from_block_one(
-            &g,
-            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
-        )
-        .is_err());
+        assert!(
+            Partition::from_block_one(&g, &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]).is_err()
+        );
         assert!(Partition::from_block_one(&g, &[NodeId(0), NodeId(0)]).is_err());
         assert!(Partition::from_block_one(&g, &[NodeId(9)]).is_err());
         assert!(Partition::from_membership(&g, vec![Block::One; 3]).is_err());

@@ -200,8 +200,6 @@ mod tests {
         let ps = SpectralProfile::compute(&sparse).unwrap();
         let pd = SpectralProfile::compute(&dense).unwrap();
         assert!(pd.relaxation_time() < ps.relaxation_time());
-        assert!(
-            pd.vanilla_averaging_time_estimate() < ps.vanilla_averaging_time_estimate()
-        );
+        assert!(pd.vanilla_averaging_time_estimate() < ps.vanilla_averaging_time_estimate());
     }
 }

@@ -81,7 +81,7 @@ pub fn is_connected(graph: &Graph) -> bool {
 /// [`crate::GraphError::Disconnected`] if some node is unreachable.
 pub fn eccentricity(graph: &Graph, source: NodeId) -> Result<usize> {
     let dist = bfs_distances(graph, source)?;
-    if dist.iter().any(|&d| d == usize::MAX) {
+    if dist.contains(&usize::MAX) {
         return Err(crate::GraphError::Disconnected);
     }
     Ok(dist.into_iter().max().unwrap_or(0))
@@ -184,7 +184,10 @@ mod tests {
             Some(0)
         );
         let d = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
-        assert_eq!(shortest_path_length(&d, NodeId(0), NodeId(3)).unwrap(), None);
+        assert_eq!(
+            shortest_path_length(&d, NodeId(0), NodeId(3)).unwrap(),
+            None
+        );
         assert!(shortest_path_length(&d, NodeId(0), NodeId(9)).is_err());
     }
 

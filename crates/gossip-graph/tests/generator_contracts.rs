@@ -1,0 +1,175 @@
+//! Contract property tests for every generator in `generators/`: the graph
+//! is connected, and when a [`Partition`] is returned it is consistent —
+//! the blocks cover the nodes exactly once, and the recorded cut edges are
+//! precisely the edges whose endpoints lie in different blocks.
+
+use gossip_graph::generators::{
+    barbell, bridged_clusters, complete, complete_bipartite, cycle, dumbbell,
+    erdos_renyi_connected, grid2d, grid_corridor, hypercube, path, random_regular, star, torus2d,
+    two_block_sbm,
+};
+use gossip_graph::partition::Block;
+use gossip_graph::traversal::is_connected;
+use gossip_graph::{Graph, Partition};
+use proptest::prelude::*;
+
+/// Asserts the full partition contract against its graph; returns an error
+/// message naming the violated clause so property failures are readable.
+fn check_partition_contract(
+    name: &str,
+    graph: &Graph,
+    partition: &Partition,
+) -> Result<(), String> {
+    // Blocks cover the node set exactly once.
+    if partition.node_count() != graph.node_count() {
+        return Err(format!(
+            "{name}: partition covers {} of {} nodes",
+            partition.node_count(),
+            graph.node_count()
+        ));
+    }
+    if partition.block_one_size() + partition.block_two_size() != graph.node_count() {
+        return Err(format!("{name}: block sizes do not sum to n"));
+    }
+    let mut seen = vec![false; graph.node_count()];
+    for &node in partition.block_one().iter().chain(partition.block_two()) {
+        if seen[node.index()] {
+            return Err(format!("{name}: node {node} appears in both blocks"));
+        }
+        seen[node.index()] = true;
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err(format!("{name}: some node is in neither block"));
+    }
+    // Neither block may be empty (Notation 1 requires a genuine two-block
+    // decomposition).
+    if partition.block_one_size() == 0 || partition.block_two_size() == 0 {
+        return Err(format!("{name}: a block is empty"));
+    }
+    // The recorded cut is exactly the set of crossing edges.
+    let cut: std::collections::BTreeSet<usize> =
+        partition.cut_edges().iter().map(|e| e.index()).collect();
+    if cut.len() != partition.cut_edge_count() {
+        return Err(format!("{name}: duplicate edges in the recorded cut"));
+    }
+    for edge_id in graph.edge_ids() {
+        let edge = graph.edge(edge_id).expect("edge exists");
+        let (u, v) = edge.endpoints();
+        let crosses = partition.block_of(u) != partition.block_of(v);
+        let recorded = cut.contains(&edge_id.index());
+        if crosses != recorded {
+            return Err(format!(
+                "{name}: edge {edge_id} crosses={crosses} but recorded={recorded}"
+            ));
+        }
+        if crosses != partition.is_cut_edge(&edge) {
+            return Err(format!("{name}: is_cut_edge disagrees on edge {edge_id}"));
+        }
+    }
+    // The Theorem 1 ratio is consistent with the recorded quantities.
+    let expected_ratio =
+        partition.smaller_block_size() as f64 / partition.cut_edge_count().max(1) as f64;
+    if partition.cut_edge_count() > 0 && (partition.theorem1_ratio() - expected_ratio).abs() > 1e-12
+    {
+        return Err(format!("{name}: theorem1_ratio inconsistent"));
+    }
+    Ok(())
+}
+
+fn check_connected(name: &str, graph: &Graph) -> Result<(), String> {
+    if !is_connected(graph) {
+        return Err(format!("{name}: generated graph is disconnected"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Deterministic families: connected for every size.
+    #[test]
+    fn prop_deterministic_generators_are_connected(n in 2usize..24) {
+        for (name, graph) in [
+            ("complete", complete(n).unwrap()),
+            ("path", path(n).unwrap()),
+            ("cycle", cycle(n.max(3)).unwrap()),
+            ("star", star(n).unwrap()),
+            ("grid2d", grid2d(2 + n % 4, 2 + n / 4).unwrap()),
+            ("torus2d", torus2d(3 + n % 3, 3 + n / 5).unwrap()),
+            ("hypercube", hypercube(1 + n % 5).unwrap()),
+            ("complete_bipartite", complete_bipartite(1 + n / 2, 1 + n % 7).unwrap()),
+        ] {
+            if let Err(message) = check_connected(name, &graph) {
+                prop_assert!(false, "{message}");
+            }
+        }
+    }
+
+    /// Random families: connected (by construction or retry) for every seed.
+    #[test]
+    fn prop_random_generators_are_connected(n in 4usize..24, seed in 0u64..200) {
+        let er = erdos_renyi_connected(n, 0.6, seed, 64).unwrap();
+        if let Err(message) = check_connected("erdos_renyi_connected", &er) {
+            prop_assert!(false, "{message}");
+        }
+        let degree = if n % 2 == 0 { 3 } else { 4 };
+        let rr = random_regular(n.max(degree + 1), degree, seed).unwrap();
+        if let Err(message) = check_connected("random_regular", &rr) {
+            prop_assert!(false, "{message}");
+        }
+    }
+
+    /// Sparse-cut families: connected AND the returned partition satisfies
+    /// the full contract (cut edges actually cross the cut).
+    #[test]
+    fn prop_sparse_cut_generators_return_consistent_partitions(
+        half in 2usize..12,
+        extra in 0usize..6,
+        bridges in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let cases: Vec<(&str, (Graph, Partition))> = vec![
+            ("dumbbell", dumbbell(half).unwrap()),
+            ("barbell", barbell(half, half + extra.max(1)).unwrap()),
+            (
+                "bridged_clusters",
+                bridged_clusters(half + 2, half + 2, bridges, 0.7, seed).unwrap(),
+            ),
+            (
+                "two_block_sbm",
+                two_block_sbm(half + 4, half + 4, 0.9, 0.1, seed).unwrap(),
+            ),
+            (
+                "grid_corridor",
+                grid_corridor(2 + half % 3, 3 + half % 4, 1 + bridges % 2).unwrap(),
+            ),
+        ];
+        for (name, (graph, partition)) in cases {
+            if let Err(message) = check_connected(name, &graph) {
+                prop_assert!(false, "{message}");
+            }
+            if let Err(message) = check_partition_contract(name, &graph, &partition) {
+                prop_assert!(false, "{message}");
+            }
+        }
+    }
+
+    /// The normalized/swapped views preserve the contract.
+    #[test]
+    fn prop_partition_views_preserve_the_contract(half in 2usize..10) {
+        let (graph, partition) = dumbbell(half).unwrap();
+        for (name, view) in [
+            ("swapped", partition.swapped()),
+            ("normalized", partition.normalized()),
+        ] {
+            if let Err(message) = check_partition_contract(name, &graph, &view) {
+                prop_assert!(false, "{message}");
+            }
+        }
+        // Swapping exchanges the blocks.
+        prop_assert_eq!(
+            partition.swapped().block(Block::One).len(),
+            partition.block(Block::Two).len()
+        );
+    }
+}

@@ -270,9 +270,7 @@ impl PowerIteration {
         }
 
         // Deterministic, well-spread starting vector.
-        let mut x: Vector = (0..n)
-            .map(|i| 1.0 + ((i as f64) * 0.7511).sin())
-            .collect();
+        let mut x: Vector = (0..n).map(|i| 1.0 + ((i as f64) * 0.7511).sin()).collect();
         x = self.deflated(&x)?;
         if x.norm() == 0.0 {
             x = Vector::basis(n, 0);

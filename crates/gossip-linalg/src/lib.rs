@@ -86,7 +86,10 @@ impl fmt::Display for LinalgError {
             }
             LinalgError::NotSymmetric => write!(f, "matrix is not symmetric"),
             LinalgError::NoConvergence { iterations } => {
-                write!(f, "iteration did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iteration did not converge after {iterations} iterations"
+                )
             }
             LinalgError::Empty => write!(f, "empty operand"),
             LinalgError::RaggedRows => write!(f, "rows have differing lengths"),

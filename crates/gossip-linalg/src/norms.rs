@@ -82,8 +82,12 @@ mod tests {
 
     #[test]
     fn estimate_matches_exact() {
-        let a = Matrix::from_rows(&[vec![2.0, 1.0, 0.0], vec![0.0, 3.0, 1.0], vec![1.0, 0.0, 1.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 3.0, 1.0],
+            vec![1.0, 0.0, 1.0],
+        ])
+        .unwrap();
         let exact = spectral_norm(&a).unwrap();
         let estimate = spectral_norm_estimate(&a, 5000).unwrap();
         assert!((exact - estimate).abs() < 1e-6);

@@ -98,12 +98,7 @@ impl Vector {
     /// Returns [`LinalgError::DimensionMismatch`] if the lengths differ.
     pub fn dot(&self, other: &Vector) -> Result<f64> {
         self.check_same_len(other)?;
-        Ok(self
-            .0
-            .iter()
-            .zip(other.0.iter())
-            .map(|(a, b)| a * b)
-            .sum())
+        Ok(self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum())
     }
 
     /// Euclidean (ℓ2) norm.

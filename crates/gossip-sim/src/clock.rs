@@ -240,7 +240,10 @@ mod tests {
     fn exponential_sample_mean() {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| exponential_sample(&mut rng, 2.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| exponential_sample(&mut rng, 2.0))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean was {mean}");
     }
 
@@ -254,7 +257,10 @@ mod tests {
     #[test]
     fn queue_requires_edges_and_valid_rate() {
         let empty = gossip_graph::Graph::from_edges(3, &[]).unwrap();
-        assert!(matches!(EdgeClockQueue::new(&empty, 1), Err(SimError::NoEdges)));
+        assert!(matches!(
+            EdgeClockQueue::new(&empty, 1),
+            Err(SimError::NoEdges)
+        ));
         let g = path(3).unwrap();
         assert!(EdgeClockQueue::with_rate(&g, 1, 0.0).is_err());
         assert!(EdgeClockQueue::with_rate(&g, 1, f64::NAN).is_err());
@@ -359,6 +365,35 @@ mod tests {
         }
     }
 
+    /// Collects `k` consecutive inter-arrival gaps from any tick sampler.
+    fn interarrivals(clock: &mut impl TickProcess, k: usize) -> Vec<f64> {
+        let mut last = 0.0;
+        let mut out = Vec::with_capacity(k);
+        for _ in 0..k {
+            let t = clock.next_tick().time;
+            out.push(t - last);
+            last = t;
+        }
+        out
+    }
+
+    /// Checks that a sampler's mean inter-arrival time over 4000 ticks is
+    /// `1/|E|` within five standard deviations of the sample mean.
+    fn check_interarrival_mean(
+        clock: &mut impl TickProcess,
+        edge_count: usize,
+    ) -> std::result::Result<(), String> {
+        let ticks = 4_000;
+        let mean = interarrivals(clock, ticks).iter().sum::<f64>() / ticks as f64;
+        let expected = 1.0 / edge_count as f64;
+        // Exp(λ) inter-arrivals: sd of the sample mean is 1/(λ√k).
+        let tol = 5.0 * expected / (ticks as f64).sqrt();
+        if (mean - expected).abs() >= tol {
+            return Err(format!("inter-arrival mean {mean} vs expected {expected}"));
+        }
+        Ok(())
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -381,6 +416,88 @@ mod tests {
                 let ev = clock.next_tick();
                 prop_assert!(ev.time >= last);
                 last = ev.time;
+            }
+        }
+
+        // --- Sampler-equivalence properties -------------------------------
+        //
+        // The two samplers realize the same point process: the union of |E|
+        // independent rate-1 Poisson clocks IS a rate-|E| Poisson process
+        // with uniform edge marks (superposition/thinning).  The properties
+        // below check the two implementations against that common law —
+        // inter-arrival mean AND the full distribution (two-sample
+        // Kolmogorov–Smirnov) plus the per-edge mark frequencies.
+
+        #[test]
+        fn prop_global_interarrival_mean_matches_rate(seed in 0u64..300) {
+            let g = complete(5).unwrap(); // 10 edges, total rate 10
+            let mut clock = GlobalTickProcess::new(&g, seed).unwrap();
+            if let Err(message) = check_interarrival_mean(&mut clock, g.edge_count()) {
+                prop_assert!(false, "{message}");
+            }
+        }
+
+        #[test]
+        fn prop_queue_interarrival_mean_matches_rate(seed in 0u64..300) {
+            let g = complete(5).unwrap();
+            let mut clock = EdgeClockQueue::new(&g, seed).unwrap();
+            if let Err(message) = check_interarrival_mean(&mut clock, g.edge_count()) {
+                prop_assert!(false, "{message}");
+            }
+        }
+
+        #[test]
+        fn prop_samplers_have_ks_close_interarrival_distributions(seed in 0u64..100) {
+            // Two-sample Kolmogorov–Smirnov distance between the
+            // inter-arrival samples of the two implementations.  With
+            // m = k = 4000 the 0.1% critical value is
+            // 1.95·sqrt(2/4000) ≈ 0.0436; the pinned seeds stay well under.
+            let g = complete(5).unwrap();
+            let mut q = EdgeClockQueue::new(&g, seed).unwrap();
+            let mut gp = GlobalTickProcess::new(&g, seed.wrapping_add(0x5eed)).unwrap();
+            let mut a = interarrivals(&mut q, 4_000);
+            let mut b = interarrivals(&mut gp, 4_000);
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            // Sweep the merged order, tracking the empirical-CDF gap.
+            let (mut i, mut j, mut ks) = (0usize, 0usize, 0.0f64);
+            while i < a.len() && j < b.len() {
+                if a[i] <= b[j] {
+                    i += 1;
+                } else {
+                    j += 1;
+                }
+                let gap = (i as f64 / a.len() as f64 - j as f64 / b.len() as f64).abs();
+                ks = ks.max(gap);
+            }
+            prop_assert!(ks < 0.0436, "KS distance {ks} too large");
+        }
+
+        #[test]
+        fn prop_samplers_have_equivalent_edge_marks(seed in 0u64..100) {
+            // Every edge receives ~1/|E| of the ticks under both samplers:
+            // compare each sampler's per-edge frequencies against uniform
+            // with a 5-sigma binomial tolerance.
+            let g = complete(4).unwrap(); // 6 edges
+            let ticks = 6_000u64;
+            let mut q = EdgeClockQueue::new(&g, seed).unwrap();
+            let mut gp = GlobalTickProcess::new(&g, seed.wrapping_add(0x5eed)).unwrap();
+            for _ in 0..ticks {
+                q.next_tick();
+                gp.next_tick();
+            }
+            let p = 1.0 / g.edge_count() as f64;
+            let expected = ticks as f64 * p;
+            let sd = (ticks as f64 * p * (1.0 - p)).sqrt();
+            for e in g.edge_ids() {
+                for (which, count) in
+                    [("queue", q.edge_tick_count(e)), ("global", gp.edge_tick_count(e))]
+                {
+                    prop_assert!(
+                        (count as f64 - expected).abs() < 5.0 * sd,
+                        "{which} sampler: edge {e} got {count} ticks, expected {expected}"
+                    );
+                }
             }
         }
     }

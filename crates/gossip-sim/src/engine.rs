@@ -268,7 +268,7 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                 rec.record(time, ticks, &self.values, false);
             }
 
-            if ticks % self.config.check_every_ticks == 0 {
+            if ticks.is_multiple_of(self.config.check_every_ticks) {
                 self.values.check_finite()?;
                 let status = SimulationStatus {
                     time,
@@ -364,8 +364,7 @@ mod tests {
     fn zero_initial_variance_stops_immediately() {
         let g = complete(3).unwrap();
         let values = NodeValues::constant(3, 5.0);
-        let mut sim =
-            AsyncSimulator::new(&g, values, Vanilla, SimulationConfig::new(1)).unwrap();
+        let mut sim = AsyncSimulator::new(&g, values, Vanilla, SimulationConfig::new(1)).unwrap();
         let outcome = sim.run().unwrap();
         assert_eq!(outcome.total_ticks, 0);
         assert!(outcome.converged());
@@ -456,8 +455,7 @@ mod tests {
     #[test]
     fn trace_recording_and_block_statistics() {
         let (g, partition) = dumbbell(3).unwrap();
-        let initial =
-            NodeValues::from_values(vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0]).unwrap();
+        let initial = NodeValues::from_values(vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0]).unwrap();
         let config = SimulationConfig::new(2)
             .with_partition(partition)
             .with_trace(TraceConfig::every_ticks(1).with_block_statistics())

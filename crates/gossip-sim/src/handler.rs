@@ -156,7 +156,10 @@ mod tests {
         {
             let mut by_ref: &mut Recorder = &mut inner;
             <&mut Recorder as EdgeTickHandler>::on_edge_tick(&mut by_ref, &mut values, &ctx);
-            assert_eq!(<&mut Recorder as EdgeTickHandler>::name(&by_ref), "recorder");
+            assert_eq!(
+                <&mut Recorder as EdgeTickHandler>::name(&by_ref),
+                "recorder"
+            );
         }
         assert_eq!(inner.seen.len(), 1);
 

@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn error_display_nonempty() {
         let errors = [
-            SimError::StateSizeMismatch { nodes: 3, values: 4 },
+            SimError::StateSizeMismatch {
+                nodes: 3,
+                values: 4,
+            },
             SimError::NoEdges,
             SimError::NonFiniteValue { node: 2 },
             SimError::EventBudgetExhausted { events: 10 },

@@ -191,12 +191,18 @@ mod tests {
             StoppingRule::max_time(10.0).evaluate(&status(10.0, 0, 1.0, 1.0)),
             Some(StopReason::TimeLimit)
         );
-        assert_eq!(StoppingRule::max_time(10.0).evaluate(&status(9.9, 0, 1.0, 1.0)), None);
+        assert_eq!(
+            StoppingRule::max_time(10.0).evaluate(&status(9.9, 0, 1.0, 1.0)),
+            None
+        );
         assert_eq!(
             StoppingRule::max_ticks(100).evaluate(&status(0.0, 100, 1.0, 1.0)),
             Some(StopReason::TickLimit)
         );
-        assert_eq!(StoppingRule::max_ticks(100).evaluate(&status(0.0, 99, 1.0, 1.0)), None);
+        assert_eq!(
+            StoppingRule::max_ticks(100).evaluate(&status(0.0, 99, 1.0, 1.0)),
+            None
+        );
     }
 
     #[test]

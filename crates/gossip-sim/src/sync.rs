@@ -156,7 +156,12 @@ impl<'g, H: RoundHandler> SyncSimulator<'g, H> {
     ///
     /// Returns [`SimError::StateSizeMismatch`] or [`SimError::NonFiniteValue`]
     /// for invalid initial states.
-    pub fn new(graph: &'g Graph, initial: NodeValues, handler: H, config: SyncConfig) -> Result<Self> {
+    pub fn new(
+        graph: &'g Graph,
+        initial: NodeValues,
+        handler: H,
+        config: SyncConfig,
+    ) -> Result<Self> {
         if initial.len() != graph.node_count() {
             return Err(SimError::StateSizeMismatch {
                 nodes: graph.node_count(),

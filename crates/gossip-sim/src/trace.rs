@@ -134,7 +134,7 @@ impl TraceRecorder {
     /// subject to downsampling.  `force` bypasses downsampling (used for the
     /// final state).
     pub fn record(&mut self, time: f64, tick: u64, values: &NodeValues, force: bool) {
-        if !force && tick % self.config.sample_every_ticks != 0 && tick != 1 {
+        if !force && !tick.is_multiple_of(self.config.sample_every_ticks) && tick != 1 {
             return;
         }
         self.push_point(time, tick, values);
@@ -234,10 +234,7 @@ mod tests {
 
     #[test]
     fn block_statistics_absent_without_partition() {
-        let mut rec = TraceRecorder::new(
-            TraceConfig::every_ticks(1).with_block_statistics(),
-            None,
-        );
+        let mut rec = TraceRecorder::new(TraceConfig::every_ticks(1).with_block_statistics(), None);
         let values = NodeValues::from_values(vec![1.0, -1.0]).unwrap();
         rec.record(0.1, 1, &values, false);
         let trace = rec.finish();

@@ -101,7 +101,7 @@ impl InitialCondition {
                 v
             }
             InitialCondition::Uniform { lo, hi } => {
-                if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+                if !lo.is_finite() || !hi.is_finite() || *lo >= *hi {
                     return Err(WorkloadError::InvalidParameter {
                         reason: format!("invalid uniform range [{lo}, {hi}]"),
                     });
@@ -110,7 +110,7 @@ impl InitialCondition {
                 (0..n).map(|_| rng.gen_range(*lo..*hi)).collect()
             }
             InitialCondition::Gaussian { mean, std } => {
-                if !(std.is_finite() && *std >= 0.0) || !mean.is_finite() {
+                if !(std.is_finite() && *std >= 0.0 && mean.is_finite()) {
                     return Err(WorkloadError::InvalidParameter {
                         reason: format!("invalid gaussian parameters mean = {mean}, std = {std}"),
                     });
@@ -121,8 +121,7 @@ impl InitialCondition {
                         // Box–Muller transform.
                         let u1: f64 = rng.gen::<f64>().max(1e-300);
                         let u2: f64 = rng.gen();
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         mean + std * z
                     })
                     .collect()
@@ -176,7 +175,9 @@ mod tests {
         assert!(v.mean().abs() < 1e-12);
         assert_eq!(v.get(gossip_graph::NodeId(0)), 1.0);
         assert_eq!(v.get(gossip_graph::NodeId(7)), -1.0);
-        assert!(InitialCondition::AdversarialCut.generate(8, None, 0).is_err());
+        assert!(InitialCondition::AdversarialCut
+            .generate(8, None, 0)
+            .is_err());
         assert!(InitialCondition::AdversarialCut
             .generate(9, Some(&p), 0)
             .is_err());
@@ -223,9 +224,12 @@ mod tests {
             .generate(5, None, 0)
             .is_err());
 
-        let g = InitialCondition::Gaussian { mean: 2.0, std: 0.5 }
-            .generate(2000, None, 3)
-            .unwrap();
+        let g = InitialCondition::Gaussian {
+            mean: 2.0,
+            std: 0.5,
+        }
+        .generate(2000, None, 3)
+        .unwrap();
         assert!((g.mean() - 2.0).abs() < 0.1);
         assert!((g.variance().sqrt() - 0.5).abs() < 0.05);
         assert!(InitialCondition::Gaussian {
@@ -254,12 +258,14 @@ mod tests {
             InitialCondition::AdversarialCut,
             InitialCondition::Spike { spike_at: 0 },
             InitialCondition::Uniform { lo: 0.0, hi: 1.0 },
-            InitialCondition::Gaussian { mean: 0.0, std: 1.0 },
+            InitialCondition::Gaussian {
+                mean: 0.0,
+                std: 1.0,
+            },
             InitialCondition::LinearField,
             InitialCondition::Explicit(vec![]),
         ];
-        let names: std::collections::BTreeSet<&str> =
-            conditions.iter().map(|c| c.name()).collect();
+        let names: std::collections::BTreeSet<&str> = conditions.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), conditions.len());
     }
 }

@@ -96,7 +96,9 @@ impl Scenario {
         match self {
             Scenario::Dumbbell { half } => format!("dumbbell-{half}"),
             Scenario::Barbell { left, right } => format!("barbell-{left}-{right}"),
-            Scenario::BridgedClusters { n1, n2, bridges, .. } => {
+            Scenario::BridgedClusters {
+                n1, n2, bridges, ..
+            } => {
                 format!("bridged-{n1}-{n2}-b{bridges}")
             }
             Scenario::TwoBlockSbm { n1, n2, .. } => format!("sbm-{n1}-{n2}"),

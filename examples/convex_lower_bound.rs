@@ -23,11 +23,16 @@ struct DriftWatcher {
 impl EdgeTickHandler for DriftWatcher {
     fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
         let crosses = self.partition.is_cut_edge(&ctx.edge);
-        let before = values.block_mean(&self.partition, sparse_cut_gossip::graph::partition::Block::One);
+        let before = values.block_mean(
+            &self.partition,
+            sparse_cut_gossip::graph::partition::Block::One,
+        );
         self.inner.on_edge_tick(values, ctx);
         if crosses {
-            let after =
-                values.block_mean(&self.partition, sparse_cut_gossip::graph::partition::Block::One);
+            let after = values.block_mean(
+                &self.partition,
+                sparse_cut_gossip::graph::partition::Block::One,
+            );
             self.cut_ticks += 1;
             self.max_step = self.max_step.max((after - before).abs());
         }
@@ -57,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = simulator.run()?;
     let watcher = simulator.handler();
 
-    println!("dumbbell n = {}, n1 = {}, |E12| = 1", graph.node_count(), n1);
+    println!(
+        "dumbbell n = {}, n1 = {}, |E12| = 1",
+        graph.node_count(),
+        n1
+    );
     println!("simulated horizon: t = {horizon}");
     println!();
     println!(

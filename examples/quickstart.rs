@@ -55,7 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vanilla.variance_ratio()
     );
 
-    let algorithm = SparseCutAlgorithm::from_partition(&graph, &partition, SparseCutConfig::default())?;
+    let algorithm =
+        SparseCutAlgorithm::from_partition(&graph, &partition, SparseCutConfig::default())?;
     println!(
         "Algorithm A         : designated edge {}, epoch = {} ticks, gamma = {}",
         algorithm.designated_edge(),

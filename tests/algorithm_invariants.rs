@@ -2,6 +2,9 @@
 //! converges to the true average on well-connected graphs, and behaves
 //! sensibly under the full simulator stack.
 
+mod common;
+
+use common::dumbbell_fixture;
 use proptest::prelude::*;
 use sparse_cut_gossip::prelude::*;
 
@@ -20,7 +23,7 @@ fn all_async_algorithms(graph: &Graph, partition: &Partition) -> Vec<Box<dyn Edg
 
 #[test]
 fn every_algorithm_conserves_the_mean_and_converges_on_the_dumbbell() {
-    let (graph, partition) = dumbbell(10).expect("valid dumbbell");
+    let (graph, partition) = dumbbell_fixture(10);
     let initial = InitialCondition::Uniform { lo: -3.0, hi: 5.0 }
         .generate(graph.node_count(), Some(&partition), 99)
         .expect("valid initial condition");
@@ -49,7 +52,7 @@ fn every_algorithm_conserves_the_mean_and_converges_on_the_dumbbell() {
 
 #[test]
 fn synchronous_baselines_converge_and_conserve_mass() {
-    let (graph, partition) = dumbbell(10).expect("valid dumbbell");
+    let (graph, partition) = dumbbell_fixture(10);
     let initial = InitialCondition::AdversarialCut
         .generate(graph.node_count(), Some(&partition), 0)
         .expect("valid initial condition");
@@ -79,15 +82,11 @@ fn synchronous_baselines_converge_and_conserve_mass() {
 #[test]
 fn spectral_and_empirical_vanilla_times_agree_within_an_order_of_magnitude() {
     let graph = complete(16).expect("valid graph");
-    let partition = Partition::from_block_one(
-        &graph,
-        &(0..8).map(NodeId).collect::<Vec<_>>(),
-    )
-    .expect("valid partition");
+    let partition = Partition::from_block_one(&graph, &(0..8).map(NodeId).collect::<Vec<_>>())
+        .expect("valid partition");
     let spectral = sparse_cut_gossip::core::bounds::t_van_spectral(&graph).expect("connected");
-    let estimator = AveragingTimeEstimator::new(
-        EstimatorConfig::new(5).with_runs(5).with_max_time(2_000.0),
-    );
+    let estimator =
+        AveragingTimeEstimator::new(EstimatorConfig::new(5).with_runs(5).with_max_time(2_000.0));
     let empirical = estimator
         .estimate(&graph, &partition, VanillaGossip::new)
         .expect("estimation succeeds")
@@ -103,7 +102,7 @@ fn algorithm_a_trace_shows_nonmonotone_variance_but_final_convergence() {
     // The hallmark of the non-convex update: the variance spikes at
     // transfers yet the run still converges — unlike any convex algorithm,
     // whose variance is monotone.
-    let (graph, partition) = dumbbell(12).expect("valid dumbbell");
+    let (graph, partition) = dumbbell_fixture(12);
     // The cut-aligned adversarial vector forces the non-convex transfer to do
     // real work (and hence to visibly spike the variance before mixing).
     let initial = InitialCondition::AdversarialCut
@@ -136,7 +135,7 @@ proptest! {
 
     #[test]
     fn prop_simulations_preserve_mass_for_every_seed(seed in 0u64..1000) {
-        let (graph, partition) = dumbbell(6).expect("valid dumbbell");
+        let (graph, partition) = dumbbell_fixture(6);
         let initial = InitialCondition::Gaussian { mean: 2.0, std: 1.0 }
             .generate(graph.node_count(), Some(&partition), seed)
             .expect("valid initial condition");
@@ -157,7 +156,7 @@ proptest! {
 
     #[test]
     fn prop_convex_runs_have_monotone_variance_traces(seed in 0u64..500) {
-        let (graph, partition) = dumbbell(5).expect("valid dumbbell");
+        let (graph, partition) = dumbbell_fixture(5);
         let initial = InitialCondition::Uniform { lo: 0.0, hi: 1.0 }
             .generate(graph.node_count(), Some(&partition), seed)
             .expect("valid initial condition");

@@ -1,0 +1,137 @@
+//! Shared fixtures and seed registry for the workspace integration suites.
+//!
+//! Every integration suite builds its graphs and estimators through this
+//! module instead of re-deriving them, so that (a) the sizes and estimator
+//! settings stay consistent across suites and (b) every stochastic run is
+//! pinned to a seed recorded in [`seeds`].
+//!
+//! # Determinism contract
+//!
+//! Nothing in this workspace draws OS entropy: the simulator's Poisson
+//! clocks, the random graph generators, and the vendored property-test
+//! harness are all pure functions of their seeds (see `vendor/README.md`).
+//! Consequently a passing assertion is stable across runs and machines for
+//! a fixed toolchain — the margins in the shape suites only need to absorb
+//! *model* variance (which seed was picked), not run-to-run jitter.  Seeds
+//! below were validated against the vendored ChaCha8 stream; if the vendored
+//! RNG stack is ever replaced by crates.io `rand`, re-validate them.
+
+#![allow(dead_code)] // each test binary uses its own subset of the fixtures
+
+use sparse_cut_gossip::prelude::*;
+
+/// The seed registry: every pinned seed used by the integration suites,
+/// in one place so collisions and reuse are visible at a glance.
+pub mod seeds {
+    /// `theorem1_shape`: vanilla gossip at half = 8.
+    pub const THEOREM1_VANILLA_SMALL: u64 = 11;
+    /// `theorem1_shape`: vanilla gossip at half = 32.
+    pub const THEOREM1_VANILLA_LARGE: u64 = 12;
+    /// `theorem1_shape`: weighted convex member.
+    pub const THEOREM1_WEIGHTED: u64 = 21;
+    /// `theorem1_shape`: random-neighbour member.
+    pub const THEOREM1_RANDOM_NEIGHBOR: u64 = 22;
+    /// `theorem1_shape`: narrow-cut bridged clusters.
+    pub const THEOREM1_NARROW_CUT: u64 = 31;
+    /// `theorem1_shape`: wide-cut bridged clusters.
+    pub const THEOREM1_WIDE_CUT: u64 = 32;
+    /// `theorem2_shape`: vanilla baseline of the head-to-head comparison.
+    pub const THEOREM2_VANILLA: u64 = 41;
+    /// `theorem2_shape`: Algorithm A in the head-to-head comparison.
+    pub const THEOREM2_ALGO_A: u64 = 42;
+    /// `theorem2_shape`: growth-rate measurement (offsets 0/1 per size).
+    pub const THEOREM2_GROWTH_VANILLA: u64 = 50;
+    /// `theorem2_shape`: growth-rate measurement for Algorithm A.
+    pub const THEOREM2_GROWTH_ALGO_A: u64 = 60;
+    /// `theorem2_shape`: speed-up at the small size.
+    pub const THEOREM2_SPEEDUP_SMALL: u64 = 70;
+    /// `theorem2_shape`: speed-up at the large size.
+    pub const THEOREM2_SPEEDUP_LARGE: u64 = 80;
+    /// `theorem2_shape`: Theorem 2 scale comparison.
+    pub const THEOREM2_SCALE: u64 = 91;
+    /// `harness_properties`: Theorem 1 floor sweep base seed.
+    pub const HARNESS_THEOREM1_FLOOR: u64 = 301;
+    /// `workloads_end_to_end` and `algorithm_invariants` keep their original
+    /// inline seeds (0, 4, 5, 17, 23, 99) — documented here for the
+    /// registry's completeness.
+    pub const INVARIANTS_BASE: u64 = 0;
+}
+
+/// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.
+pub fn dumbbell_fixture(half: usize) -> (Graph, Partition) {
+    dumbbell(half).expect("dumbbell sizes used in tests are valid")
+}
+
+/// Asymmetric barbell: `K_left` and `K_right` joined by one edge.
+pub fn barbell_fixture(left: usize, right: usize) -> (Graph, Partition) {
+    barbell(left, right).expect("barbell sizes used in tests are valid")
+}
+
+/// Two Erdős–Rényi clusters joined by `bridges` edges.
+pub fn bridged_fixture(
+    a: usize,
+    b: usize,
+    bridges: usize,
+    p: f64,
+    seed: u64,
+) -> (Graph, Partition) {
+    bridged_clusters(a, b, bridges, p, seed).expect("bridged-cluster parameters are valid")
+}
+
+/// The canonical estimator configuration of the shape suites: 4 independent
+/// runs, a time horizon proportional to the Theorem 1 bound (plus `slack`
+/// absolute time for small instances), and variance checks every ~|E|/10
+/// ticks so the Definition 1 settling time is located cheaply.
+pub fn shape_estimator(
+    graph: &Graph,
+    partition: &Partition,
+    seed: u64,
+    slack: f64,
+) -> AveragingTimeEstimator {
+    AveragingTimeEstimator::new(
+        EstimatorConfig::new(seed)
+            .with_runs(4)
+            .with_max_time(80.0 * theorem1_lower_bound(partition) + slack)
+            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
+    )
+}
+
+/// Measures the Definition 1 averaging time of `factory`'s algorithm on
+/// `(graph, partition)` under the canonical shape configuration, asserting
+/// that every run actually settled below the confirmation level.
+pub fn measure_averaging_time<H, F>(
+    graph: &Graph,
+    partition: &Partition,
+    factory: F,
+    seed: u64,
+    slack: f64,
+) -> f64
+where
+    H: EdgeTickHandler,
+    F: Fn() -> H,
+{
+    let estimate = shape_estimator(graph, partition, seed, slack)
+        .estimate(graph, partition, factory)
+        .expect("estimation succeeds");
+    assert!(
+        estimate.fully_confirmed(),
+        "runs must converge below the confirmation level"
+    );
+    estimate.averaging_time
+}
+
+/// Factory for the paper's Algorithm A with the epoch constant the shape
+/// suites standardize on.
+pub fn algorithm_a_factory<'a>(
+    graph: &'a Graph,
+    partition: &'a Partition,
+) -> impl Fn() -> SparseCutAlgorithm + 'a {
+    move || {
+        SparseCutAlgorithm::from_partition(
+            graph,
+            partition,
+            SparseCutConfig::new().with_epoch_constant(2.0),
+        )
+        .expect("valid partition")
+    }
+}

@@ -2,7 +2,18 @@
 //! convex (class `C`) algorithm's measured averaging time scales with the
 //! `min(n₁,n₂)/|E₁₂|` lower bound, and in particular grows roughly linearly
 //! with `n`.
+//!
+//! # Seed policy
+//!
+//! Every estimator run is pinned to a seed from `common::seeds`
+//! (THEOREM1_*).  The whole stack is deterministic per seed (see
+//! `vendor/README.md`), so the margins below — 0.3× against the bound,
+//! ≥2× growth under 4× size, ≥1.5× narrow-vs-wide cut — were validated
+//! against the pinned sample paths and hold identically on every rerun.
 
+mod common;
+
+use common::{bridged_fixture, dumbbell_fixture, measure_averaging_time, seeds};
 use sparse_cut_gossip::prelude::*;
 
 fn measure<H, F>(half: usize, factory: F, seed: u64) -> (f64, f64)
@@ -10,27 +21,15 @@ where
     H: EdgeTickHandler,
     F: Fn() -> H,
 {
-    let (graph, partition) = dumbbell(half).expect("valid dumbbell");
-    let estimator = AveragingTimeEstimator::new(
-        EstimatorConfig::new(seed)
-            .with_runs(4)
-            .with_max_time(80.0 * theorem1_lower_bound(&partition) + 200.0)
-            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
-    );
-    let estimate = estimator
-        .estimate(&graph, &partition, factory)
-        .expect("estimation succeeds");
-    assert!(
-        estimate.fully_confirmed(),
-        "runs must converge below the confirmation level"
-    );
-    (estimate.averaging_time, theorem1_lower_bound(&partition))
+    let (graph, partition) = dumbbell_fixture(half);
+    let time = measure_averaging_time(&graph, &partition, factory, seed, 200.0);
+    (time, theorem1_lower_bound(&partition))
 }
 
 #[test]
 fn vanilla_gossip_is_lower_bounded_and_grows_with_n() {
-    let (t_small, bound_small) = measure(8, VanillaGossip::new, 11);
-    let (t_large, bound_large) = measure(32, VanillaGossip::new, 12);
+    let (t_small, bound_small) = measure(8, VanillaGossip::new, seeds::THEOREM1_VANILLA_SMALL);
+    let (t_large, bound_large) = measure(32, VanillaGossip::new, seeds::THEOREM1_VANILLA_LARGE);
     // The measured time respects (a constant times) the Theorem 1 bound.
     assert!(
         t_small > 0.3 * bound_small,
@@ -50,12 +49,20 @@ fn vanilla_gossip_is_lower_bounded_and_grows_with_n() {
 
 #[test]
 fn other_convex_members_are_also_cut_limited() {
-    let (weighted, bound) = measure(16, || WeightedConvexGossip::new(0.7).unwrap(), 21);
+    let (weighted, bound) = measure(
+        16,
+        || WeightedConvexGossip::new(0.7).unwrap(),
+        seeds::THEOREM1_WEIGHTED,
+    );
     assert!(
         weighted > 0.3 * bound,
         "weighted convex gossip {weighted} beat the bound {bound}"
     );
-    let (random_neighbor, bound) = measure(16, || RandomNeighborGossip::new(77), 22);
+    let (random_neighbor, bound) = measure(
+        16,
+        || RandomNeighborGossip::new(77),
+        seeds::THEOREM1_RANDOM_NEIGHBOR,
+    );
     assert!(
         random_neighbor > 0.3 * bound,
         "random-neighbour gossip {random_neighbor} beat the bound {bound}"
@@ -67,8 +74,7 @@ fn lower_bound_weakens_as_the_cut_widens() {
     // With more bridge edges the Theorem 1 bound shrinks and vanilla gossip
     // indeed gets faster.
     let time_with_bridges = |bridges: usize, seed: u64| {
-        let (graph, partition) =
-            bridged_clusters(12, 12, bridges, 0.6, 3).expect("valid clusters");
+        let (graph, partition) = bridged_fixture(12, 12, bridges, 0.6, 3);
         let estimator = AveragingTimeEstimator::new(
             EstimatorConfig::new(seed)
                 .with_runs(4)
@@ -80,8 +86,8 @@ fn lower_bound_weakens_as_the_cut_widens() {
             .expect("estimation succeeds")
             .averaging_time
     };
-    let narrow = time_with_bridges(1, 31);
-    let wide = time_with_bridges(8, 32);
+    let narrow = time_with_bridges(1, seeds::THEOREM1_NARROW_CUT);
+    let wide = time_with_bridges(8, seeds::THEOREM1_WIDE_CUT);
     assert!(
         narrow > 1.5 * wide,
         "a single-bridge cut ({narrow}) should be much slower than an 8-bridge cut ({wide})"

@@ -2,22 +2,22 @@
 //! through the full stack (generator → partition → algorithm → simulator →
 //! estimator) and produces sane results.
 
+mod common;
+
+use common::shape_estimator;
 use sparse_cut_gossip::prelude::*;
 use sparse_cut_gossip::workloads::scenarios::robustness_suite;
 
 #[test]
 fn robustness_suite_runs_both_algorithms_end_to_end() {
     for (index, scenario) in robustness_suite(24).into_iter().enumerate() {
-        let instance = scenario.instantiate(7 + index as u64).expect("valid scenario");
+        let instance = scenario
+            .instantiate(7 + index as u64)
+            .expect("valid scenario");
         instance.validate_notation1().expect("Notation 1 holds");
         let graph = &instance.graph;
         let partition = &instance.partition;
-        let estimator = AveragingTimeEstimator::new(
-            EstimatorConfig::new(13 + index as u64)
-                .with_runs(3)
-                .with_max_time(80.0 * theorem1_lower_bound(partition) + 400.0)
-                .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
-        );
+        let estimator = shape_estimator(graph, partition, 13 + index as u64, 400.0);
         let vanilla = estimator
             .estimate(graph, partition, VanillaGossip::new)
             .expect("vanilla estimation succeeds");
@@ -27,8 +27,16 @@ fn robustness_suite_runs_both_algorithms_end_to_end() {
                     .expect("valid partition")
             })
             .expect("Algorithm A estimation succeeds");
-        assert!(vanilla.fully_confirmed(), "{}: vanilla censored", instance.name);
-        assert!(algo.fully_confirmed(), "{}: Algorithm A censored", instance.name);
+        assert!(
+            vanilla.fully_confirmed(),
+            "{}: vanilla censored",
+            instance.name
+        );
+        assert!(
+            algo.fully_confirmed(),
+            "{}: Algorithm A censored",
+            instance.name
+        );
         assert!(vanilla.averaging_time > 0.0);
         assert!(algo.averaging_time > 0.0);
     }
@@ -48,7 +56,10 @@ fn every_initial_condition_runs_on_the_grid_corridor() {
         InitialCondition::AdversarialCut,
         InitialCondition::Spike { spike_at: 0 },
         InitialCondition::Uniform { lo: -1.0, hi: 1.0 },
-        InitialCondition::Gaussian { mean: 5.0, std: 2.0 },
+        InitialCondition::Gaussian {
+            mean: 5.0,
+            std: 2.0,
+        },
         InitialCondition::LinearField,
     ];
     for condition in conditions {

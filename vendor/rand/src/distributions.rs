@@ -1,0 +1,39 @@
+//! Distribution types (`rand::distributions` subset).
+
+use crate::{RngCore, StandardSample};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard distribution: `[0, 1)` for floats, uniform for integers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl<T: StandardSample> Distribution<T> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::standard_sample(rng)
+    }
+}
+
+/// Uniform distribution over `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    lo: T,
+    hi: T,
+}
+
+impl<T: crate::SampleUniform + Copy> Uniform<T> {
+    /// Creates the distribution; `lo < hi` must hold.
+    pub fn new(lo: T, hi: T) -> Self {
+        Uniform { lo, hi }
+    }
+}
+
+impl<T: crate::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.lo, self.hi)
+    }
+}

@@ -1,0 +1,109 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the [`Serialize`]/[`Deserialize`] trait names (so the seed
+//! code's `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile without registry access)
+//! plus a minimal JSON-oriented data model: [`Serialize`] renders straight
+//! into a [`json::Value`].  Impls are provided for the std types the
+//! workspace serializes; derived impls are a no-op (see the vendored
+//! `serde_derive`), and the one type that is actually written to disk
+//! implements the trait by hand.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json {
+    //! The minimal JSON document model the vendored `serde_json` renders.
+
+    /// A JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`
+        Null,
+        /// `true` / `false`
+        Bool(bool),
+        /// Any finite number (non-finite floats render as `null`).
+        Number(f64),
+        /// A string.
+        String(String),
+        /// An array.
+        Array(Vec<Value>),
+        /// An object with insertion-ordered keys.
+        Object(Vec<(String, Value)>),
+    }
+}
+
+/// Types that can be rendered to JSON.
+///
+/// This is the vendored stand-in for `serde::Serialize`.  The derive macro
+/// is a no-op, so only types with hand-written impls (plus the std impls
+/// below) satisfy this bound — which is exactly the set of types the
+/// workspace passes to `serde_json`.
+pub trait Serialize {
+    /// Converts `self` into a JSON value.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Marker for deserializable types; the vendored stand-in for
+/// `serde::Deserialize`.  No deserializer exists in this workspace, so the
+/// trait is empty.
+pub trait Deserialize<'de>: Sized {}
+
+use json::Value;
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+macro_rules! impl_serialize_num {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+impl_serialize_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real derive macros generate `Serialize`/`Deserialize` impls; this
+//! stub accepts the same `#[derive(Serialize, Deserialize)]` syntax and
+//! emits **nothing**, so annotated types compile but do not implement the
+//! traits.  The one type this workspace actually serializes
+//! (`gossip_bench::Table`) carries a hand-written impl instead.  Swap this
+//! crate for the real one when registry access exists; call sites are
+//! unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive: accepted, generates no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive: accepted, generates no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

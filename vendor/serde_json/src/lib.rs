@@ -1,0 +1,149 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde` data
+//! model to JSON text.  Only the entry points this workspace calls are
+//! provided (`to_string`, `to_string_pretty`).
+
+#![forbid(unsafe_code)]
+
+use serde::json::Value;
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error.  The vendored data model is infallible, so this is
+/// never produced at runtime; it exists so call sites written against the
+/// real `serde_json` API compile unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to a pretty-printed (2-space indented) JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_json_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+fn render(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(x) => {
+            if x.is_finite() {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{}", *x as i64));
+                } else {
+                    out.push_str(&format!("{x}"));
+                }
+            } else {
+                // Like serde_json with default settings: non-finite -> null.
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                render(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                escape_into(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, out, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::json::Value;
+
+    #[test]
+    fn renders_nested_structures() {
+        let value = Value::Object(vec![
+            ("title".to_string(), Value::String("E1".to_string())),
+            (
+                "rows".to_string(),
+                Value::Array(vec![Value::Number(1.0), Value::Number(2.5)]),
+            ),
+        ]);
+        let mut compact = String::new();
+        render(&value, &mut compact, None, 0);
+        assert_eq!(compact, r#"{"title":"E1","rows":[1,2.5]}"#);
+        let pretty = to_string_pretty(&vec!["a".to_string()]).unwrap();
+        assert_eq!(pretty, "[\n  \"a\"\n]");
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let rendered = to_string(&"line\n\"quote\"\\\u{1}".to_string()).unwrap();
+        assert_eq!(rendered, "\"line\\n\\\"quote\\\"\\\\\\u0001\"");
+    }
+}
