@@ -10,14 +10,23 @@
 //! cargo run -p gossip-bench --release --bin experiments -- --quick  # reduced sizes
 //! cargo run -p gossip-bench --release --bin experiments -- --only E1 E3
 //! cargo run -p gossip-bench --release --bin experiments -- --json results.json
+//! cargo run -p gossip-bench --release --bin experiments -- --only SCALE
 //! ```
+//!
+//! Whenever the SCALE experiment runs, its report (spectral quantities plus
+//! wall-clock timings of the sparse pipeline) is additionally written to
+//! `BENCH_scale.json` (path overridable with `--scale-json <path>`) to seed
+//! the perf trajectory.
 
 use gossip_bench::runner::{self, HarnessConfig};
 use gossip_bench::Table;
 use std::collections::BTreeSet;
 
 fn print_usage() {
-    eprintln!("usage: experiments [--quick] [--seed <u64>] [--only E1 E2 ...] [--json <path>]");
+    eprintln!(
+        "usage: experiments [--quick] [--seed <u64>] [--only E1 E2 ... SCALE] \
+         [--json <path>] [--scale-json <path>]"
+    );
 }
 
 fn main() {
@@ -25,6 +34,7 @@ fn main() {
     let mut config = HarnessConfig::full();
     let mut only: BTreeSet<String> = BTreeSet::new();
     let mut json_path: Option<String> = None;
+    let mut scale_json_path = String::from("BENCH_scale.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -60,6 +70,17 @@ fn main() {
                     }
                 }
             }
+            "--scale-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => scale_json_path = path.clone(),
+                    None => {
+                        eprintln!("--scale-json requires a path");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -75,8 +96,9 @@ fn main() {
 
     let wanted = |id: &str| only.is_empty() || only.contains(id);
     let mut tables: Vec<Table> = Vec::new();
+    let mut scale_report: Option<runner::ScaleReport> = None;
 
-    let run = || -> runner::BenchResult<Vec<Table>> {
+    let run = |scale_report: &mut Option<runner::ScaleReport>| -> runner::BenchResult<Vec<Table>> {
         let mut out = Vec::new();
         if wanted("E1") || wanted("E2") || wanted("E3") {
             let sweep = runner::run_dumbbell_sweep(&config)?;
@@ -113,10 +135,15 @@ fn main() {
         if wanted("E10") {
             out.push(runner::run_e10(&config)?.1);
         }
+        if wanted("SCALE") {
+            let (report, table) = runner::run_scale(&config)?;
+            *scale_report = Some(report);
+            out.push(table);
+        }
         Ok(out)
     };
 
-    match run() {
+    match run(&mut scale_report) {
         Ok(result) => tables.extend(result),
         Err(error) => {
             eprintln!("experiment harness failed: {error}");
@@ -131,6 +158,22 @@ fn main() {
     );
     for table in &tables {
         println!("{table}");
+    }
+
+    if let Some(report) = &scale_report {
+        match serde_json::to_string_pretty(report) {
+            Ok(json) => {
+                if let Err(error) = std::fs::write(&scale_json_path, json) {
+                    eprintln!("failed to write {scale_json_path}: {error}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote scale report to {scale_json_path}");
+            }
+            Err(error) => {
+                eprintln!("failed to serialize scale report: {error}");
+                std::process::exit(1);
+            }
+        }
     }
 
     if let Some(path) = json_path {

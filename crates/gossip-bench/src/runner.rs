@@ -741,6 +741,176 @@ pub fn run_e10(config: &HarnessConfig) -> BenchResult<(Vec<E10Row>, Table)> {
 }
 
 // ---------------------------------------------------------------------------
+// Scale: the sparse spectral pipeline at large n.
+// ---------------------------------------------------------------------------
+
+/// One row of the scaling-tier experiment: the sparse-path spectral profile
+/// of a bounded-degree sparse-cut family, with wall-clock build/solve times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleRow {
+    /// Scenario name (from `Scenario::name`).
+    pub family: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges (the sparse path is O(|E|) per matvec).
+    pub edges: usize,
+    /// Cut width `|E12|` of the canonical partition.
+    pub cut_edges: usize,
+    /// Fiedler value `λ₂` of the Laplacian.
+    pub algebraic_connectivity: f64,
+    /// Largest Laplacian eigenvalue.
+    pub laplacian_lambda_max: f64,
+    /// Spectral gap of the expected gossip matrix `W̄`.
+    pub gossip_spectral_gap: f64,
+    /// Spectral `T_van` estimate in absolute time.
+    pub t_van_estimate: f64,
+    /// Wall-clock milliseconds to build the graph.
+    pub build_ms: f64,
+    /// Wall-clock milliseconds for the sparse spectral profile.
+    pub spectral_ms: f64,
+}
+
+/// The scaling-tier report serialized to `BENCH_scale.json`: the perf
+/// trajectory's seed artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleReport {
+    /// Whether the quick size grid was used.
+    pub quick: bool,
+    /// Harness seed (scenario instantiation only — the spectral pipeline
+    /// itself is deterministic).
+    pub seed: u64,
+    /// The dense/sparse dispatch threshold in effect.
+    pub sparse_dispatch_threshold: usize,
+    /// Largest dense matrix dimension allocated while the experiment ran —
+    /// must stay below the threshold, proving the large-n path is sparse.
+    pub largest_dense_dimension: usize,
+    /// One row per (size, family) pair.
+    pub rows: Vec<ScaleRow>,
+}
+
+// The vendored serde derive is a no-op (see vendor/README.md), so the types
+// written to BENCH_scale.json carry hand-written impls like `Table` does.
+impl serde::Serialize for ScaleRow {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("family".to_string(), self.family.to_json_value()),
+            ("n".to_string(), self.n.to_json_value()),
+            ("edges".to_string(), self.edges.to_json_value()),
+            ("cut_edges".to_string(), self.cut_edges.to_json_value()),
+            (
+                "algebraic_connectivity".to_string(),
+                self.algebraic_connectivity.to_json_value(),
+            ),
+            (
+                "laplacian_lambda_max".to_string(),
+                self.laplacian_lambda_max.to_json_value(),
+            ),
+            (
+                "gossip_spectral_gap".to_string(),
+                self.gossip_spectral_gap.to_json_value(),
+            ),
+            (
+                "t_van_estimate".to_string(),
+                self.t_van_estimate.to_json_value(),
+            ),
+            ("build_ms".to_string(), self.build_ms.to_json_value()),
+            ("spectral_ms".to_string(), self.spectral_ms.to_json_value()),
+        ])
+    }
+}
+
+impl serde::Serialize for ScaleReport {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("quick".to_string(), self.quick.to_json_value()),
+            ("seed".to_string(), self.seed.to_json_value()),
+            (
+                "sparse_dispatch_threshold".to_string(),
+                self.sparse_dispatch_threshold.to_json_value(),
+            ),
+            (
+                "largest_dense_dimension".to_string(),
+                self.largest_dense_dimension.to_json_value(),
+            ),
+            ("rows".to_string(), self.rows.to_json_value()),
+        ])
+    }
+}
+
+/// Runs the scaling-tier experiment: for every size in the scale grid and
+/// every bounded-degree family, pushes a `SpectralProfile` + `T_van`
+/// estimate through the sparse CSR/Lanczos path and records timings.
+///
+/// # Errors
+///
+/// Propagates graph-construction and eigensolver errors.
+pub fn run_scale(config: &HarnessConfig) -> BenchResult<(ScaleReport, Table)> {
+    gossip_linalg::matrix::reset_largest_dense_dimension();
+    let sweep = sweep::scale_sweep(config.quick);
+    let mut rows = Vec::new();
+    for (index, scenario) in sweep.iter().enumerate() {
+        let build_start = std::time::Instant::now();
+        let instance = scenario.instantiate(config.seed.wrapping_add(1200 + index as u64))?;
+        let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+        let spectral_start = std::time::Instant::now();
+        let profile = gossip_graph::spectral::SpectralProfile::compute(&instance.graph)?;
+        let t_van = profile.vanilla_averaging_time_estimate();
+        let spectral_ms = spectral_start.elapsed().as_secs_f64() * 1e3;
+        rows.push(ScaleRow {
+            family: instance.name.clone(),
+            n: instance.graph.node_count(),
+            edges: instance.graph.edge_count(),
+            cut_edges: instance.partition.cut_edge_count(),
+            algebraic_connectivity: profile.algebraic_connectivity,
+            laplacian_lambda_max: profile.laplacian_lambda_max,
+            gossip_spectral_gap: profile.gossip_spectral_gap,
+            t_van_estimate: t_van,
+            build_ms,
+            spectral_ms,
+        });
+    }
+    let report = ScaleReport {
+        quick: config.quick,
+        seed: config.seed,
+        sparse_dispatch_threshold: gossip_graph::spectral::SPARSE_DISPATCH_THRESHOLD,
+        largest_dense_dimension: gossip_linalg::matrix::largest_dense_dimension(),
+        rows,
+    };
+
+    let descriptor = ExperimentId::Scale.descriptor();
+    let mut table = Table::new(
+        format!("{}: {}", descriptor.id, descriptor.title),
+        &[
+            "family",
+            "n",
+            "|E|",
+            "|E12|",
+            "λ₂",
+            "λ_max",
+            "gossip gap",
+            "T_van est",
+            "build ms",
+            "spectral ms",
+        ],
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.family.clone(),
+            row.n.to_string(),
+            row.edges.to_string(),
+            row.cut_edges.to_string(),
+            fmt(row.algebraic_connectivity),
+            fmt(row.laplacian_lambda_max),
+            fmt(row.gossip_spectral_gap),
+            fmt(row.t_van_estimate),
+            fmt(row.build_ms),
+            fmt(row.spectral_ms),
+        ]);
+    }
+    Ok((report, table))
+}
+
+// ---------------------------------------------------------------------------
 // Convenience wrappers.
 // ---------------------------------------------------------------------------
 
@@ -764,6 +934,7 @@ pub fn run_all(config: &HarnessConfig) -> BenchResult<Vec<Table>> {
     tables.push(run_e8(config)?);
     tables.push(run_e9(config)?);
     tables.push(run_e10(config)?.1);
+    tables.push(run_scale(config)?.1);
     Ok(tables)
 }
 

@@ -13,13 +13,18 @@
 //!   models, and a grid with a narrow corridor.  These return the graph
 //!   *together with* its canonical [`crate::Partition`] so experiments know
 //!   `V₁`, `V₂`, and `E₁₂` exactly as the paper assumes.
+//! * [`scale`] — bounded-degree analogues of the sparse-cut families
+//!   (chordal-ring expander dumbbells/barbells, rings of cliques) whose edge
+//!   counts stay O(n log n), used by the large-`n` scaling tier.
 
 pub mod deterministic;
 pub mod random;
+pub mod scale;
 pub mod sparse_cut;
 
 pub use deterministic::{
     complete, complete_bipartite, cycle, grid2d, hypercube, path, star, torus2d,
 };
 pub use random::{erdos_renyi, erdos_renyi_connected, random_geometric, random_regular};
+pub use scale::{chordal_ring, expander_barbell, expander_dumbbell, ring_of_cliques};
 pub use sparse_cut::{barbell, bridged_clusters, dumbbell, grid_corridor, two_block_sbm};

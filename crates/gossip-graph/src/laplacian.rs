@@ -5,9 +5,16 @@
 //! connected" quantitative: the vanilla averaging time of a subgraph scales
 //! like `1/λ₂` of its gossip Laplacian (up to logarithmic factors), which is
 //! exactly the quantity Algorithm A's epoch length is built from.
+//!
+//! Every builder comes in two flavours: dense ([`gossip_linalg::Matrix`],
+//! O(n²) storage, the reference representation) and sparse
+//! ([`gossip_linalg::CsrMatrix`], O(|V| + |E|) storage, the scaling-tier
+//! representation).  The sparse builders produce exactly the same entries as
+//! their dense counterparts — the workspace's differential oracle suite
+//! asserts elementwise agreement on every generator family.
 
 use crate::{Graph, Result};
-use gossip_linalg::Matrix;
+use gossip_linalg::{CsrMatrix, Matrix};
 
 /// Dense adjacency matrix `A` with `A[i][j] = 1` iff `{i, j} ∈ E`.
 pub fn adjacency_matrix(graph: &Graph) -> Matrix {
@@ -94,6 +101,99 @@ pub fn expected_gossip_matrix(graph: &Graph) -> Result<Matrix> {
         }
     }
     Ok(m)
+}
+
+/// Sparse CSR adjacency matrix, entrywise identical to [`adjacency_matrix`]
+/// but with O(|E|) storage.
+pub fn adjacency_matrix_sparse(graph: &Graph) -> CsrMatrix {
+    let n = graph.node_count();
+    let mut triplets = Vec::with_capacity(2 * graph.edge_count());
+    for edge in graph.edges() {
+        let (u, v) = (edge.u().index(), edge.v().index());
+        triplets.push((u, v, 1.0));
+        triplets.push((v, u, 1.0));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("edge endpoints are in range")
+}
+
+/// Sparse CSR combinatorial Laplacian `L = D − A`, entrywise identical to
+/// [`laplacian`] but with O(|V| + |E|) storage.
+pub fn laplacian_sparse(graph: &Graph) -> CsrMatrix {
+    let n = graph.node_count();
+    let mut triplets = Vec::with_capacity(n + 2 * graph.edge_count());
+    for v in graph.nodes() {
+        let d = graph.degree(v) as f64;
+        if d > 0.0 {
+            triplets.push((v.index(), v.index(), d));
+        }
+    }
+    for edge in graph.edges() {
+        let (u, v) = (edge.u().index(), edge.v().index());
+        triplets.push((u, v, -1.0));
+        triplets.push((v, u, -1.0));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("edge endpoints are in range")
+}
+
+/// Sparse CSR symmetric normalized Laplacian `𝓛 = D^{-1/2} L D^{-1/2}`,
+/// entrywise identical to [`normalized_laplacian`]; rows/columns of isolated
+/// nodes stay empty.
+pub fn normalized_laplacian_sparse(graph: &Graph) -> CsrMatrix {
+    let n = graph.node_count();
+    let inv_sqrt: Vec<f64> = graph
+        .nodes()
+        .map(|v| {
+            let d = graph.degree(v) as f64;
+            if d > 0.0 {
+                1.0 / d.sqrt()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut triplets = Vec::with_capacity(n + 2 * graph.edge_count());
+    for v in graph.nodes() {
+        let i = v.index();
+        let d = graph.degree(v) as f64;
+        if d > 0.0 {
+            // Diagonal of L is the degree, so 𝓛_{ii} = d · (1/√d)² = 1.
+            triplets.push((i, i, d * inv_sqrt[i] * inv_sqrt[i]));
+        }
+    }
+    for edge in graph.edges() {
+        let (u, v) = (edge.u().index(), edge.v().index());
+        let w = -inv_sqrt[u] * inv_sqrt[v];
+        triplets.push((u, v, w));
+        triplets.push((v, u, w));
+    }
+    CsrMatrix::from_triplets(n, n, &triplets).expect("edge endpoints are in range")
+}
+
+/// Sparse CSR expected one-tick gossip matrix `W̄ = I − L/(2|E|)`, entrywise
+/// identical to [`expected_gossip_matrix`].
+///
+/// # Errors
+///
+/// Returns [`crate::GraphError::InvalidParameter`] if the graph has no edges.
+pub fn expected_gossip_matrix_sparse(graph: &Graph) -> Result<CsrMatrix> {
+    if graph.edge_count() == 0 {
+        return Err(crate::GraphError::InvalidParameter {
+            reason: "expected gossip matrix requires at least one edge".into(),
+        });
+    }
+    let n = graph.node_count();
+    let scale = 1.0 / (2.0 * graph.edge_count() as f64);
+    let mut triplets = Vec::with_capacity(n + 2 * graph.edge_count());
+    for v in graph.nodes() {
+        let d = graph.degree(v) as f64;
+        triplets.push((v.index(), v.index(), 1.0 - scale * d));
+    }
+    for edge in graph.edges() {
+        let (u, v) = (edge.u().index(), edge.v().index());
+        triplets.push((u, v, scale));
+        triplets.push((v, u, scale));
+    }
+    Ok(CsrMatrix::from_triplets(n, n, &triplets).expect("edge endpoints are in range"))
 }
 
 /// The single-edge averaging matrix `W_e = I − (e_u − e_v)(e_u − e_v)ᵀ / 2`
@@ -243,5 +343,50 @@ mod tests {
 
     fn graph_identity(n: usize) -> Matrix {
         Matrix::identity(n)
+    }
+
+    #[test]
+    fn sparse_builders_match_dense_entrywise() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]).unwrap();
+        assert_eq!(adjacency_matrix_sparse(&g).to_dense(), adjacency_matrix(&g));
+        assert_eq!(laplacian_sparse(&g).to_dense(), laplacian(&g));
+        assert_eq!(
+            normalized_laplacian_sparse(&g).to_dense(),
+            normalized_laplacian(&g)
+        );
+        assert_eq!(
+            expected_gossip_matrix_sparse(&g).unwrap().to_dense(),
+            expected_gossip_matrix(&g).unwrap()
+        );
+    }
+
+    #[test]
+    fn sparse_laplacian_storage_is_linear_in_edges() {
+        let g = path(6);
+        let lap = laplacian_sparse(&g);
+        // 6 diagonal entries + 2 per edge.
+        assert_eq!(lap.nnz(), 6 + 2 * g.edge_count());
+        assert!(lap.is_symmetric(0.0));
+        assert!(lap.rows_sum_to(0.0, 1e-12));
+    }
+
+    #[test]
+    fn sparse_builders_handle_isolated_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let lap = laplacian_sparse(&g);
+        assert_eq!(lap.row_nnz(2), 0);
+        let norm = normalized_laplacian_sparse(&g);
+        assert_eq!(norm.row_nnz(2), 0);
+        assert_eq!(norm.to_dense(), normalized_laplacian(&g));
+    }
+
+    #[test]
+    fn sparse_gossip_matrix_requires_edges() {
+        let g = Graph::from_edges(3, &[]).unwrap();
+        assert!(expected_gossip_matrix_sparse(&g).is_err());
+        let connected = triangle();
+        let w = expected_gossip_matrix_sparse(&connected).unwrap();
+        assert!(w.rows_sum_to(1.0, 1e-12));
+        assert!(w.is_symmetric(1e-15));
     }
 }

@@ -10,8 +10,20 @@
 //!   sparse cut is not known in advance.
 
 use crate::{laplacian, Graph, GraphError, Result};
-use gossip_linalg::{SymmetricEigen, Vector};
+use gossip_linalg::{Lanczos, SymmetricEigen, Vector};
 use serde::{Deserialize, Serialize};
+
+/// Node count above which [`SpectralProfile::compute`] (and the other
+/// dispatching helpers in this module) switch from the dense Jacobi path to
+/// the sparse matrix-free Lanczos path.
+///
+/// Below the threshold the dense path is both fast and bit-reproducibly the
+/// *reference*: the differential oracle suite pins the sparse path against
+/// it.  Above the threshold dense costs O(n²) memory and O(n³) time, which
+/// is exactly what the sparse tier exists to avoid.  The value is far below
+/// the Lanczos iteration cap, so the small dense tridiagonal systems the
+/// sparse path solves internally never come close to it.
+pub const SPARSE_DISPATCH_THRESHOLD: usize = 512;
 
 /// Summary of the spectral quantities relevant to gossip averaging.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,7 +46,14 @@ pub struct SpectralProfile {
 }
 
 impl SpectralProfile {
-    /// Computes the profile of a connected graph with at least one edge.
+    /// Computes the profile of a connected graph with at least one edge,
+    /// dispatching on size: graphs with at most [`SPARSE_DISPATCH_THRESHOLD`]
+    /// nodes go through the dense reference path
+    /// ([`SpectralProfile::compute_dense`]), larger graphs through the sparse
+    /// matrix-free path ([`SpectralProfile::compute_sparse`]).
+    ///
+    /// Below the threshold the result is byte-identical to calling the dense
+    /// path directly — dispatch never perturbs small-graph results.
     ///
     /// # Errors
     ///
@@ -42,6 +61,45 @@ impl SpectralProfile {
     /// nodes or no edges, [`GraphError::Disconnected`] if `λ₂ ≈ 0`, and
     /// propagates eigensolver failures.
     pub fn compute(graph: &Graph) -> Result<Self> {
+        if graph.node_count() > SPARSE_DISPATCH_THRESHOLD {
+            Self::compute_sparse(graph)
+        } else {
+            Self::compute_dense(graph)
+        }
+    }
+
+    /// Computes the profile with the dense Jacobi eigensolver: O(n²) memory,
+    /// O(n³) time, the full spectrum.  This is the trusted reference path of
+    /// the differential test oracle.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpectralProfile::compute`].
+    pub fn compute_dense(graph: &Graph) -> Result<Self> {
+        Self::check_shape(graph)?;
+        let lap = laplacian::laplacian(graph);
+        let eig = SymmetricEigen::compute(&lap)?;
+        let lambda2 = eig.second_smallest()?;
+        let lambda_max = eig.largest();
+        Self::from_extremes(graph, lambda2, lambda_max)
+    }
+
+    /// Computes the profile with the sparse CSR Laplacian and matrix-free
+    /// Lanczos iteration (deflating the all-ones null direction): O(|E| +
+    /// k·n) memory and O(k·|E| + k²·n) time for `k` Lanczos steps (the k·n
+    /// term is the reorthogonalization basis), never materializing an n×n
+    /// matrix.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpectralProfile::compute`].
+    pub fn compute_sparse(graph: &Graph) -> Result<Self> {
+        Self::check_shape(graph)?;
+        let eig = sparse_laplacian_extremes(graph)?;
+        Self::from_extremes(graph, eig.smallest, eig.largest)
+    }
+
+    fn check_shape(graph: &Graph) -> Result<()> {
         if graph.node_count() < 2 {
             return Err(GraphError::InvalidParameter {
                 reason: "spectral profile requires at least two nodes".into(),
@@ -52,10 +110,10 @@ impl SpectralProfile {
                 reason: "spectral profile requires at least one edge".into(),
             });
         }
-        let lap = laplacian::laplacian(graph);
-        let eig = SymmetricEigen::compute(&lap)?;
-        let lambda2 = eig.second_smallest()?;
-        let lambda_max = eig.largest();
+        Ok(())
+    }
+
+    fn from_extremes(graph: &Graph, lambda2: f64, lambda_max: f64) -> Result<Self> {
         if lambda2 < 1e-9 {
             return Err(GraphError::Disconnected);
         }
@@ -87,20 +145,73 @@ impl SpectralProfile {
     }
 }
 
-/// Second-smallest eigenvalue of the combinatorial Laplacian.
+/// The sparse tier's one Laplacian eigensolve, shared by every dispatching
+/// helper in this module: build the CSR Laplacian and run Lanczos with the
+/// all-ones null direction deflated, so the smallest Ritz pair is the
+/// Fiedler value/vector and the largest is `λ_max` (eigenvectors of non-zero
+/// Laplacian eigenvalues are automatically orthogonal to the ones vector).
+///
+/// The iteration budget: up to 2 500 nodes the full Krylov space is allowed
+/// (exhaustion makes the extremes exact for *any* spectrum, including the
+/// Θ(n)-step 1-D chains where eigenvalue spacing is ~1/n²), and beyond that
+/// a `max(2 500, 8·√n)` cap — enough for the expander/grid/clique families
+/// of the scale tier, whose smallest non-trivial eigenvalue resolves in
+/// O(√n)-ish steps.  Extremely chain-like graphs above ~6 000 nodes may
+/// exhaust the cap and report [`gossip_linalg::LinalgError::NoConvergence`]
+/// (an explicit error, never a silently wrong eigenvalue); such graphs were
+/// equally out of reach for the O(n³) dense path.
+///
+/// Callers needing both the Fiedler value *and* vector of a large graph
+/// should call this once rather than paying two solves through the
+/// individual helpers.
+pub fn sparse_laplacian_extremes(graph: &Graph) -> Result<gossip_linalg::LanczosResult> {
+    let n = graph.node_count();
+    let budget = n.min(2_500).max((8.0 * (n as f64).sqrt()) as usize);
+    let lap = laplacian::laplacian_sparse(graph);
+    Lanczos::new()
+        .with_deflation(Vector::ones(n))
+        .with_max_iterations(budget)
+        .run(&lap)
+        .map_err(GraphError::Linalg)
+}
+
+/// Second-smallest eigenvalue of the combinatorial Laplacian (the Fiedler
+/// value), dispatching dense/sparse on [`SPARSE_DISPATCH_THRESHOLD`] like
+/// [`SpectralProfile::compute`].
+///
+/// Unlike [`SpectralProfile::compute`] this does *not* reject disconnected
+/// graphs: for those it simply reports `λ₂ ≈ 0`.
 ///
 /// # Errors
 ///
 /// See [`SpectralProfile::compute`]; additionally this returns whatever the
 /// eigensolver reports for degenerate inputs.
 pub fn algebraic_connectivity(graph: &Graph) -> Result<f64> {
-    let lap = laplacian::laplacian(graph);
-    let eig = SymmetricEigen::compute(&lap)?;
-    Ok(eig.second_smallest()?)
+    if graph.node_count() > SPARSE_DISPATCH_THRESHOLD {
+        Ok(sparse_laplacian_extremes(graph)?.smallest)
+    } else {
+        let lap = laplacian::laplacian(graph);
+        let eig = SymmetricEigen::compute(&lap)?;
+        Ok(eig.second_smallest()?)
+    }
+}
+
+/// Alias for [`algebraic_connectivity`] under its common name in the
+/// sparse-cut literature.
+///
+/// # Errors
+///
+/// See [`algebraic_connectivity`].
+pub fn fiedler_value(graph: &Graph) -> Result<f64> {
+    algebraic_connectivity(graph)
 }
 
 /// The Fiedler vector: the unit-norm eigenvector of the Laplacian associated
-/// with the second-smallest eigenvalue.
+/// with the second-smallest eigenvalue, dispatching dense/sparse on
+/// [`SPARSE_DISPATCH_THRESHOLD`].
+///
+/// The sign is solver-dependent (both signs are valid eigenvectors); the
+/// spectral bisection in [`crate::cut`] is sign-invariant.
 ///
 /// # Errors
 ///
@@ -112,9 +223,13 @@ pub fn fiedler_vector(graph: &Graph) -> Result<Vector> {
             reason: "Fiedler vector requires at least two nodes".into(),
         });
     }
-    let lap = laplacian::laplacian(graph);
-    let eig = SymmetricEigen::compute(&lap)?;
-    Ok(eig.second_smallest_eigenvector()?.clone())
+    if graph.node_count() > SPARSE_DISPATCH_THRESHOLD {
+        Ok(sparse_laplacian_extremes(graph)?.smallest_vector)
+    } else {
+        let lap = laplacian::laplacian(graph);
+        let eig = SymmetricEigen::compute(&lap)?;
+        Ok(eig.second_smallest_eigenvector()?.clone())
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +306,60 @@ mod tests {
         let last = f[5];
         assert!(first * last < 0.0);
         assert!(fiedler_vector(&Graph::from_edges(1, &[]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn dense_and_sparse_profiles_agree_on_small_graphs() {
+        for graph in [complete(9), path(11)] {
+            let dense = SpectralProfile::compute_dense(&graph).unwrap();
+            let sparse = SpectralProfile::compute_sparse(&graph).unwrap();
+            let scale = dense.laplacian_lambda_max.max(1.0);
+            assert!(
+                (dense.algebraic_connectivity - sparse.algebraic_connectivity).abs() < 1e-7 * scale
+            );
+            assert!(
+                (dense.laplacian_lambda_max - sparse.laplacian_lambda_max).abs() < 1e-7 * scale
+            );
+            assert_eq!(dense.edge_count, sparse.edge_count);
+            assert_eq!(dense.node_count, sparse.node_count);
+        }
+    }
+
+    #[test]
+    fn dispatch_is_bitwise_dense_below_threshold() {
+        let g = path(10);
+        assert!(g.node_count() <= SPARSE_DISPATCH_THRESHOLD);
+        let dispatched = SpectralProfile::compute(&g).unwrap();
+        let dense = SpectralProfile::compute_dense(&g).unwrap();
+        assert_eq!(
+            dispatched.algebraic_connectivity.to_bits(),
+            dense.algebraic_connectivity.to_bits()
+        );
+        assert_eq!(
+            dispatched.vanilla_averaging_time_estimate().to_bits(),
+            dense.vanilla_averaging_time_estimate().to_bits()
+        );
+        assert_eq!(dispatched, dense);
+    }
+
+    #[test]
+    fn sparse_path_rejects_degenerate_graphs_like_dense() {
+        assert!(SpectralProfile::compute_sparse(&Graph::from_edges(1, &[]).unwrap()).is_err());
+        assert!(SpectralProfile::compute_sparse(&Graph::from_edges(3, &[]).unwrap()).is_err());
+        let disconnected = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            SpectralProfile::compute_sparse(&disconnected),
+            Err(GraphError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn fiedler_value_matches_connectivity() {
+        let g = path(9);
+        assert_eq!(
+            fiedler_value(&g).unwrap().to_bits(),
+            algebraic_connectivity(&g).unwrap().to_bits()
+        );
     }
 
     #[test]

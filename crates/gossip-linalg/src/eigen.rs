@@ -15,7 +15,7 @@
 //! `gossip-graph` and the spectral estimate of the vanilla averaging time in
 //! `gossip-core`.
 
-use crate::{LinalgError, Matrix, Result, Vector};
+use crate::{LinalgError, LinearOperator, Matrix, Result, Vector};
 
 /// Full eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
 ///
@@ -264,7 +264,20 @@ impl PowerIteration {
                 cols: matrix.cols(),
             });
         }
-        let n = matrix.rows();
+        self.run_op(matrix)
+    }
+
+    /// Runs the iteration matrix-free on any symmetric [`LinearOperator`]
+    /// (dense, CSR, or caller-supplied): one operator application per step,
+    /// O(nnz) for sparse matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Empty`] for a 0-dimensional operator and
+    /// [`LinalgError::NoConvergence`] if the eigenvalue estimate has not
+    /// stabilized within the iteration budget.
+    pub fn run_op<O: LinearOperator + ?Sized>(&self, op: &O) -> Result<PowerIterationResult> {
+        let n = op.dim();
         if n == 0 {
             return Err(LinalgError::Empty);
         }
@@ -280,11 +293,15 @@ impl PowerIteration {
 
         let mut previous = f64::INFINITY;
         for iteration in 1..=self.max_iterations {
-            let mut y = matrix.matvec(&x)?;
+            let mut y = op.apply(&x)?;
             y = self.deflated(&y)?;
+            // `x` is a unit vector inside the deflated subspace, so this is
+            // the Rayleigh quotient xᵀAx at `x` — no second operator
+            // application needed.
+            let rayleigh = x.dot(&y)?;
             let norm = y.norm();
             if norm == 0.0 {
-                // The matrix annihilates the deflated subspace: dominant
+                // The operator annihilates the deflated subspace: dominant
                 // eigenvalue there is exactly zero.
                 return Ok(PowerIterationResult {
                     eigenvalue: 0.0,
@@ -292,17 +309,17 @@ impl PowerIteration {
                     iterations: iteration,
                 });
             }
-            let next = y.scaled(1.0 / norm);
-            let rayleigh = matrix.quadratic_form(&next)? / next.norm_squared();
             if (rayleigh - previous).abs() <= self.tolerance * rayleigh.abs().max(1.0) {
+                // Return the iterate the Rayleigh quotient was evaluated at,
+                // so the (eigenvalue, eigenvector) pair is consistent.
                 return Ok(PowerIterationResult {
                     eigenvalue: rayleigh,
-                    eigenvector: next,
+                    eigenvector: x,
                     iterations: iteration,
                 });
             }
             previous = rayleigh;
-            x = next;
+            x = y.scaled(1.0 / norm);
         }
         Err(LinalgError::NoConvergence {
             iterations: self.max_iterations,
@@ -470,6 +487,16 @@ mod tests {
         let result = p.run(&m).unwrap();
         assert!(close(result.eigenvalue, 1.0, 1e-3));
         assert!(result.iterations <= 10);
+    }
+
+    #[test]
+    fn power_iteration_matrix_free_matches_dense() {
+        let dense = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let sparse = crate::CsrMatrix::from_dense(&dense);
+        let from_dense = PowerIteration::new().run(&dense).unwrap();
+        let from_sparse = PowerIteration::new().run_op(&sparse).unwrap();
+        assert!(close(from_dense.eigenvalue, from_sparse.eigenvalue, 1e-9));
+        assert!(close(from_sparse.eigenvalue, 3.0, 1e-6));
     }
 
     #[test]

@@ -1,14 +1,23 @@
-//! Small dense linear algebra for the sparse-cut gossip reproduction.
+//! Linear algebra for the sparse-cut gossip reproduction.
 //!
-//! The graphs studied in *Distributed averaging in the presence of a sparse
-//! cut* (Narayanan, PODC 2008) are modest in size (hundreds to a few thousand
-//! vertices), so all spectral quantities needed by the rest of the workspace —
-//! Laplacians, the Fiedler vector used for spectral bisection, spectral-gap
-//! based estimates of the vanilla averaging time — can be computed with a
-//! plain dense representation.  This crate provides exactly that: a [`Vector`]
-//! newtype, a row-major [`Matrix`], a symmetric Jacobi eigensolver in
-//! [`eigen`], power iteration, and a handful of norms.  It deliberately has
-//! no external linear-algebra dependencies.
+//! Two tiers share one vocabulary of types:
+//!
+//! * **Dense** — a [`Vector`] newtype, a row-major [`Matrix`], a symmetric
+//!   Jacobi eigensolver in [`eigen`], and power iteration.  The graphs
+//!   studied directly in *Distributed averaging in the presence of a sparse
+//!   cut* (Narayanan, PODC 2008) are modest (hundreds of vertices), where
+//!   O(n²) storage and O(n³) kernels are perfectly adequate — and trivially
+//!   trustworthy, which makes the dense tier the *reference oracle*.
+//! * **Sparse** — a compressed-sparse-row [`CsrMatrix`], the matrix-free
+//!   [`LinearOperator`] abstraction, and a [`Lanczos`] solver for the extreme
+//!   eigenvalues (with deflation, so the Fiedler value of a Laplacian is one
+//!   of them).  Everything is O(nnz) per product, which is what lets the
+//!   workspace's spectral pipeline scale to tens of thousands of nodes.
+//!
+//! The two tiers are held together by a differential test oracle
+//! (`tests/sparse_dense_differential.rs` at the workspace root) asserting
+//! that every sparse kernel agrees with its dense counterpart.  The crate
+//! deliberately has no external linear-algebra dependencies.
 //!
 //! # Examples
 //!
@@ -33,12 +42,18 @@
 #![warn(missing_docs)]
 
 pub mod eigen;
+pub mod lanczos;
 pub mod matrix;
 pub mod norms;
+pub mod operator;
+pub mod sparse;
 pub mod vector;
 
 pub use eigen::{PowerIteration, SymmetricEigen};
+pub use lanczos::{Lanczos, LanczosResult};
 pub use matrix::Matrix;
+pub use operator::LinearOperator;
+pub use sparse::CsrMatrix;
 pub use vector::Vector;
 
 use std::error::Error;

@@ -9,6 +9,33 @@ use crate::{LinalgError, Result, Vector, DEFAULT_TOLERANCE};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Largest `max(rows, cols)` ever passed to a dense [`Matrix`] constructor in
+/// this process.  The scale-tier tests use this to prove that large-graph
+/// code paths never materialize an O(n²) dense matrix.
+static LARGEST_DENSE_DIMENSION: AtomicUsize = AtomicUsize::new(0);
+
+fn note_dense_alloc(rows: usize, cols: usize) {
+    LARGEST_DENSE_DIMENSION.fetch_max(rows.max(cols), Ordering::Relaxed);
+}
+
+/// The largest `max(rows, cols)` any dense [`Matrix`] constructor has seen
+/// since the process started (or since [`reset_largest_dense_dimension`]).
+///
+/// This is a process-global, monotone diagnostic: the workspace's scale-tier
+/// tests assert that running the sparse spectral pipeline on a large graph
+/// leaves it below the dense/sparse dispatch threshold.
+pub fn largest_dense_dimension() -> usize {
+    LARGEST_DENSE_DIMENSION.load(Ordering::Relaxed)
+}
+
+/// Resets the [`largest_dense_dimension`] tracker to zero.  Intended for
+/// tests that want a clean baseline; note the counter is process-global, so
+/// concurrently running tests in the same binary also feed it.
+pub fn reset_largest_dense_dimension() {
+    LARGEST_DENSE_DIMENSION.store(0, Ordering::Relaxed);
+}
 
 /// A dense row-major matrix of `f64`.
 ///
@@ -33,6 +60,7 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        note_dense_alloc(rows, cols);
         Matrix {
             rows,
             cols,
@@ -67,6 +95,7 @@ impl Matrix {
         for r in rows {
             data.extend_from_slice(r);
         }
+        note_dense_alloc(rows.len(), cols);
         Ok(Matrix {
             rows: rows.len(),
             cols,
@@ -96,16 +125,19 @@ impl Matrix {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Returns `true` if the matrix is square.
+    #[inline]
     pub fn is_square(&self) -> bool {
         self.rows == self.cols
     }
@@ -115,6 +147,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `i` or `j` is out of range.
+    #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
         assert!(i < self.rows && j < self.cols, "matrix index out of range");
         self.data[i * self.cols + j]
@@ -125,6 +158,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `i` or `j` is out of range.
+    #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
         assert!(i < self.rows && j < self.cols, "matrix index out of range");
         self.data[i * self.cols + j] = value;
@@ -135,6 +169,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `i` or `j` is out of range.
+    #[inline]
     pub fn add_to(&mut self, i: usize, j: usize, value: f64) {
         assert!(i < self.rows && j < self.cols, "matrix index out of range");
         self.data[i * self.cols + j] += value;
@@ -145,6 +180,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `i` is out of range.
+    #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
         assert!(i < self.rows, "row index out of range");
         &self.data[i * self.cols..(i + 1) * self.cols]
@@ -172,13 +208,10 @@ impl Matrix {
                 actual: x.len(),
             });
         }
+        let xs = x.as_slice();
         let mut out = Vec::with_capacity(self.rows);
         for i in 0..self.rows {
-            let row = self.row(i);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += a * b;
-            }
+            let acc: f64 = self.row(i).iter().zip(xs).map(|(a, b)| a * b).sum();
             out.push(acc);
         }
         Ok(Vector::from(out))
@@ -240,15 +273,16 @@ impl Matrix {
     /// Sum of the absolute values of the off-diagonal entries.  Used as the
     /// convergence criterion of the Jacobi eigensolver.
     pub fn off_diagonal_abs_sum(&self) -> f64 {
-        let mut s = 0.0;
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                if i != j {
-                    s += self.get(i, j).abs();
-                }
-            }
-        }
-        s
+        (0..self.rows)
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, v)| v.abs())
+                    .sum::<f64>()
+            })
+            .sum()
     }
 
     /// Returns `true` if the matrix is symmetric within `tol`.
@@ -289,8 +323,25 @@ impl Matrix {
     ///
     /// Returns [`LinalgError::DimensionMismatch`] if dimensions disagree.
     pub fn quadratic_form(&self, x: &Vector) -> Result<f64> {
-        let ax = self.matvec(x)?;
-        x.dot(&ax)
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.cols,
+                actual: x.len(),
+            });
+        }
+        if x.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                expected: self.rows,
+                actual: x.len(),
+            });
+        }
+        let xs = x.as_slice();
+        let mut total = 0.0;
+        for i in 0..self.rows {
+            let row_dot: f64 = self.row(i).iter().zip(xs).map(|(a, b)| a * b).sum();
+            total += xs[i] * row_dot;
+        }
+        Ok(total)
     }
 
     /// Checks symmetry with the crate default tolerance and returns an error

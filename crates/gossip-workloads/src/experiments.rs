@@ -23,11 +23,14 @@ pub enum ExperimentId {
     E8,
     E9,
     E10,
+    /// The scaling tier (sparse spectral pipeline at large `n`), reported as
+    /// `BENCH_scale.json` rather than a paper-claim table.
+    Scale,
 }
 
 impl ExperimentId {
     /// All experiments, in canonical order.
-    pub fn all() -> [ExperimentId; 10] {
+    pub fn all() -> [ExperimentId; 11] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -39,6 +42,7 @@ impl ExperimentId {
             ExperimentId::E8,
             ExperimentId::E9,
             ExperimentId::E10,
+            ExperimentId::Scale,
         ]
     }
 
@@ -136,6 +140,18 @@ impl ExperimentId {
                 workload: "Dumbbell n = 64, Algorithm A with γ ∈ {n1·n2/n, n1, 1, 0.5}.",
                 bench_target: "harness table E10",
             },
+            ExperimentId::Scale => ExperimentDescriptor {
+                id: self,
+                title: "Scaling tier: sparse spectral pipeline at large n",
+                claim: "The CSR + matrix-free Lanczos path reproduces the dense spectral \
+                        quantities (λ₂, λ_max, gossip gap, T_van estimate) and extends them to \
+                        tens of thousands of nodes in O(|E|) memory, never materializing an \
+                        n×n matrix.",
+                workload: "Bounded-degree sparse-cut families (expander dumbbell/barbell, ring \
+                           of cliques, sensor-grid corridor) at n ∈ {1k, 10k, 50k} (quick: \
+                           {1k, 10k}).",
+                bench_target: "gossip-bench runner::run_scale + BENCH_scale.json",
+            },
         }
     }
 }
@@ -169,7 +185,7 @@ mod tests {
     #[test]
     fn all_experiments_have_distinct_nonempty_descriptors() {
         let all = ExperimentId::all();
-        assert_eq!(all.len(), 10);
+        assert_eq!(all.len(), 11);
         let mut titles = BTreeSet::new();
         for id in all {
             let d = id.descriptor();

@@ -56,6 +56,27 @@ pub enum Scenario {
         /// Number of corridor edges (≤ rows).
         corridor_width: usize,
     },
+    /// Scaling-tier dumbbell: two bounded-degree chordal-ring expanders
+    /// joined by one bridge edge (O(n log n) edges instead of the clique
+    /// dumbbell's O(n²)).
+    ExpanderDumbbell {
+        /// Nodes per block.
+        half: usize,
+    },
+    /// Asymmetric scaling-tier dumbbell.
+    ExpanderBarbell {
+        /// Nodes in the left block.
+        left: usize,
+        /// Nodes in the right block.
+        right: usize,
+    },
+    /// A ring of cliques, cut into two contiguous arcs (cut width exactly 2).
+    RingOfCliques {
+        /// Number of cliques on the ring.
+        cliques: usize,
+        /// Nodes per clique.
+        clique_size: usize,
+    },
 }
 
 impl Scenario {
@@ -82,6 +103,14 @@ impl Scenario {
                 cols,
                 corridor_width,
             } => generators::grid_corridor(*rows, *cols, *corridor_width)?,
+            Scenario::ExpanderDumbbell { half } => generators::expander_dumbbell(*half)?,
+            Scenario::ExpanderBarbell { left, right } => {
+                generators::expander_barbell(*left, *right)?
+            }
+            Scenario::RingOfCliques {
+                cliques,
+                clique_size,
+            } => generators::ring_of_cliques(*cliques, *clique_size)?,
         };
         Ok(ScenarioInstance {
             name: self.name(),
@@ -107,6 +136,12 @@ impl Scenario {
                 cols,
                 corridor_width,
             } => format!("grid-corridor-{rows}x{cols}-w{corridor_width}"),
+            Scenario::ExpanderDumbbell { half } => format!("xdumbbell-{half}"),
+            Scenario::ExpanderBarbell { left, right } => format!("xbarbell-{left}-{right}"),
+            Scenario::RingOfCliques {
+                cliques,
+                clique_size,
+            } => format!("cliquering-{cliques}x{clique_size}"),
         }
     }
 
@@ -118,6 +153,12 @@ impl Scenario {
             Scenario::BridgedClusters { n1, n2, .. } => n1 + n2,
             Scenario::TwoBlockSbm { n1, n2, .. } => n1 + n2,
             Scenario::GridCorridor { rows, cols, .. } => 2 * rows * cols,
+            Scenario::ExpanderDumbbell { half } => 2 * half,
+            Scenario::ExpanderBarbell { left, right } => left + right,
+            Scenario::RingOfCliques {
+                cliques,
+                clique_size,
+            } => cliques * clique_size,
         }
     }
 }
@@ -192,6 +233,35 @@ pub fn robustness_suite(total_nodes: usize) -> Vec<Scenario> {
     ]
 }
 
+/// The scaling-tier scenario suite at a total size close to `total_nodes`:
+/// one bounded-degree representative per family (expander dumbbell, expander
+/// barbell, ring of cliques, sensor-grid corridor), so every member has
+/// O(n log n) edges and can be pushed to tens of thousands of nodes.
+pub fn scale_suite(total_nodes: usize) -> Vec<Scenario> {
+    let half = (total_nodes / 2).max(3);
+    let left = (total_nodes / 3).max(3);
+    let right = (total_nodes - left).max(3);
+    let clique_size = 16;
+    let cliques = (total_nodes / clique_size).max(2);
+    // Sensor grid: two rows×cols grids with rows·cols ≈ total/2, rows ≈ cols.
+    let side = (total_nodes / 2).max(4);
+    let rows = (side as f64).sqrt().round().max(2.0) as usize;
+    let cols = (side / rows).max(2);
+    vec![
+        Scenario::ExpanderDumbbell { half },
+        Scenario::ExpanderBarbell { left, right },
+        Scenario::RingOfCliques {
+            cliques,
+            clique_size,
+        },
+        Scenario::GridCorridor {
+            rows,
+            cols,
+            corridor_width: 1,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +287,12 @@ mod tests {
                 rows: 3,
                 cols: 4,
                 corridor_width: 2,
+            },
+            Scenario::ExpanderDumbbell { half: 12 },
+            Scenario::ExpanderBarbell { left: 8, right: 15 },
+            Scenario::RingOfCliques {
+                cliques: 4,
+                clique_size: 5,
             },
         ];
         for scenario in scenarios {
@@ -283,6 +359,50 @@ mod tests {
         assert_eq!(a.graph, b.graph);
         let c = s.instantiate(8).unwrap();
         assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn scale_suite_members_are_sparse_and_valid() {
+        let suite = scale_suite(480);
+        assert_eq!(suite.len(), 4);
+        for scenario in suite {
+            let instance = scenario.instantiate(13).unwrap();
+            instance.validate_notation1().unwrap();
+            // Bounded-degree families: far fewer edges than a clique pair.
+            let n = instance.graph.node_count() as f64;
+            assert!(
+                (instance.graph.edge_count() as f64) < n * n.log2(),
+                "{} is too dense for the scale tier",
+                instance.name
+            );
+            // Sizes land near the requested total.
+            assert!(instance.graph.node_count() >= 240);
+            assert!(instance.graph.node_count() <= 520);
+        }
+    }
+
+    #[test]
+    fn scale_scenario_names_are_distinct() {
+        assert_eq!(
+            Scenario::ExpanderDumbbell { half: 500 }.name(),
+            "xdumbbell-500"
+        );
+        assert_eq!(
+            Scenario::ExpanderBarbell {
+                left: 300,
+                right: 700
+            }
+            .name(),
+            "xbarbell-300-700"
+        );
+        assert_eq!(
+            Scenario::RingOfCliques {
+                cliques: 62,
+                clique_size: 16
+            }
+            .name(),
+            "cliquering-62x16"
+        );
     }
 
     #[test]

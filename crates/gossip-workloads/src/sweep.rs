@@ -93,6 +93,27 @@ pub fn epoch_constant_sweep(extra: &[f64]) -> Sweep<f64> {
     Sweep::new("C", values)
 }
 
+/// Total graph sizes of the scaling-tier experiment: `{1k, 10k, 50k}` nodes
+/// in full mode, `{1k, 10k}` in quick mode (used by CI).
+pub fn scale_sizes(quick: bool) -> Sweep<usize> {
+    let values = if quick {
+        vec![1_000, 10_000]
+    } else {
+        vec![1_000, 10_000, 50_000]
+    };
+    Sweep::new("n", values)
+}
+
+/// The scaling-tier sweep: for each size in [`scale_sizes`], the four
+/// bounded-degree families of [`crate::scenarios::scale_suite`].
+pub fn scale_sweep(quick: bool) -> Sweep<Scenario> {
+    let mut values = Vec::new();
+    for &n in scale_sizes(quick).iter() {
+        values.extend(crate::scenarios::scale_suite(n));
+    }
+    Sweep::new("scenario", values)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +160,28 @@ mod tests {
         let s = epoch_constant_sweep(&[16.0]);
         assert_eq!(s.values, vec![1.0, 2.0, 4.0, 8.0, 16.0]);
         assert_eq!(epoch_constant_sweep(&[]).len(), 4);
+    }
+
+    #[test]
+    fn scale_sizes_depend_on_mode() {
+        assert_eq!(scale_sizes(true).values, vec![1_000, 10_000]);
+        assert_eq!(scale_sizes(false).values, vec![1_000, 10_000, 50_000]);
+    }
+
+    #[test]
+    fn scale_sweep_covers_all_families_per_size() {
+        let s = scale_sweep(true);
+        assert_eq!(s.len(), 2 * 4);
+        assert_eq!(s.parameter, "scenario");
+        // Node counts track the requested sizes to within rounding — one
+        // expected size per scenario so nothing is silently unchecked.
+        let expected = [
+            1_000usize, 1_000, 1_000, 1_000, 10_000, 10_000, 10_000, 10_000,
+        ];
+        assert_eq!(s.len(), expected.len());
+        for (scenario, &n) in s.iter().zip(expected.iter()) {
+            assert!(scenario.node_count() >= n / 2);
+            assert!(scenario.node_count() <= n + n / 8);
+        }
     }
 }

@@ -53,9 +53,12 @@ pub mod prelude {
     pub use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoefficient};
     pub use gossip_core::two_time_scale::TwoTimeScaleGossip;
     pub use gossip_graph::generators::{
-        barbell, bridged_clusters, complete, dumbbell, grid_corridor, two_block_sbm,
+        barbell, bridged_clusters, chordal_ring, complete, dumbbell, expander_barbell,
+        expander_dumbbell, grid_corridor, ring_of_cliques, two_block_sbm,
     };
+    pub use gossip_graph::spectral::{SpectralProfile, SPARSE_DISPATCH_THRESHOLD};
     pub use gossip_graph::{Edge, EdgeId, Graph, GraphBuilder, NodeId, Partition};
+    pub use gossip_linalg::{CsrMatrix, Lanczos, LinearOperator, Matrix, Vector};
     pub use gossip_sim::engine::{AsyncSimulator, SimulationConfig, SimulationOutcome};
     pub use gossip_sim::handler::{EdgeTickContext, EdgeTickHandler};
     pub use gossip_sim::stopping::StoppingRule;

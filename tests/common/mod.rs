@@ -55,6 +55,27 @@ pub mod seeds {
     /// inline seeds (0, 4, 5, 17, 23, 99) — documented here for the
     /// registry's completeness.
     pub const INVARIANTS_BASE: u64 = 0;
+    /// `sparse_dense_differential`: Erdős–Rényi family instance.
+    pub const DIFFERENTIAL_ER: u64 = 401;
+    /// `sparse_dense_differential`: random-regular family instance.
+    pub const DIFFERENTIAL_REGULAR: u64 = 402;
+    /// `sparse_dense_differential`: bridged-clusters family instance.
+    pub const DIFFERENTIAL_BRIDGED: u64 = 403;
+    /// `sparse_dense_differential`: two-block SBM family instance.
+    pub const DIFFERENTIAL_SBM: u64 = 404;
+    /// `sparse_dense_differential`: random-geometric family instance
+    /// (matrix agreement only — the sample may be disconnected).
+    pub const DIFFERENTIAL_GEOMETRIC: u64 = 405;
+    /// `sparse_dense_differential`: seeded probe vectors for matvec checks.
+    pub const DIFFERENTIAL_PROBE: u64 = 406;
+    /// `lanczos_adversarial`: disconnected bridged-cluster halves.  (The
+    /// suite's barbell instances are deterministic constructions and need no
+    /// seed.)
+    pub const LANCZOS_DISCONNECTED: u64 = 412;
+    /// `scale_tier`: the 10k-node sparse-path dumbbell acceptance instance.
+    pub const SCALE_DUMBBELL: u64 = 421;
+    /// `scale_tier`: the 1k scale-suite sweep.
+    pub const SCALE_SUITE: u64 = 422;
 }
 
 /// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.

@@ -1,0 +1,86 @@
+//! The large-`n` scaling-tier acceptance tests.
+//!
+//! The headline guarantee: a 10 000-node dumbbell's `SpectralProfile` and
+//! `T_van` estimate run entirely through the sparse CSR/Lanczos path,
+//! **never materializing a dense n×n matrix** — verified against the
+//! process-global dense-allocation tracker in `gossip-linalg`.  (The sparse
+//! path does densify its small k×k Lanczos tridiagonal internally; the
+//! tracker bound below the dispatch threshold proves that is all it does.)
+//!
+//! Every test in this binary works exclusively with large sparse instances,
+//! so the monotone tracker stays meaningful regardless of test order.
+
+mod common;
+
+use common::seeds;
+use sparse_cut_gossip::linalg::matrix::largest_dense_dimension;
+use sparse_cut_gossip::prelude::*;
+use sparse_cut_gossip::workloads::scenarios::scale_suite;
+
+#[test]
+fn ten_thousand_node_dumbbell_runs_sparse_without_dense_matrices() {
+    let scenario = Scenario::ExpanderDumbbell { half: 5_000 };
+    let instance = scenario
+        .instantiate(seeds::SCALE_DUMBBELL)
+        .expect("valid scenario");
+    assert_eq!(instance.graph.node_count(), 10_000);
+    assert!(instance.graph.node_count() > SPARSE_DISPATCH_THRESHOLD);
+    instance.validate_notation1().expect("notation 1 holds");
+
+    // The dispatching entry point must route to the sparse path here.
+    let profile = SpectralProfile::compute(&instance.graph).expect("sparse spectral profile");
+    assert_eq!(profile.node_count, 10_000);
+    assert_eq!(profile.edge_count, instance.graph.edge_count());
+    assert!(
+        profile.algebraic_connectivity > 0.0,
+        "connected graph must have λ₂ > 0"
+    );
+    // The bridge bottleneck: λ₂ is tiny compared to the internal
+    // connectivity captured by λ_max.
+    assert!(profile.algebraic_connectivity < 0.01);
+    assert!(profile.laplacian_lambda_max > 10.0);
+
+    let t_van = profile.vanilla_averaging_time_estimate();
+    assert!(t_van.is_finite() && t_van > 0.0);
+    assert!(profile.relaxation_ticks.is_finite());
+
+    // The acceptance gate: nothing on this path allocated a dense matrix at
+    // (or anywhere near) graph size.  The only dense work allowed is the
+    // k×k Lanczos tridiagonal, which sits far below the dispatch threshold.
+    let largest = largest_dense_dimension();
+    assert!(
+        largest < SPARSE_DISPATCH_THRESHOLD,
+        "dense constructor saw dimension {largest} — the sparse path leaked \
+         an O(n²) allocation"
+    );
+}
+
+#[test]
+fn scale_suite_families_stay_sparse_end_to_end() {
+    for scenario in scale_suite(1_000) {
+        let instance = scenario
+            .instantiate(seeds::SCALE_SUITE)
+            .expect("valid scenario");
+        instance.validate_notation1().expect("notation 1 holds");
+        assert!(instance.graph.node_count() > SPARSE_DISPATCH_THRESHOLD);
+        let profile = SpectralProfile::compute(&instance.graph).expect("sparse spectral profile");
+        assert!(profile.algebraic_connectivity > 0.0, "{}", instance.name);
+        assert!(
+            profile.vanilla_averaging_time_estimate() > 0.0,
+            "{}",
+            instance.name
+        );
+        // Bounded-degree families: |E| = O(n log n), nowhere near n²/4.
+        let n = instance.graph.node_count() as f64;
+        assert!(
+            (instance.graph.edge_count() as f64) < n * n.log2(),
+            "{}: too dense for the scale tier",
+            instance.name
+        );
+    }
+    let largest = largest_dense_dimension();
+    assert!(
+        largest < SPARSE_DISPATCH_THRESHOLD,
+        "dense constructor saw dimension {largest} on the scale suite"
+    );
+}

@@ -1,0 +1,406 @@
+//! The dense-vs-sparse differential test oracle.
+//!
+//! The dense `Matrix`/Jacobi tier is the trusted reference: it is simple,
+//! full-spectrum, and validated against closed forms.  The sparse
+//! `CsrMatrix`/Lanczos tier is the scaling path.  This suite pins the two
+//! against each other on **every generator family** of the workspace, at
+//! pinned seeds from the registry in `tests/common`:
+//!
+//! * every matrix builder (adjacency, Laplacian, normalized Laplacian,
+//!   expected gossip matrix) agrees elementwise within `1e-12` after
+//!   densification;
+//! * CSR `matvec`/`quadratic_form`/`frobenius_norm` agree with the dense
+//!   kernels on seeded probe vectors;
+//! * `SpectralProfile::compute_sparse` agrees with
+//!   `SpectralProfile::compute_dense` (λ₂, λ_max, gap, `T_van` estimate)
+//!   within solver tolerance;
+//! * the size dispatch in `SpectralProfile::compute` is **byte-identical**
+//!   to the dense path below the threshold, so dispatch can never perturb
+//!   the small-graph results the rest of the test harness pins.
+//!
+//! Any sparse/dense drift introduced by a future PR fails this suite.
+
+mod common;
+
+use common::seeds;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use sparse_cut_gossip::graph::generators;
+use sparse_cut_gossip::graph::laplacian::{
+    adjacency_matrix, adjacency_matrix_sparse, expected_gossip_matrix,
+    expected_gossip_matrix_sparse, laplacian, laplacian_sparse, normalized_laplacian,
+    normalized_laplacian_sparse,
+};
+use sparse_cut_gossip::prelude::*;
+
+/// Elementwise agreement tolerance after densification.
+const MATRIX_TOL: f64 = 1e-12;
+
+/// Eigenvalue agreement tolerance, relative to the spectral scale.  Small
+/// instances exhaust the Krylov space, so the sparse values are exact up to
+/// round-off; the margin absorbs accumulated floating-point noise only.
+const EIGEN_TOL: f64 = 1e-7;
+
+/// Every generator family of the workspace, instantiated small enough for
+/// the dense reference path, at pinned seeds.  The bool records whether the
+/// instance is guaranteed connected (spectral profiles need that).
+fn families() -> Vec<(String, Graph, bool)> {
+    let mut out: Vec<(String, Graph, bool)> = Vec::new();
+    let mut push = |name: &str, graph: Graph, connected: bool| {
+        out.push((name.to_string(), graph, connected));
+    };
+    // Deterministic families.
+    push("complete-10", generators::complete(10).unwrap(), true);
+    push("path-12", generators::path(12).unwrap(), true);
+    push("cycle-12", generators::cycle(12).unwrap(), true);
+    push("star-9", generators::star(9).unwrap(), true);
+    push("grid2d-4x5", generators::grid2d(4, 5).unwrap(), true);
+    push("torus2d-4x4", generators::torus2d(4, 4).unwrap(), true);
+    push("hypercube-4", generators::hypercube(4).unwrap(), true);
+    push(
+        "complete-bipartite-4-7",
+        generators::complete_bipartite(4, 7).unwrap(),
+        true,
+    );
+    // Random families.
+    push(
+        "erdos-renyi-18",
+        generators::erdos_renyi_connected(18, 0.3, seeds::DIFFERENTIAL_ER, 100).unwrap(),
+        true,
+    );
+    push(
+        "random-regular-16-4",
+        generators::random_regular(16, 4, seeds::DIFFERENTIAL_REGULAR).unwrap(),
+        true,
+    );
+    push(
+        "random-geometric-20",
+        generators::random_geometric(20, 0.35, seeds::DIFFERENTIAL_GEOMETRIC)
+            .unwrap()
+            .0,
+        false,
+    );
+    // Sparse-cut families (graph part of the (graph, partition) pairs).
+    push("dumbbell-8", generators::dumbbell(8).unwrap().0, true);
+    push("barbell-5-9", generators::barbell(5, 9).unwrap().0, true);
+    push(
+        "bridged-8-10",
+        generators::bridged_clusters(8, 10, 3, 0.5, seeds::DIFFERENTIAL_BRIDGED)
+            .unwrap()
+            .0,
+        true,
+    );
+    push(
+        "sbm-8-10",
+        generators::two_block_sbm(8, 10, 0.7, 0.1, seeds::DIFFERENTIAL_SBM)
+            .unwrap()
+            .0,
+        true,
+    );
+    push(
+        "grid-corridor-3x4",
+        generators::grid_corridor(3, 4, 2).unwrap().0,
+        true,
+    );
+    // Scaling-tier families, at differential-suite size.
+    push(
+        "chordal-ring-24",
+        generators::chordal_ring(24).unwrap(),
+        true,
+    );
+    push(
+        "expander-dumbbell-16",
+        generators::expander_dumbbell(16).unwrap().0,
+        true,
+    );
+    push(
+        "expander-barbell-10-14",
+        generators::expander_barbell(10, 14).unwrap().0,
+        true,
+    );
+    push(
+        "ring-of-cliques-6x5",
+        generators::ring_of_cliques(6, 5).unwrap().0,
+        true,
+    );
+    out
+}
+
+fn assert_dense_sparse_equal(name: &str, kind: &str, dense: &Matrix, sparse: &CsrMatrix) {
+    assert_eq!(dense.rows(), sparse.rows(), "{name}/{kind}: row mismatch");
+    assert_eq!(dense.cols(), sparse.cols(), "{name}/{kind}: col mismatch");
+    let densified = sparse.to_dense();
+    for i in 0..dense.rows() {
+        for j in 0..dense.cols() {
+            let d = dense.get(i, j);
+            let s = densified.get(i, j);
+            assert!(
+                (d - s).abs() <= MATRIX_TOL,
+                "{name}/{kind}[{i},{j}]: dense {d} vs sparse {s}"
+            );
+        }
+    }
+}
+
+fn probe_vector(len: usize, stream: u64) -> Vector {
+    let mut rng = ChaCha8Rng::seed_from_u64(seeds::DIFFERENTIAL_PROBE.wrapping_add(stream));
+    (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect()
+}
+
+#[test]
+fn matrix_builders_agree_elementwise_on_every_family() {
+    for (name, graph, _) in families() {
+        assert_dense_sparse_equal(
+            &name,
+            "adjacency",
+            &adjacency_matrix(&graph),
+            &adjacency_matrix_sparse(&graph),
+        );
+        assert_dense_sparse_equal(
+            &name,
+            "laplacian",
+            &laplacian(&graph),
+            &laplacian_sparse(&graph),
+        );
+        assert_dense_sparse_equal(
+            &name,
+            "normalized-laplacian",
+            &normalized_laplacian(&graph),
+            &normalized_laplacian_sparse(&graph),
+        );
+        if graph.edge_count() > 0 {
+            assert_dense_sparse_equal(
+                &name,
+                "gossip-matrix",
+                &expected_gossip_matrix(&graph).unwrap(),
+                &expected_gossip_matrix_sparse(&graph).unwrap(),
+            );
+        }
+    }
+}
+
+#[test]
+fn csr_kernels_agree_with_dense_on_every_family() {
+    for (index, (name, graph, _)) in families().into_iter().enumerate() {
+        let dense = laplacian(&graph);
+        let sparse = laplacian_sparse(&graph);
+        let x = probe_vector(graph.node_count(), index as u64);
+        let yd = dense.matvec(&x).unwrap();
+        let ys = sparse.matvec(&x).unwrap();
+        assert!(
+            yd.distance(&ys).unwrap() <= MATRIX_TOL * (1.0 + yd.norm()),
+            "{name}: matvec drift"
+        );
+        let qd = dense.quadratic_form(&x).unwrap();
+        let qs = sparse.quadratic_form(&x).unwrap();
+        assert!(
+            (qd - qs).abs() <= MATRIX_TOL * (1.0 + qd.abs()),
+            "{name}: quadratic form drift ({qd} vs {qs})"
+        );
+        assert!(
+            (dense.frobenius_norm() - sparse.frobenius_norm()).abs()
+                <= MATRIX_TOL * (1.0 + dense.frobenius_norm()),
+            "{name}: frobenius drift"
+        );
+        assert_eq!(
+            dense.is_symmetric(1e-12),
+            sparse.is_symmetric(1e-12),
+            "{name}: symmetry check drift"
+        );
+    }
+}
+
+#[test]
+fn spectral_profiles_agree_within_solver_tolerance() {
+    for (name, graph, connected) in families() {
+        if !connected || graph.node_count() < 2 || graph.edge_count() == 0 {
+            continue;
+        }
+        let dense = SpectralProfile::compute_dense(&graph).unwrap();
+        let sparse = SpectralProfile::compute_sparse(&graph).unwrap();
+        let scale = dense.laplacian_lambda_max.max(1.0);
+        assert!(
+            (dense.algebraic_connectivity - sparse.algebraic_connectivity).abs()
+                <= EIGEN_TOL * scale,
+            "{name}: λ₂ {0} vs {1}",
+            dense.algebraic_connectivity,
+            sparse.algebraic_connectivity
+        );
+        assert!(
+            (dense.laplacian_lambda_max - sparse.laplacian_lambda_max).abs() <= EIGEN_TOL * scale,
+            "{name}: λ_max {0} vs {1}",
+            dense.laplacian_lambda_max,
+            sparse.laplacian_lambda_max
+        );
+        assert!(
+            (dense.gossip_spectral_gap - sparse.gossip_spectral_gap).abs() <= EIGEN_TOL,
+            "{name}: gap drift"
+        );
+        let tv_d = dense.vanilla_averaging_time_estimate();
+        let tv_s = sparse.vanilla_averaging_time_estimate();
+        assert!(
+            (tv_d - tv_s).abs() <= 1e-5 * tv_d.abs().max(1.0),
+            "{name}: T_van {tv_d} vs {tv_s}"
+        );
+        assert_eq!(dense.edge_count, sparse.edge_count, "{name}");
+        assert_eq!(dense.node_count, sparse.node_count, "{name}");
+    }
+}
+
+#[test]
+fn dispatch_below_threshold_is_byte_identical_to_dense() {
+    for (name, graph, connected) in families() {
+        if !connected || graph.node_count() < 2 || graph.edge_count() == 0 {
+            continue;
+        }
+        assert!(
+            graph.node_count() <= SPARSE_DISPATCH_THRESHOLD,
+            "{name}: differential families must sit below the dispatch threshold"
+        );
+        let dispatched = SpectralProfile::compute(&graph).unwrap();
+        let dense = SpectralProfile::compute_dense(&graph).unwrap();
+        // Where both paths run the same tier, results are *byte*-identical:
+        // dispatch must never perturb small-graph numbers.
+        assert_eq!(
+            dispatched.algebraic_connectivity.to_bits(),
+            dense.algebraic_connectivity.to_bits(),
+            "{name}: dispatched λ₂ differs from dense"
+        );
+        assert_eq!(
+            dispatched.laplacian_lambda_max.to_bits(),
+            dense.laplacian_lambda_max.to_bits(),
+            "{name}"
+        );
+        assert_eq!(
+            dispatched.vanilla_averaging_time_estimate().to_bits(),
+            dense.vanilla_averaging_time_estimate().to_bits(),
+            "{name}: dispatched T_van differs from dense"
+        );
+        assert_eq!(dispatched, dense, "{name}: profile structs differ");
+    }
+}
+
+#[test]
+fn fiedler_values_and_vectors_agree_across_tiers() {
+    for (name, graph, connected) in families() {
+        if !connected || graph.node_count() < 2 || graph.edge_count() == 0 {
+            continue;
+        }
+        let lap_dense = laplacian(&graph);
+        let dense_eig = sparse_cut_gossip::linalg::SymmetricEigen::compute(&lap_dense).unwrap();
+        let lambda2 = dense_eig.second_smallest().unwrap();
+        let lap_sparse = laplacian_sparse(&graph);
+        let lanczos = Lanczos::new()
+            .with_deflation(Vector::ones(graph.node_count()))
+            .run(&lap_sparse)
+            .unwrap();
+        let scale = dense_eig.largest().max(1.0);
+        assert!(
+            (lanczos.smallest - lambda2).abs() <= EIGEN_TOL * scale,
+            "{name}: Lanczos Fiedler value {0} vs Jacobi {lambda2}",
+            lanczos.smallest
+        );
+        // The Ritz vector is a genuine eigenvector: check the residual
+        // directly (eigenvector comparison is ambiguous under degeneracy).
+        let residual = lap_sparse
+            .matvec(&lanczos.smallest_vector)
+            .unwrap()
+            .distance(&lanczos.smallest_vector.scaled(lanczos.smallest))
+            .unwrap();
+        assert!(
+            residual <= 1e-5 * scale,
+            "{name}: Fiedler residual {residual}"
+        );
+    }
+}
+
+#[test]
+fn above_threshold_chain_spectra_match_closed_forms() {
+    // Regression guard: path/cycle graphs have the hardest spectra for
+    // Lanczos (eigenvalue spacing ~1/n², needing Θ(n) Krylov steps), and
+    // they dispatch to the sparse path above the threshold.  The analytic
+    // spectrum replaces the (here infeasible) dense reference:
+    // path λ₂ = 2(1 − cos(π/n)), cycle λ₂ = 2(1 − cos(2π/n)).
+    let n = 600;
+    let path = generators::path(n).unwrap();
+    assert!(path.node_count() > SPARSE_DISPATCH_THRESHOLD);
+    let profile = SpectralProfile::compute(&path).expect("sparse path profile");
+    let expected = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
+    assert!(
+        (profile.algebraic_connectivity - expected).abs() <= 1e-9,
+        "path-{n}: λ₂ {} vs closed form {expected}",
+        profile.algebraic_connectivity
+    );
+    assert!((profile.laplacian_lambda_max - 4.0).abs() < 1e-4);
+
+    let m = 800;
+    let cycle = generators::cycle(m).unwrap();
+    let profile = SpectralProfile::compute(&cycle).expect("sparse cycle profile");
+    let expected = 2.0 * (1.0 - (2.0 * std::f64::consts::PI / m as f64).cos());
+    assert!(
+        (profile.algebraic_connectivity - expected).abs() <= 1e-9,
+        "cycle-{m}: λ₂ {} vs closed form {expected}",
+        profile.algebraic_connectivity
+    );
+}
+
+#[test]
+fn iterative_convergence_regime_matches_closed_form() {
+    // Exercise Lanczos' stabilization-based stopping regime (convergence
+    // well before Krylov exhaustion) and pin the result against an analytic
+    // spectrum.  This is the regime the sparse tier runs in at scale, which
+    // the small exhaustion-regime families above cannot exercise.  A 2-D
+    // grid is the right instrument: its spectrum is the closed-form sum of
+    // two path spectra and its gaps are wide enough to converge in ≪ n
+    // steps (a 1-D chain, by contrast, always exhausts before stabilizing).
+    let (rows, cols) = (30usize, 40usize);
+    let grid = generators::grid2d(rows, cols).unwrap();
+    let n = grid.node_count();
+    let lap = laplacian_sparse(&grid);
+    let eig = Lanczos::new()
+        .with_deflation(Vector::ones(n))
+        .run(&lap)
+        .expect("Lanczos converges on the grid");
+    assert!(
+        eig.iterations < n - 1,
+        "test must exercise the non-exhaustion regime (ran {} steps)",
+        eig.iterations
+    );
+    assert!(!eig.exhausted);
+    // grid2d eigenvalues are λ_i(path rows) + λ_j(path cols).
+    let path_ev =
+        |k: usize, m: usize| 2.0 * (1.0 - (std::f64::consts::PI * k as f64 / m as f64).cos());
+    let lambda2 = path_ev(1, cols.max(rows));
+    let lambda_max = path_ev(rows - 1, rows) + path_ev(cols - 1, cols);
+    assert!(
+        (eig.smallest - lambda2).abs() <= 1e-7 * lambda_max,
+        "iterative λ₂ {} vs closed form {lambda2}",
+        eig.smallest
+    );
+    assert!(
+        (eig.largest - lambda_max).abs() <= 1e-7 * lambda_max,
+        "iterative λ_max {} vs closed form {lambda_max}",
+        eig.largest
+    );
+}
+
+#[test]
+fn gossip_matrix_spectrum_consistency_across_tiers() {
+    // λ₂(W̄) = 1 − λ₂(L)/(2|E|): the sparse path must reproduce the dense
+    // expected-gossip spectrum through the Laplacian relation.
+    for (name, graph, connected) in families() {
+        if !connected || graph.node_count() < 2 || graph.edge_count() == 0 {
+            continue;
+        }
+        let w_dense = expected_gossip_matrix(&graph).unwrap();
+        let eig = sparse_cut_gossip::linalg::SymmetricEigen::compute(&w_dense).unwrap();
+        let n = eig.eigenvalues().len();
+        let second_largest_w = eig.eigenvalues()[n - 2];
+        let sparse = SpectralProfile::compute_sparse(&graph).unwrap();
+        assert!(
+            ((1.0 - sparse.gossip_spectral_gap) - second_largest_w).abs() <= EIGEN_TOL,
+            "{name}: 1 − gap {0} vs λ₂(W̄) {second_largest_w}",
+            1.0 - sparse.gossip_spectral_gap
+        );
+    }
+}
