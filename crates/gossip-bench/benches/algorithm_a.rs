@@ -36,8 +36,7 @@ fn bench_algorithm_a(c: &mut Criterion) {
                 )
                 .expect("valid partition");
                 let config = SimulationConfig::new(11)
-                    .with_stopping_rule(StoppingRule::definition1().or_max_time(50_000.0))
-                    .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                    .with_stopping_rule(StoppingRule::definition1().or_max_time(50_000.0));
                 let mut sim = AsyncSimulator::new(&graph, initial.clone(), algorithm, config)
                     .expect("valid simulation");
                 sim.run().expect("run succeeds")

@@ -65,8 +65,7 @@ fn bench_baselines(c: &mut Criterion) {
             |b, _| {
                 b.iter(|| {
                     let config = SimulationConfig::new(3)
-                        .with_stopping_rule(StoppingRule::definition1().or_max_time(50_000.0))
-                        .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                        .with_stopping_rule(StoppingRule::definition1().or_max_time(50_000.0));
                     let mut sim = AsyncSimulator::new(
                         &graph,
                         initial.clone(),

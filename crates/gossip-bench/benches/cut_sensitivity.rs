@@ -22,8 +22,7 @@ fn bench_cut_sensitivity(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("vanilla", bridges), &bridges, |b, _| {
             b.iter(|| {
                 let config = SimulationConfig::new(5)
-                    .with_stopping_rule(StoppingRule::definition1().or_max_time(20_000.0))
-                    .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                    .with_stopping_rule(StoppingRule::definition1().or_max_time(20_000.0));
                 let mut sim =
                     AsyncSimulator::new(&graph, initial.clone(), VanillaGossip::new(), config)
                         .expect("valid simulation");
@@ -42,8 +41,7 @@ fn bench_cut_sensitivity(c: &mut Criterion) {
                     )
                     .expect("valid partition");
                     let config = SimulationConfig::new(5)
-                        .with_stopping_rule(StoppingRule::definition1().or_max_time(20_000.0))
-                        .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+                        .with_stopping_rule(StoppingRule::definition1().or_max_time(20_000.0));
                     let mut sim = AsyncSimulator::new(&graph, initial.clone(), algorithm, config)
                         .expect("valid simulation");
                     sim.run().expect("run succeeds")

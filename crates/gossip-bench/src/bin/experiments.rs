@@ -11,12 +11,15 @@
 //! cargo run -p gossip-bench --release --bin experiments -- --only E1 E3
 //! cargo run -p gossip-bench --release --bin experiments -- --json results.json
 //! cargo run -p gossip-bench --release --bin experiments -- --only SCALE
+//! cargo run -p gossip-bench --release --bin experiments -- --only SIM_SCALE
 //! ```
 //!
 //! Whenever the SCALE experiment runs, its report (spectral quantities plus
 //! wall-clock timings of the sparse pipeline) is additionally written to
 //! `BENCH_scale.json` (path overridable with `--scale-json <path>`) to seed
-//! the perf trajectory.
+//! the perf trajectory.  Likewise the SIM_SCALE experiment (asynchronous
+//! runs with O(1) per-tick Definition 1 stopping) writes
+//! `BENCH_sim_scale.json` (`--sim-scale-json <path>`).
 
 use gossip_bench::runner::{self, HarnessConfig};
 use gossip_bench::Table;
@@ -24,8 +27,8 @@ use std::collections::BTreeSet;
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed <u64>] [--only E1 E2 ... SCALE] \
-         [--json <path>] [--scale-json <path>]"
+        "usage: experiments [--quick] [--seed <u64>] [--only E1 E2 ... SCALE SIM_SCALE] \
+         [--json <path>] [--scale-json <path>] [--sim-scale-json <path>]"
     );
 }
 
@@ -35,6 +38,7 @@ fn main() {
     let mut only: BTreeSet<String> = BTreeSet::new();
     let mut json_path: Option<String> = None;
     let mut scale_json_path = String::from("BENCH_scale.json");
+    let mut sim_scale_json_path = String::from("BENCH_sim_scale.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -81,6 +85,17 @@ fn main() {
                     }
                 }
             }
+            "--sim-scale-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => sim_scale_json_path = path.clone(),
+                    None => {
+                        eprintln!("--sim-scale-json requires a path");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -97,8 +112,11 @@ fn main() {
     let wanted = |id: &str| only.is_empty() || only.contains(id);
     let mut tables: Vec<Table> = Vec::new();
     let mut scale_report: Option<runner::ScaleReport> = None;
+    let mut sim_scale_report: Option<runner::SimScaleReport> = None;
 
-    let run = |scale_report: &mut Option<runner::ScaleReport>| -> runner::BenchResult<Vec<Table>> {
+    let run = |scale_report: &mut Option<runner::ScaleReport>,
+               sim_scale_report: &mut Option<runner::SimScaleReport>|
+     -> runner::BenchResult<Vec<Table>> {
         let mut out = Vec::new();
         if wanted("E1") || wanted("E2") || wanted("E3") {
             let sweep = runner::run_dumbbell_sweep(&config)?;
@@ -140,10 +158,15 @@ fn main() {
             *scale_report = Some(report);
             out.push(table);
         }
+        if wanted("SIM_SCALE") {
+            let (report, table) = runner::run_sim_scale(&config)?;
+            *sim_scale_report = Some(report);
+            out.push(table);
+        }
         Ok(out)
     };
 
-    match run(&mut scale_report) {
+    match run(&mut scale_report, &mut sim_scale_report) {
         Ok(result) => tables.extend(result),
         Err(error) => {
             eprintln!("experiment harness failed: {error}");
@@ -171,6 +194,22 @@ fn main() {
             }
             Err(error) => {
                 eprintln!("failed to serialize scale report: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(report) = &sim_scale_report {
+        match serde_json::to_string_pretty(report) {
+            Ok(json) => {
+                if let Err(error) = std::fs::write(&sim_scale_json_path, json) {
+                    eprintln!("failed to write {sim_scale_json_path}: {error}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote sim-scale report to {sim_scale_json_path}");
+            }
+            Err(error) => {
+                eprintln!("failed to serialize sim-scale report: {error}");
                 std::process::exit(1);
             }
         }

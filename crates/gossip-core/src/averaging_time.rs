@@ -9,20 +9,29 @@
 //!    default the adversarial cut-aligned vector from Section 2: `+1` on `V₁`
 //!    and `−n₁/n₂` on `V₂`, which is the vector the lower-bound proof uses
 //!    and empirically the worst case for sparse-cut instances);
-//! 2. for each run record the **settling time** — the last sampled time at
+//! 2. for each run record the **settling time** — the last checked time at
 //!    which the normalized variance was still `≥ 1/e²` (runs continue until
 //!    the variance has fallen well below the threshold, so later excursions
-//!    by non-monotone algorithms such as Algorithm A are captured);
+//!    by non-monotone algorithms such as Algorithm A are captured).  The
+//!    engine tracks this in O(1) per check against the incremental moment
+//!    tracker, so no trace needs to be recorded and the default per-tick
+//!    check resolution costs neither time nor memory;
 //! 3. report the `(1 − 1/e)`-quantile of the settling times, the empirical
 //!    analogue of Definition 1, along with the mean and the raw samples.
+//!
+//! Runs that hit the per-run time cap **or** the hard event budget are
+//! *censored* observations: their settling time is recorded as the last time
+//! the variance was still above the threshold when the run was cut off, and
+//! they are counted in [`AveragingTimeEstimate::censored_runs`] rather than
+//! aborting the whole estimate.
 
 use crate::{CoreError, Result};
 use gossip_graph::{Graph, Partition};
 use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig};
 use gossip_sim::handler::EdgeTickHandler;
 use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
-use gossip_sim::trace::TraceConfig;
 use gossip_sim::values::NodeValues;
+use gossip_sim::SimError;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the estimator.
@@ -40,8 +49,12 @@ pub struct EstimatorConfig {
     pub confirmation_factor: f64,
     /// Hard cap on simulated time per run.
     pub max_time: f64,
-    /// How often (in ticks) the variance is sampled; larger values trade
-    /// temporal resolution for speed on big graphs.
+    /// Hard cap on processed events per run; a run exhausting it is recorded
+    /// as a censored observation.
+    pub max_events: u64,
+    /// How often (in ticks) the variance is checked.  Checks are O(1)
+    /// against the incremental moment tracker, so the default of 1 (exact
+    /// per-tick settling resolution) is affordable at any graph size.
     pub check_every_ticks: u64,
     /// Which clock sampler to use.
     pub clock_model: ClockModel,
@@ -60,6 +73,7 @@ impl EstimatorConfig {
             threshold: DEFINITION1_THRESHOLD,
             confirmation_factor: 0.05,
             max_time: 1e6,
+            max_events: 200_000_000,
             check_every_ticks: 1,
             clock_model: ClockModel::PerEdgeQueue,
             quantile: 1.0 - (-1.0f64).exp(),
@@ -81,6 +95,12 @@ impl EstimatorConfig {
     /// Sets the per-run time cap.
     pub fn with_max_time(mut self, max_time: f64) -> Self {
         self.max_time = max_time;
+        self
+    }
+
+    /// Sets the per-run event budget.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
         self
     }
 
@@ -129,6 +149,11 @@ impl EstimatorConfig {
                 ),
             });
         }
+        if self.max_events == 0 {
+            return Err(CoreError::InvalidConfig {
+                reason: "max_events must be at least 1".into(),
+            });
+        }
         if !(0.0 < self.quantile && self.quantile < 1.0) {
             return Err(CoreError::InvalidConfig {
                 reason: format!("quantile must lie in (0, 1), got {}", self.quantile),
@@ -153,8 +178,9 @@ pub struct AveragingTimeEstimate {
     /// Number of runs whose variance ratio actually dropped below the
     /// confirmation level before the time cap.
     pub confirmed_runs: usize,
-    /// Number of runs that hit the time cap instead (their settling time is
-    /// censored at the cap and the estimate is a lower bound).
+    /// Number of runs that hit the time cap or exhausted the event budget
+    /// instead (their settling time is censored at the point the run was cut
+    /// off and the estimate is a lower bound).
     pub censored_runs: usize,
 }
 
@@ -269,30 +295,33 @@ impl AveragingTimeEstimator {
                 .with_stopping_rule(stop)
                 .with_clock_model(self.config.clock_model)
                 .with_check_every_ticks(self.config.check_every_ticks)
-                .with_trace(TraceConfig::every_ticks(self.config.check_every_ticks));
+                .with_max_events(self.config.max_events)
+                .with_settling_threshold(self.config.threshold);
             if let Some(p) = partition {
                 sim_config = sim_config.with_partition(p.clone());
             }
             let mut simulator = AsyncSimulator::new(graph, initial.clone(), factory(), sim_config)?;
-            let outcome = simulator.run()?;
-            if outcome.converged() {
+            let confirmed = match simulator.run() {
+                Ok(outcome) => outcome.converged(),
+                // A run that exhausts its hard event budget is censored,
+                // exactly like one that hits the time cap: the algorithm had
+                // not confirmed convergence when the budget ran out, but the
+                // settling observation up to that point is still valid.
+                Err(SimError::EventBudgetExhausted { .. }) => false,
+                Err(other) => return Err(other.into()),
+            };
+            if confirmed {
                 confirmed_runs += 1;
             } else {
                 censored_runs += 1;
             }
-            let trace = outcome
-                .trace
-                .as_ref()
-                .expect("trace recording was requested");
+            // The engine tracked the last checked time with the normalized
+            // variance still at or above the threshold — valid even when the
+            // run ended in budget exhaustion.
             let settle = if initial_variance <= 0.0 {
                 0.0
             } else {
-                trace
-                    .points()
-                    .iter()
-                    .filter(|p| p.variance / initial_variance >= self.config.threshold)
-                    .map(|p| p.time)
-                    .fold(0.0_f64, f64::max)
+                simulator.settling_time()
             };
             settling_times.push(settle);
         }
@@ -398,6 +427,35 @@ mod tests {
         let result = est.estimate(&g, &p, VanillaGossip::new).unwrap();
         assert_eq!(result.censored_runs, 3);
         assert!(!result.fully_confirmed());
+    }
+
+    #[test]
+    fn event_budget_exhaustion_is_censored_not_fatal() {
+        // 500 events on a 241-edge dumbbell is ~2 time units of simulated
+        // time — nowhere near the Ω(n1) the convex class needs, so every run
+        // exhausts the budget.  That must censor, not abort.
+        let (g, p) = dumbbell(16).unwrap();
+        let est = AveragingTimeEstimator::new(
+            EstimatorConfig::new(5)
+                .with_runs(3)
+                .with_max_time(50.0)
+                .with_max_events(500),
+        );
+        let result = est.estimate(&g, &p, VanillaGossip::new).unwrap();
+        assert_eq!(result.censored_runs, 3);
+        assert_eq!(result.confirmed_runs, 0);
+        assert!(!result.fully_confirmed());
+        // The censored settling observation is the last time the variance
+        // was still above threshold, i.e. roughly where the budget ran out.
+        assert!(result.averaging_time > 0.0);
+        assert!(result.averaging_time < 50.0);
+    }
+
+    #[test]
+    fn zero_event_budget_is_rejected() {
+        let (g, p) = dumbbell(3).unwrap();
+        let est = AveragingTimeEstimator::new(EstimatorConfig::new(1).with_max_events(0));
+        assert!(est.estimate(&g, &p, VanillaGossip::new).is_err());
     }
 
     #[test]

@@ -23,6 +23,26 @@ pub enum ClockModel {
     GlobalUniform,
 }
 
+/// How the variance fed to the stopping rule is obtained at each check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VarianceMode {
+    /// O(1) running moments (see [`crate::moments::MomentTracker`]) with the
+    /// deterministic exact-refresh schedule
+    /// [`SimulationConfig::moment_refresh_every_ticks`].  The default: makes
+    /// per-tick Definition 1 checks affordable at any `n`.
+    Incremental,
+    /// Exact O(n) recompute (and O(n) finiteness scan) at every check — the
+    /// legacy reference path, kept for the incremental-vs-full differential
+    /// oracle and for callers that insist on exact per-check variances.
+    ExactEveryCheck,
+}
+
+/// Default exact-refresh period of the incremental moments, in ticks.
+///
+/// `2¹⁶` updates of unit-scale values accumulate drift far below the `1e-9`
+/// oracle margin while amortizing the O(n) pass to `n/65 536` work per tick.
+pub const DEFAULT_MOMENT_REFRESH_TICKS: u64 = 65_536;
+
 /// Configuration of an asynchronous run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
@@ -40,9 +60,23 @@ pub struct SimulationConfig {
     /// Hard safety cap on the number of processed events, independent of the
     /// stopping rule.
     pub max_events: u64,
-    /// How often (in ticks) the stopping rule is evaluated.  Variance is
-    /// `O(n)` to compute, so sweeps over large graphs set this above 1.
+    /// How often (in ticks) the stopping rule is evaluated.  With the
+    /// default [`VarianceMode::Incremental`] a check is O(1), so the default
+    /// of 1 (per-tick checking, no stopping latency) is affordable at any
+    /// graph size.
     pub check_every_ticks: u64,
+    /// How the per-check variance is obtained.
+    pub variance_mode: VarianceMode,
+    /// Period (in ticks) of the deterministic exact recompute of the running
+    /// moments under [`VarianceMode::Incremental`]; bounds float drift.
+    pub moment_refresh_every_ticks: u64,
+    /// When set, the engine tracks the **settling time**: the last checked
+    /// time at which `var X(t)/var X(0)` was still at or above this
+    /// threshold.  O(1) per check, reported in
+    /// [`SimulationOutcome::settling_time`] and via
+    /// [`AsyncSimulator::settling_time`] (the latter remains readable even
+    /// when `run` fails, e.g. on budget exhaustion, so callers can censor).
+    pub settling_threshold: Option<f64>,
 }
 
 impl SimulationConfig {
@@ -57,6 +91,9 @@ impl SimulationConfig {
             partition: None,
             max_events: 200_000_000,
             check_every_ticks: 1,
+            variance_mode: VarianceMode::Incremental,
+            moment_refresh_every_ticks: DEFAULT_MOMENT_REFRESH_TICKS,
+            settling_threshold: None,
         }
     }
 
@@ -95,6 +132,26 @@ impl SimulationConfig {
         self.check_every_ticks = ticks.max(1);
         self
     }
+
+    /// Selects how the per-check variance is obtained.
+    pub fn with_variance_mode(mut self, mode: VarianceMode) -> Self {
+        self.variance_mode = mode;
+        self
+    }
+
+    /// Sets the exact-refresh period of the running moments (clamped to at
+    /// least 1).
+    pub fn with_moment_refresh_every_ticks(mut self, ticks: u64) -> Self {
+        self.moment_refresh_every_ticks = ticks.max(1);
+        self
+    }
+
+    /// Enables settling-time tracking against `threshold` (see
+    /// [`Self::settling_threshold`]).
+    pub fn with_settling_threshold(mut self, threshold: f64) -> Self {
+        self.settling_threshold = Some(threshold);
+        self
+    }
 }
 
 /// Result of an asynchronous run.
@@ -114,6 +171,13 @@ pub struct SimulationOutcome {
     pub stop_reason: StopReason,
     /// The recorded trace, if tracing was enabled.
     pub trace: Option<Trace>,
+    /// The last checked time at which the variance ratio was still at or
+    /// above [`SimulationConfig::settling_threshold`]; `None` when no
+    /// settling threshold was configured.
+    pub settling_time: Option<f64>,
+    /// Number of exact O(n) moment refreshes performed during the run (the
+    /// scheduled drift bound; zero under [`VarianceMode::ExactEveryCheck`]).
+    pub moment_refreshes: u64,
 }
 
 impl SimulationOutcome {
@@ -156,6 +220,12 @@ pub struct AsyncSimulator<'g, H> {
     config: SimulationConfig,
     sampler: Sampler,
     initial_variance: f64,
+    last_settle: f64,
+    moment_refreshes: u64,
+    /// Set when an exact refresh left the tracker non-finite even though
+    /// every node value is finite (squared deviations beyond f64 range);
+    /// suppresses repeated O(n) salvage attempts until the tracker recovers.
+    moments_overflowed: bool,
 }
 
 impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
@@ -193,6 +263,9 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             config,
             sampler,
             initial_variance,
+            last_settle: 0.0,
+            moment_refreshes: 0,
+            moments_overflowed: false,
         })
     }
 
@@ -218,6 +291,25 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
         (self.handler, self.values)
     }
 
+    /// The last checked time at which the variance ratio was still at or
+    /// above the configured [`SimulationConfig::settling_threshold`] (`0.0`
+    /// before any such check, or when no threshold is configured).
+    ///
+    /// Unlike [`SimulationOutcome::settling_time`] this stays readable after
+    /// [`Self::run`] returns an error, so estimators can censor runs that
+    /// exhaust the event budget instead of discarding them.
+    pub fn settling_time(&self) -> f64 {
+        self.last_settle
+    }
+
+    fn note_settling(&mut self, status: &SimulationStatus) {
+        if let Some(threshold) = self.config.settling_threshold {
+            if status.variance_ratio() >= threshold {
+                self.last_settle = status.time;
+            }
+        }
+    }
+
     /// Runs until the stopping rule fires.
     ///
     /// # Errors
@@ -240,6 +332,7 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             variance: self.initial_variance,
             initial_variance: self.initial_variance,
         };
+        self.note_settling(&initial_status);
         if let Some(reason) = self.config.stopping_rule.evaluate(&initial_status) {
             return Ok(self.finish(0.0, 0, reason, recorder));
         }
@@ -268,15 +361,77 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                 rec.record(time, ticks, &self.values, false);
             }
 
+            if self.config.variance_mode == VarianceMode::Incremental
+                && ticks.is_multiple_of(self.config.moment_refresh_every_ticks)
+            {
+                self.values.refresh_moments();
+                self.moment_refreshes += 1;
+                if !self.values.moments_finite() {
+                    // A freshly rebuilt tracker is still non-finite: either a
+                    // node value is genuinely NaN/∞ (error out with the node
+                    // index) or finite values have squared deviations beyond
+                    // f64 range; the latter keeps running with an infinite
+                    // variance, which can never read as "converged".
+                    self.values.check_finite()?;
+                    self.moments_overflowed = true;
+                }
+            }
+
             if ticks.is_multiple_of(self.config.check_every_ticks) {
-                self.values.check_finite()?;
+                let variance = match self.config.variance_mode {
+                    VarianceMode::Incremental => {
+                        if self.values.moments_finite() {
+                            self.moments_overflowed = false;
+                            if self.values.moments_need_recenter() {
+                                // A handler re-baselined the state through
+                                // `set` (pairwise updates conserve the sum,
+                                // so this never fires for the paper's
+                                // algorithms): re-centre immediately rather
+                                // than letting cancellation around the stale
+                                // shift masquerade as convergence until the
+                                // next scheduled refresh.
+                                self.values.refresh_moments();
+                                self.moment_refreshes += 1;
+                            }
+                        } else if !self.moments_overflowed {
+                            // A poisoned running sum means a genuinely
+                            // non-finite node value (surface it with the node
+                            // index), a transient that has since been
+                            // overwritten (NaN is sticky in the tracker), or
+                            // finite values whose squared deviations overflow
+                            // f64; the exact refresh tells them apart.  The
+                            // overflow flag makes the salvage run once per
+                            // episode, keeping the hot path O(1) instead of
+                            // retrying two O(n) passes at every check.
+                            self.values.check_finite()?;
+                            self.values.refresh_moments();
+                            self.moment_refreshes += 1;
+                            if !self.values.moments_finite() {
+                                self.moments_overflowed = true;
+                            }
+                        }
+                        self.values.incremental_variance()
+                    }
+                    VarianceMode::ExactEveryCheck => {
+                        self.values.check_finite()?;
+                        self.values.variance()
+                    }
+                };
                 let status = SimulationStatus {
                     time,
                     ticks,
-                    variance: self.values.variance(),
+                    variance,
                     initial_variance: self.initial_variance,
                 };
+                self.note_settling(&status);
                 if let Some(reason) = self.config.stopping_rule.evaluate(&status) {
+                    if self.moments_overflowed {
+                        // The overflow flag suppressed per-check finiteness
+                        // scans; make the terminal state honor `run`'s error
+                        // contract (a NaN/∞ introduced after the overflow
+                        // must still surface, not leak into the outcome).
+                        self.values.check_finite()?;
+                    }
                     return Ok(self.finish(time, ticks, reason, recorder));
                 }
             }
@@ -302,6 +457,8 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             total_ticks: ticks,
             stop_reason: reason,
             trace,
+            settling_time: self.config.settling_threshold.map(|_| self.last_settle),
+            moment_refreshes: self.moment_refreshes,
         }
     }
 }
@@ -496,12 +653,180 @@ mod tests {
             .with_trace(TraceConfig::every_ticks(2))
             .with_partition(partition.clone())
             .with_max_events(123)
-            .with_check_every_ticks(0);
+            .with_check_every_ticks(0)
+            .with_variance_mode(VarianceMode::ExactEveryCheck)
+            .with_moment_refresh_every_ticks(0)
+            .with_settling_threshold(0.25);
         assert_eq!(c.seed, 7);
         assert_eq!(c.clock_model, ClockModel::GlobalUniform);
         assert_eq!(c.max_events, 123);
         assert_eq!(c.check_every_ticks, 1);
+        assert_eq!(c.variance_mode, VarianceMode::ExactEveryCheck);
+        assert_eq!(c.moment_refresh_every_ticks, 1);
+        assert_eq!(c.settling_threshold, Some(0.25));
         assert_eq!(c.partition, Some(partition));
         assert!(c.trace.is_some());
+        let d = SimulationConfig::new(1);
+        assert_eq!(d.variance_mode, VarianceMode::Incremental);
+        assert_eq!(d.moment_refresh_every_ticks, DEFAULT_MOMENT_REFRESH_TICKS);
+        assert_eq!(d.settling_threshold, None);
+    }
+
+    #[test]
+    fn incremental_and_exact_modes_stop_at_the_same_tick() {
+        let g = dumbbell(6).unwrap().0;
+        let run = |mode: VarianceMode| {
+            let config = SimulationConfig::new(17)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500_000))
+                .with_variance_mode(mode)
+                .with_moment_refresh_every_ticks(64);
+            let mut sim = AsyncSimulator::new(&g, spike(12), Vanilla, config).unwrap();
+            sim.run().unwrap()
+        };
+        let incremental = run(VarianceMode::Incremental);
+        let exact = run(VarianceMode::ExactEveryCheck);
+        assert!(incremental.converged());
+        assert_eq!(incremental.total_ticks, exact.total_ticks);
+        assert_eq!(incremental.stop_reason, exact.stop_reason);
+        assert_eq!(incremental.final_values, exact.final_values);
+        assert_eq!(exact.moment_refreshes, 0);
+        assert!(incremental.moment_refreshes >= incremental.total_ticks / 64);
+    }
+
+    #[test]
+    fn moment_refreshes_follow_the_deterministic_schedule() {
+        let g = complete(8).unwrap();
+        let config = SimulationConfig::new(3)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(1e-6).or_max_ticks(1_000_000))
+            .with_moment_refresh_every_ticks(32);
+        let mut sim = AsyncSimulator::new(&g, spike(8), Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        // One scheduled refresh per full 32-tick window, and no unscheduled
+        // O(n) passes (the values stay finite throughout).
+        assert_eq!(outcome.moment_refreshes, outcome.total_ticks / 32);
+    }
+
+    #[test]
+    fn large_offset_states_converge_and_never_false_stop() {
+        // A spike riding on a 1e8 common offset: the uncentred moment
+        // formula would lose every digit to cancellation, clamp to zero, and
+        // "converge" at the first check.  The shifted tracker must make the
+        // run behave exactly like the offset-free one.
+        let g = complete(8).unwrap();
+        let offset: Vec<f64> = spike(8).as_slice().iter().map(|x| 1e8 + x).collect();
+        let config = SimulationConfig::new(3)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(1_000_000));
+        let mut sim = AsyncSimulator::new(
+            &g,
+            NodeValues::from_values(offset).unwrap(),
+            Vanilla,
+            config.clone(),
+        )
+        .unwrap();
+        let with_offset = sim.run().unwrap();
+        let mut sim = AsyncSimulator::new(&g, spike(8), Vanilla, config).unwrap();
+        let without_offset = sim.run().unwrap();
+        assert!(with_offset.converged());
+        assert_eq!(with_offset.total_ticks, without_offset.total_ticks);
+        assert!(with_offset.total_ticks > 1, "stopped suspiciously early");
+    }
+
+    #[test]
+    fn mid_run_rebaseline_recenters_instead_of_false_converging() {
+        // A handler that re-baselines the whole state by +1e8 on its first
+        // tick (legal through the public `set` API, but sum-violating): the
+        // stale shift would make the O(1) variance cancel to ~0 and stop the
+        // run instantly; the re-centre guard must instead refresh and let
+        // the run converge at the genuine mixing time.
+        struct Rebaseline;
+        impl EdgeTickHandler for Rebaseline {
+            fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+                if ctx.global_tick_count == 1 {
+                    for i in 0..values.len() {
+                        let v = values.get(NodeId(i));
+                        values.set(NodeId(i), v + 1e8);
+                    }
+                }
+                let (u, v) = ctx.edge.endpoints();
+                values.average_pair(u, v);
+            }
+        }
+        let g = complete(8).unwrap();
+        let config = SimulationConfig::new(3)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(1_000_000));
+        let mut sim = AsyncSimulator::new(&g, spike(8), Rebaseline, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(outcome.converged());
+        assert!(outcome.total_ticks > 5, "false convergence on stale shift");
+        // The exact final variance confirms the stop was genuine.
+        assert!(outcome.variance_ratio() < crate::stopping::DEFINITION1_THRESHOLD);
+        // The rebaseline triggered at least one unscheduled re-centre.
+        assert!(outcome.moment_refreshes >= 1);
+    }
+
+    #[test]
+    fn out_of_range_finite_values_run_to_the_guard_without_error() {
+        // |x| ≈ 1e200 is finite but its squared deviation overflows f64: the
+        // variance is genuinely unrepresentable.  The run must neither error
+        // (no value is NaN/∞) nor converge (∞ ratio), and the one-shot
+        // salvage must not degrade every check to O(n) — it runs to the tick
+        // guard like the exact reference mode would.
+        struct Blowup;
+        impl EdgeTickHandler for Blowup {
+            fn on_edge_tick(&mut self, values: &mut NodeValues, _ctx: &EdgeTickContext<'_>) {
+                values.set(NodeId(0), 1e200);
+            }
+        }
+        let g = complete(4).unwrap();
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200));
+        let mut sim = AsyncSimulator::new(&g, spike(4), Blowup, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.stop_reason, StopReason::TickLimit);
+        assert!(!outcome.converged());
+        // One salvage refresh for the whole episode, not one per check.
+        assert_eq!(outcome.moment_refreshes, 1);
+    }
+
+    #[test]
+    fn nan_after_overflow_still_surfaces_as_an_error() {
+        // First drive a value out of f64 square range (sets the overflow
+        // flag, which suppresses per-check finiteness scans), then poison
+        // the state with a genuine NaN: the terminal scan must still honor
+        // `run`'s error contract instead of returning Ok with a NaN outcome.
+        struct BlowupThenNan;
+        impl EdgeTickHandler for BlowupThenNan {
+            fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+                if ctx.global_tick_count == 1 {
+                    values.set(NodeId(0), 1e200);
+                }
+                if ctx.global_tick_count == 50 {
+                    values.set(NodeId(1), f64::NAN);
+                }
+            }
+        }
+        let g = complete(4).unwrap();
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200));
+        let mut sim = AsyncSimulator::new(&g, spike(4), BlowupThenNan, config).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn settling_time_is_tracked_when_requested() {
+        let g = complete(8).unwrap();
+        let config = SimulationConfig::new(9)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.01).or_max_ticks(1_000_000))
+            .with_settling_threshold(crate::stopping::DEFINITION1_THRESHOLD);
+        let mut sim = AsyncSimulator::new(&g, spike(8), Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        let settle = outcome.settling_time.expect("threshold was configured");
+        assert!(settle > 0.0);
+        assert!(settle <= outcome.elapsed_time);
+        assert_eq!(settle, sim.settling_time());
+        // Without a threshold the field stays empty.
+        let config = SimulationConfig::new(9).with_stopping_rule(StoppingRule::max_ticks(10));
+        let mut sim = AsyncSimulator::new(&g, spike(8), Vanilla, config).unwrap();
+        assert_eq!(sim.run().unwrap().settling_time, None);
     }
 }

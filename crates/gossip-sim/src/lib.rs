@@ -11,7 +11,9 @@
 //! The crate separates four concerns:
 //!
 //! * [`values::NodeValues`] — the state vector `x(t)` with the variance /
-//!   mean / per-block accounting the paper's Definition 1 is phrased in.
+//!   mean / per-block accounting the paper's Definition 1 is phrased in,
+//!   backed by an O(1) incremental [`moments::MomentTracker`] so per-tick
+//!   Definition 1 stopping costs constant work per event.
 //! * [`clock`] — two equivalent samplers of the edge-tick point process: a
 //!   per-edge exponential clock queue and a global rate-`|E|` process with
 //!   uniform edge selection.
@@ -62,13 +64,15 @@
 pub mod clock;
 pub mod engine;
 pub mod handler;
+pub mod moments;
 pub mod stopping;
 pub mod sync;
 pub mod trace;
 pub mod values;
 
-pub use engine::{AsyncSimulator, SimulationConfig, SimulationOutcome};
+pub use engine::{AsyncSimulator, SimulationConfig, SimulationOutcome, VarianceMode};
 pub use handler::{EdgeTickContext, EdgeTickHandler};
+pub use moments::MomentTracker;
 pub use stopping::StoppingRule;
 pub use trace::{Trace, TraceConfig, TracePoint};
 pub use values::NodeValues;

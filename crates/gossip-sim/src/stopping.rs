@@ -27,11 +27,21 @@ pub struct SimulationStatus {
 impl SimulationStatus {
     /// The normalized variance `var X(t) / var X(0)`; `0.0` if the initial
     /// variance was zero (already averaged).
+    ///
+    /// The ratio is clamped at zero so a tiny negative `variance` (possible
+    /// float drift of the incremental moment tracker between its exact
+    /// refreshes) can never be reported, and a NaN ratio is mapped to `+∞`
+    /// ("not converged") so a poisoned variance can never satisfy a
+    /// below-threshold rule.
     pub fn variance_ratio(&self) -> f64 {
         if self.initial_variance <= 0.0 {
-            0.0
+            return 0.0;
+        }
+        let ratio = self.variance / self.initial_variance;
+        if ratio.is_nan() {
+            f64::INFINITY
         } else {
-            self.variance / self.initial_variance
+            ratio.max(0.0)
         }
     }
 }
@@ -171,6 +181,21 @@ mod tests {
         assert_eq!(s.variance_ratio(), 0.0);
         let rule = StoppingRule::definition1();
         assert_eq!(rule.evaluate(&s), Some(StopReason::Converged));
+    }
+
+    #[test]
+    fn variance_ratio_clamps_drift_and_rejects_nan() {
+        // Tiny negative variance (incremental drift): clamped, converged.
+        let s = status(1.0, 5, -1e-15, 1.0);
+        assert_eq!(s.variance_ratio(), 0.0);
+        assert_eq!(
+            StoppingRule::definition1().evaluate(&s),
+            Some(StopReason::Converged)
+        );
+        // NaN variance: mapped to +∞, never "converged".
+        let s = status(1.0, 5, f64::NAN, 1.0);
+        assert_eq!(s.variance_ratio(), f64::INFINITY);
+        assert_eq!(StoppingRule::definition1().evaluate(&s), None);
     }
 
     #[test]

@@ -2,7 +2,20 @@
 //! paper: overall mean and variance (Definition 1), per-block means `y(t)` and
 //! `z(t)` (Section 2), and the decomposition `var X = µ² + σ²` used in the
 //! analysis of Algorithm A (Section 3).
+//!
+//! Alongside the values themselves the state carries a [`MomentTracker`]: the
+//! running `Σ xᵢ` and `Σ xᵢ²`, updated in O(1) by every mutation ([`set`],
+//! and hence [`average_pair`], [`convex_pair_update`] and
+//! [`transfer_pair_update`], which each touch exactly two entries).  That is
+//! what makes per-tick Definition 1 stopping affordable at any `n`; see
+//! [`crate::moments`] for the drift/refresh contract.
+//!
+//! [`set`]: NodeValues::set
+//! [`average_pair`]: NodeValues::average_pair
+//! [`convex_pair_update`]: NodeValues::convex_pair_update
+//! [`transfer_pair_update`]: NodeValues::transfer_pair_update
 
+use crate::moments::MomentTracker;
 use crate::{Result, SimError};
 use gossip_graph::{NodeId, Partition};
 use gossip_linalg::Vector;
@@ -25,17 +38,31 @@ use serde::{Deserialize, Serialize};
 /// assert!((values.mean() - 2.0).abs() < 1e-12);
 /// # Ok::<(), gossip_sim::SimError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeValues {
     values: Vector,
+    moments: MomentTracker,
+}
+
+/// Two states are equal when they hold the same node values; the moment
+/// tracker is derived state (identical update histories produce identical
+/// trackers, but a freshly constructed copy of an evolved state is still the
+/// *same* state).
+impl PartialEq for NodeValues {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
 }
 
 impl NodeValues {
+    fn from_vector_unchecked(values: Vector) -> Self {
+        let moments = MomentTracker::from_slice(values.as_slice());
+        NodeValues { values, moments }
+    }
+
     /// Creates a state where every one of the `n` nodes holds `value`.
     pub fn constant(n: usize, value: f64) -> Self {
-        NodeValues {
-            values: Vector::constant(n, value),
-        }
+        Self::from_vector_unchecked(Vector::constant(n, value))
     }
 
     /// Creates a state from explicit per-node values.
@@ -47,9 +74,7 @@ impl NodeValues {
         if let Some(node) = values.iter().position(|v| !v.is_finite()) {
             return Err(SimError::NonFiniteValue { node });
         }
-        Ok(NodeValues {
-            values: Vector::from(values),
-        })
+        Ok(Self::from_vector_unchecked(Vector::from(values)))
     }
 
     /// Creates a state from a [`Vector`].
@@ -61,7 +86,7 @@ impl NodeValues {
         if let Some(node) = values.iter().position(|v| !v.is_finite()) {
             return Err(SimError::NonFiniteValue { node });
         }
-        Ok(NodeValues { values })
+        Ok(Self::from_vector_unchecked(values))
     }
 
     /// Number of nodes.
@@ -83,13 +108,16 @@ impl NodeValues {
         self.values[node.index()]
     }
 
-    /// Overwrites the value held by `node`.
+    /// Overwrites the value held by `node`, maintaining the running moments
+    /// in O(1).
     ///
     /// # Panics
     ///
     /// Panics if `node` is out of range.
     pub fn set(&mut self, node: NodeId, value: f64) {
+        let old = self.values[node.index()];
         self.values[node.index()] = value;
+        self.moments.record_update(old, value);
     }
 
     /// Borrows the underlying values as a slice (node `i` at position `i`).
@@ -117,9 +145,51 @@ impl NodeValues {
         self.values.mean()
     }
 
-    /// The paper's `var X(t) = Σᵢ (xᵢ − x_av)² / |V|`.
+    /// The paper's `var X(t) = Σᵢ (xᵢ − x_av)² / |V|`, computed exactly with
+    /// a centered O(n) pass.  Hot loops should use
+    /// [`Self::incremental_variance`] instead.
     pub fn variance(&self) -> f64 {
         self.values.variance()
+    }
+
+    /// The running moment tracker.
+    pub fn moments(&self) -> &MomentTracker {
+        &self.moments
+    }
+
+    /// O(1) mean from the running moments.
+    pub fn incremental_mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// O(1) variance from the running moments (clamped at zero; see
+    /// [`MomentTracker::variance`] for the drift and NaN contract).
+    pub fn incremental_variance(&self) -> f64 {
+        self.moments.variance()
+    }
+
+    /// `true` if the running moments are finite — the O(1) stand-in for
+    /// [`Self::check_finite`] on the hot path (a NaN or infinite node value
+    /// poisons at least one running sum).
+    pub fn moments_finite(&self) -> bool {
+        self.moments.is_finite()
+    }
+
+    /// `true` when the state's mean has drifted far enough from the moment
+    /// tracker's shift that [`Self::incremental_variance`] is losing digits
+    /// to cancellation and an exact [`Self::refresh_moments`] is due (see
+    /// [`MomentTracker::needs_recenter`]; never fires for sum-conserving
+    /// pairwise updates).
+    pub fn moments_need_recenter(&self) -> bool {
+        self.moments.needs_recenter()
+    }
+
+    /// Rebuilds the running moments with an exact O(n) pass, bounding the
+    /// float drift accumulated by the O(1) deltas.  The simulation engine
+    /// calls this on the deterministic schedule
+    /// `SimulationConfig::moment_refresh_every_ticks`.
+    pub fn refresh_moments(&mut self) {
+        self.moments.refresh(self.values.as_slice());
     }
 
     /// Largest absolute deviation from the mean.
@@ -191,9 +261,7 @@ impl NodeValues {
     /// is how the paper reduces the analysis of linear algorithms to the case
     /// `x_av = 0`.
     pub fn centered(&self) -> NodeValues {
-        NodeValues {
-            values: self.values.centered(),
-        }
+        Self::from_vector_unchecked(self.values.centered())
     }
 
     /// Replaces the values at `u` and `v` by their arithmetic mean — the
@@ -391,6 +459,42 @@ mod tests {
         assert!(close(v.max_deviation(), 2.0));
     }
 
+    #[test]
+    fn moments_stay_in_sync_with_every_update_kind() {
+        let mut v = NodeValues::from_values(vec![4.0, 0.0, 10.0, -2.0]).unwrap();
+        assert!(close(v.incremental_mean(), v.mean()));
+        assert!(close(v.incremental_variance(), v.variance()));
+        v.average_pair(NodeId(0), NodeId(1));
+        v.convex_pair_update(NodeId(1), NodeId(2), 0.7);
+        v.transfer_pair_update(NodeId(2), NodeId(3), 3.0);
+        v.set(NodeId(0), -5.5);
+        assert!((v.incremental_mean() - v.mean()).abs() < 1e-12);
+        assert!((v.incremental_variance() - v.variance()).abs() < 1e-10);
+        assert!(v.moments_finite());
+        // An exact refresh pins the moments back to the full-pass values.
+        v.refresh_moments();
+        assert_eq!(v.moments().refreshes(), 1);
+        assert!((v.incremental_variance() - v.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moments_detect_non_finite_values_in_o1() {
+        let mut v = NodeValues::constant(3, 1.0);
+        assert!(v.moments_finite());
+        v.set(NodeId(2), f64::NAN);
+        assert!(!v.moments_finite());
+        assert!(v.check_finite().is_err());
+    }
+
+    #[test]
+    fn equality_ignores_tracker_history() {
+        // Same values reached through different histories compare equal.
+        let mut a = NodeValues::from_values(vec![1.0, 3.0]).unwrap();
+        a.average_pair(NodeId(0), NodeId(1));
+        let b = NodeValues::from_values(vec![2.0, 2.0]).unwrap();
+        assert_eq!(a, b);
+    }
+
     proptest! {
         #[test]
         fn prop_pairwise_updates_conserve_sum(
@@ -427,6 +531,25 @@ mod tests {
             let var = v.variance();
             v.convex_pair_update(NodeId(i), NodeId(j), alpha);
             prop_assert!(v.variance() <= var + 1e-9);
+        }
+
+        #[test]
+        fn prop_incremental_moments_track_exact_recompute(
+            xs in proptest::collection::vec(-50.0f64..50.0, 2..16),
+            alpha in 0.0f64..1.0,
+            gamma in -3.0f64..3.0,
+            i in 0usize..16,
+            j in 0usize..16,
+        ) {
+            let n = xs.len();
+            let (i, j) = (i % n, j % n);
+            prop_assume!(i != j);
+            let mut v = NodeValues::from_values(xs).unwrap();
+            v.convex_pair_update(NodeId(i), NodeId(j), alpha);
+            v.transfer_pair_update(NodeId(i), NodeId(j), gamma);
+            v.average_pair(NodeId(i), NodeId(j));
+            prop_assert!((v.incremental_mean() - v.mean()).abs() < 1e-9);
+            prop_assert!((v.incremental_variance() - v.variance()).abs() < 1e-7);
         }
 
         #[test]

@@ -77,6 +77,15 @@ pub enum Scenario {
         /// Nodes per clique.
         clique_size: usize,
     },
+    /// A single chordal ring (cycle plus power-of-two chords) — the scaling
+    /// tier's bounded-degree expander building block, *without* a sparse
+    /// cut.  The canonical partition splits it into two contiguous arcs,
+    /// which gives the simulation tier a well-mixed adversarial initial
+    /// condition that still stops in O(T_van) time.
+    ChordalRing {
+        /// Number of nodes.
+        n: usize,
+    },
 }
 
 impl Scenario {
@@ -111,6 +120,12 @@ impl Scenario {
                 cliques,
                 clique_size,
             } => generators::ring_of_cliques(*cliques, *clique_size)?,
+            Scenario::ChordalRing { n } => {
+                let graph = generators::chordal_ring(*n)?;
+                let arc: Vec<gossip_graph::NodeId> = (0..n / 2).map(gossip_graph::NodeId).collect();
+                let partition = Partition::from_block_one(&graph, &arc)?;
+                (graph, partition)
+            }
         };
         Ok(ScenarioInstance {
             name: self.name(),
@@ -142,6 +157,7 @@ impl Scenario {
                 cliques,
                 clique_size,
             } => format!("cliquering-{cliques}x{clique_size}"),
+            Scenario::ChordalRing { n } => format!("chordring-{n}"),
         }
     }
 
@@ -159,6 +175,7 @@ impl Scenario {
                 cliques,
                 clique_size,
             } => cliques * clique_size,
+            Scenario::ChordalRing { n } => *n,
         }
     }
 }
@@ -262,6 +279,33 @@ pub fn scale_suite(total_nodes: usize) -> Vec<Scenario> {
     ]
 }
 
+/// The **simulation** scaling-tier suite at a total size close to
+/// `total_nodes`: the bounded-degree families whose asynchronous relaxation
+/// is feasible at tens of thousands of nodes — a plain chordal ring (no
+/// sparse cut, so the arc-adversarial initial condition relaxes in O(T_van)
+/// time) plus the three sparse-cut families (expander dumbbell, expander
+/// barbell, ring of cliques).  Grid corridors are deliberately excluded:
+/// their diffusive O(side²) mixing would dominate the tier's wall clock
+/// without exercising anything new.
+pub fn sim_scale_suite(total_nodes: usize) -> Vec<Scenario> {
+    let half = (total_nodes / 2).max(3);
+    let left = (total_nodes / 3).max(3);
+    let right = (total_nodes - left).max(3);
+    let clique_size = 16;
+    let cliques = (total_nodes / clique_size).max(2);
+    vec![
+        Scenario::ChordalRing {
+            n: total_nodes.max(3),
+        },
+        Scenario::ExpanderDumbbell { half },
+        Scenario::ExpanderBarbell { left, right },
+        Scenario::RingOfCliques {
+            cliques,
+            clique_size,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,6 +338,7 @@ mod tests {
                 cliques: 4,
                 clique_size: 5,
             },
+            Scenario::ChordalRing { n: 24 },
         ];
         for scenario in scenarios {
             let instance = scenario.instantiate(42).unwrap();
@@ -403,6 +448,37 @@ mod tests {
             .name(),
             "cliquering-62x16"
         );
+    }
+
+    #[test]
+    fn chordal_ring_scenario_has_arc_partition() {
+        let scenario = Scenario::ChordalRing { n: 40 };
+        assert_eq!(scenario.name(), "chordring-40");
+        assert_eq!(scenario.node_count(), 40);
+        let instance = scenario.instantiate(3).unwrap();
+        instance.validate_notation1().unwrap();
+        assert_eq!(instance.partition.block_one_size(), 20);
+        // The arcs are NOT a sparse cut: the chords cross freely.
+        assert!(instance.partition.cut_edge_count() >= 2);
+    }
+
+    #[test]
+    fn sim_scale_suite_members_are_sparse_and_valid() {
+        let suite = sim_scale_suite(480);
+        assert_eq!(suite.len(), 4);
+        assert!(matches!(suite[0], Scenario::ChordalRing { .. }));
+        for scenario in suite {
+            let instance = scenario.instantiate(19).unwrap();
+            instance.validate_notation1().unwrap();
+            let n = instance.graph.node_count() as f64;
+            assert!(
+                (instance.graph.edge_count() as f64) < n * n.log2(),
+                "{} is too dense for the sim scale tier",
+                instance.name
+            );
+            assert!(instance.graph.node_count() >= 240);
+            assert!(instance.graph.node_count() <= 520);
+        }
     }
 
     #[test]

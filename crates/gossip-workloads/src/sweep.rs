@@ -114,6 +114,17 @@ pub fn scale_sweep(quick: bool) -> Sweep<Scenario> {
     Sweep::new("scenario", values)
 }
 
+/// The **simulation** scaling-tier sweep: for each size in [`scale_sizes`],
+/// the four asynchronous-relaxation families of
+/// [`crate::scenarios::sim_scale_suite`].
+pub fn sim_scale_sweep(quick: bool) -> Sweep<Scenario> {
+    let mut values = Vec::new();
+    for &n in scale_sizes(quick).iter() {
+        values.extend(crate::scenarios::sim_scale_suite(n));
+    }
+    Sweep::new("scenario", values)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,6 +177,23 @@ mod tests {
     fn scale_sizes_depend_on_mode() {
         assert_eq!(scale_sizes(true).values, vec![1_000, 10_000]);
         assert_eq!(scale_sizes(false).values, vec![1_000, 10_000, 50_000]);
+    }
+
+    #[test]
+    fn sim_scale_sweep_covers_all_families_per_size() {
+        let s = sim_scale_sweep(true);
+        assert_eq!(s.len(), 2 * 4);
+        let expected = [
+            1_000usize, 1_000, 1_000, 1_000, 10_000, 10_000, 10_000, 10_000,
+        ];
+        for (scenario, &n) in s.iter().zip(expected.iter()) {
+            assert!(scenario.node_count() >= n / 2);
+            assert!(scenario.node_count() <= n + n / 8);
+        }
+        // Full mode reaches 50k.
+        let full = sim_scale_sweep(false);
+        assert_eq!(full.len(), 3 * 4);
+        assert_eq!(full.values.last().unwrap().node_count(), 50_000);
     }
 
     #[test]

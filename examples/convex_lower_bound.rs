@@ -55,9 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cut_ticks: 0,
         max_step: 0.0,
     };
-    let config = SimulationConfig::new(3)
-        .with_stopping_rule(StoppingRule::max_time(horizon))
-        .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+    let config = SimulationConfig::new(3).with_stopping_rule(StoppingRule::max_time(horizon));
     let mut simulator = AsyncSimulator::new(&graph, initial, watcher, config)?;
     let outcome = simulator.run()?;
     let watcher = simulator.handler();

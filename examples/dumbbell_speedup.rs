@@ -25,8 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let estimator = AveragingTimeEstimator::new(
             EstimatorConfig::new(7)
                 .with_runs(5)
-                .with_max_time(60.0 * theorem1_lower_bound(&partition) + 500.0)
-                .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
+                .with_max_time(60.0 * theorem1_lower_bound(&partition) + 500.0),
         );
         let vanilla = estimator.estimate(&graph, &partition, VanillaGossip::new)?;
         let algo = estimator.estimate(&graph, &partition, || {

@@ -17,8 +17,7 @@ fn run_once<H: EdgeTickHandler>(
     seed: u64,
 ) -> Result<SimulationOutcome, Box<dyn std::error::Error>> {
     let config = SimulationConfig::new(seed)
-        .with_stopping_rule(StoppingRule::definition1().or_max_time(50_000.0))
-        .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+        .with_stopping_rule(StoppingRule::definition1().or_max_time(50_000.0));
     let mut simulator = AsyncSimulator::new(graph, initial, handler, config)?;
     Ok(simulator.run()?)
 }

@@ -78,8 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ] {
         let config = SimulationConfig::new(5)
-            .with_stopping_rule(StoppingRule::definition1().or_max_time(100_000.0))
-            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+            .with_stopping_rule(StoppingRule::definition1().or_max_time(100_000.0));
         let mut simulator = AsyncSimulator::new(graph, initial.clone(), handler, config)?;
         let outcome = simulator.run()?;
         let max_error = outcome

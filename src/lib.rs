@@ -59,8 +59,12 @@ pub mod prelude {
     pub use gossip_graph::spectral::{SpectralProfile, SPARSE_DISPATCH_THRESHOLD};
     pub use gossip_graph::{Edge, EdgeId, Graph, GraphBuilder, NodeId, Partition};
     pub use gossip_linalg::{CsrMatrix, Lanczos, LinearOperator, Matrix, Vector};
-    pub use gossip_sim::engine::{AsyncSimulator, SimulationConfig, SimulationOutcome};
+    pub use gossip_sim::engine::{
+        AsyncSimulator, ClockModel, SimulationConfig, SimulationOutcome, VarianceMode,
+        DEFAULT_MOMENT_REFRESH_TICKS,
+    };
     pub use gossip_sim::handler::{EdgeTickContext, EdgeTickHandler};
+    pub use gossip_sim::moments::MomentTracker;
     pub use gossip_sim::stopping::StoppingRule;
     pub use gossip_sim::sync::{RoundHandler, SyncConfig, SyncSimulator};
     pub use gossip_sim::trace::{Trace, TraceConfig};

@@ -76,6 +76,15 @@ pub mod seeds {
     pub const SCALE_DUMBBELL: u64 = 421;
     /// `scale_tier`: the 1k scale-suite sweep.
     pub const SCALE_SUITE: u64 = 422;
+    /// `moment_differential`: base seed of the incremental-vs-full stopping
+    /// oracle (offset by the family index).
+    pub const MOMENT_DIFFERENTIAL: u64 = 431;
+    /// `moment_differential`: the driven long-run tracker drift check.
+    pub const MOMENT_DRIFT: u64 = 432;
+    /// `sim_scale_tier`: the mid-size expander-dumbbell relaxation.
+    pub const SIM_SCALE_DUMBBELL: u64 = 441;
+    /// `sim_scale_tier`: the quick sim-scale sweep.
+    pub const SIM_SCALE_SUITE: u64 = 442;
 }
 
 /// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.
@@ -100,20 +109,15 @@ pub fn bridged_fixture(
 }
 
 /// The canonical estimator configuration of the shape suites: 4 independent
-/// runs, a time horizon proportional to the Theorem 1 bound (plus `slack`
-/// absolute time for small instances), and variance checks every ~|E|/10
-/// ticks so the Definition 1 settling time is located cheaply.
-pub fn shape_estimator(
-    graph: &Graph,
-    partition: &Partition,
-    seed: u64,
-    slack: f64,
-) -> AveragingTimeEstimator {
+/// runs and a time horizon proportional to the Theorem 1 bound (plus `slack`
+/// absolute time for small instances).  Stopping checks are O(1) against the
+/// incremental moment tracker, so the Definition 1 settling time is located
+/// at per-tick resolution — no check-interval workaround, no overshoot.
+pub fn shape_estimator(partition: &Partition, seed: u64, slack: f64) -> AveragingTimeEstimator {
     AveragingTimeEstimator::new(
         EstimatorConfig::new(seed)
             .with_runs(4)
-            .with_max_time(80.0 * theorem1_lower_bound(partition) + slack)
-            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
+            .with_max_time(80.0 * theorem1_lower_bound(partition) + slack),
     )
 }
 
@@ -131,7 +135,7 @@ where
     H: EdgeTickHandler,
     F: Fn() -> H,
 {
-    let estimate = shape_estimator(graph, partition, seed, slack)
+    let estimate = shape_estimator(partition, seed, slack)
         .estimate(graph, partition, factory)
         .expect("estimation succeeds");
     assert!(

@@ -1,0 +1,197 @@
+//! The incremental-vs-full differential oracle for Definition 1 stopping.
+//!
+//! The simulation engine's hot path evaluates the stopping rule against the
+//! O(1) incremental moment tracker ([`VarianceMode::Incremental`]); the
+//! legacy O(n)-per-check recompute survives as
+//! [`VarianceMode::ExactEveryCheck`] precisely so the two can be pinned
+//! against each other.  The oracle policy mirrors the sparse/dense one
+//! (`tests/sparse_dense_differential.rs`): the fast path is never trusted on
+//! its own.
+//!
+//! Pinned-seed long runs on every scale generator family assert that
+//!
+//! * incremental and full-recompute stopping fire at the **identical tick**
+//!   (and hence at the identical simulated time, with identical final
+//!   states — the event stream is a pure function of the seed);
+//! * the trackers agree within `1e-9` of the exact full pass after the
+//!   scheduled periodic refreshes;
+//! * a driven long random update sequence (no engine involved) keeps the
+//!   running moments within `1e-9` of a from-scratch recompute.
+
+mod common;
+
+use common::seeds;
+use sparse_cut_gossip::prelude::*;
+
+/// Runs vanilla gossip on `scenario` from the adversarial initial condition
+/// under the given variance mode and returns the outcome.
+fn run_mode(
+    scenario: &Scenario,
+    instance_seed: u64,
+    sim_seed: u64,
+    mode: VarianceMode,
+) -> SimulationOutcome {
+    let instance = scenario.instantiate(instance_seed).expect("valid scenario");
+    let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
+    let config = SimulationConfig::new(sim_seed)
+        .with_clock_model(ClockModel::GlobalUniform)
+        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(20_000_000))
+        .with_variance_mode(mode)
+        // A short refresh period so every family exercises many scheduled
+        // exact recomputes during its run (the fastest family, the chordal
+        // ring, stops after ~2k ticks).
+        .with_moment_refresh_every_ticks(512);
+    let mut simulator = AsyncSimulator::new(&instance.graph, initial, VanillaGossip::new(), config)
+        .expect("valid simulation");
+    simulator.run().expect("run completes")
+}
+
+/// Small instances of every scale generator family: large enough that the
+/// runs take 10⁵–10⁶ ticks (dozens of refresh windows), small enough that
+/// the O(n)-per-check reference mode stays affordable in a debug test run.
+fn oracle_families() -> Vec<(&'static str, Scenario)> {
+    vec![
+        ("chordal-ring", Scenario::ChordalRing { n: 400 }),
+        (
+            "expander-dumbbell",
+            Scenario::ExpanderDumbbell { half: 150 },
+        ),
+        (
+            "expander-barbell",
+            Scenario::ExpanderBarbell {
+                left: 100,
+                right: 200,
+            },
+        ),
+        (
+            "ring-of-cliques",
+            Scenario::RingOfCliques {
+                cliques: 24,
+                clique_size: 10,
+            },
+        ),
+    ]
+}
+
+#[test]
+fn incremental_and_full_stopping_fire_at_the_same_tick_on_every_family() {
+    for (index, (name, scenario)) in oracle_families().into_iter().enumerate() {
+        let instance_seed = seeds::MOMENT_DIFFERENTIAL + index as u64;
+        let sim_seed = seeds::MOMENT_DIFFERENTIAL + 100 + index as u64;
+        let incremental = run_mode(
+            &scenario,
+            instance_seed,
+            sim_seed,
+            VarianceMode::Incremental,
+        );
+        let exact = run_mode(
+            &scenario,
+            instance_seed,
+            sim_seed,
+            VarianceMode::ExactEveryCheck,
+        );
+
+        assert!(incremental.converged(), "{name}: incremental did not stop");
+        assert!(exact.converged(), "{name}: exact did not stop");
+        assert_eq!(
+            incremental.total_ticks, exact.total_ticks,
+            "{name}: stop ticks diverged"
+        );
+        assert_eq!(
+            incremental.elapsed_time, exact.elapsed_time,
+            "{name}: stop times diverged"
+        );
+        assert_eq!(
+            incremental.final_values, exact.final_values,
+            "{name}: final states diverged"
+        );
+        // The runs were long enough to exercise the refresh schedule, and
+        // the reference mode never refreshed.
+        assert!(
+            incremental.moment_refreshes >= 2,
+            "{name}: refresh schedule not exercised ({} ticks)",
+            incremental.total_ticks
+        );
+        assert_eq!(exact.moment_refreshes, 0, "{name}");
+    }
+}
+
+#[test]
+fn trackers_agree_with_full_recompute_after_periodic_refresh() {
+    for (index, (name, scenario)) in oracle_families().into_iter().enumerate() {
+        let instance_seed = seeds::MOMENT_DIFFERENTIAL + index as u64;
+        let sim_seed = seeds::MOMENT_DIFFERENTIAL + 200 + index as u64;
+        let outcome = run_mode(
+            &scenario,
+            instance_seed,
+            sim_seed,
+            VarianceMode::Incremental,
+        );
+        // At the stop the state is at most one refresh window past the last
+        // exact recompute; the accumulated drift must sit inside the oracle
+        // margin.
+        let values = &outcome.final_values;
+        assert!(
+            (values.incremental_variance() - values.variance()).abs() < 1e-9,
+            "{name}: variance drifted {} vs {}",
+            values.incremental_variance(),
+            values.variance()
+        );
+        assert!(
+            (values.incremental_mean() - values.mean()).abs() < 1e-9,
+            "{name}: mean drifted"
+        );
+    }
+}
+
+#[test]
+fn driven_long_run_keeps_moments_within_oracle_margin() {
+    // One million O(1) updates on a 500-node state, no engine involved: a
+    // pinned pseudo-random mix of the three pairwise update kinds, with the
+    // engine's default refresh cadence applied by hand.
+    let n = 500usize;
+    let mut state = {
+        let xs: Vec<f64> = (0..n).map(|i| if i < n / 2 { 1.0 } else { -1.0 }).collect();
+        NodeValues::from_values(xs).expect("finite")
+    };
+    // splitmix64 over the pinned seed drives index/kind selection.
+    let mut z = seeds::MOMENT_DRIFT;
+    let mut next = || {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut x = z;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    };
+    let total = 1_000_000u64;
+    for step in 1..=total {
+        let r = next();
+        let u = (r as usize) % n;
+        let mut v = ((r >> 20) as usize) % n;
+        if v == u {
+            v = (v + 1) % n;
+        }
+        let (u, v) = (NodeId(u), NodeId(v));
+        match (r >> 40) % 3 {
+            0 => state.average_pair(u, v),
+            1 => state.convex_pair_update(u, v, 0.25 + ((r >> 50) % 100) as f64 / 200.0),
+            _ => state.transfer_pair_update(u, v, 0.75),
+        }
+        if step % DEFAULT_MOMENT_REFRESH_TICKS == 0 {
+            // Immediately before the scheduled refresh the drift must
+            // already be inside the margin — the refresh is a bound, not a
+            // rescue.
+            assert!(
+                (state.incremental_variance() - state.variance()).abs() < 1e-9,
+                "drift exceeded margin at step {step}"
+            );
+            state.refresh_moments();
+        }
+    }
+    assert!((state.incremental_variance() - state.variance()).abs() < 1e-9);
+    assert!((state.incremental_mean() - state.mean()).abs() < 1e-9);
+    assert_eq!(
+        state.moments().refreshes(),
+        total / DEFAULT_MOMENT_REFRESH_TICKS
+    );
+}

@@ -78,8 +78,7 @@ fn lower_bound_weakens_as_the_cut_widens() {
         let estimator = AveragingTimeEstimator::new(
             EstimatorConfig::new(seed)
                 .with_runs(4)
-                .with_max_time(5_000.0)
-                .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64),
+                .with_max_time(5_000.0),
         );
         estimator
             .estimate(&graph, &partition, VanillaGossip::new)

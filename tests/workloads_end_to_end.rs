@@ -17,7 +17,7 @@ fn robustness_suite_runs_both_algorithms_end_to_end() {
         instance.validate_notation1().expect("Notation 1 holds");
         let graph = &instance.graph;
         let partition = &instance.partition;
-        let estimator = shape_estimator(graph, partition, 13 + index as u64, 400.0);
+        let estimator = shape_estimator(partition, 13 + index as u64, 400.0);
         let vanilla = estimator
             .estimate(graph, partition, VanillaGossip::new)
             .expect("vanilla estimation succeeds");
@@ -68,8 +68,7 @@ fn every_initial_condition_runs_on_the_grid_corridor() {
             .expect("valid initial condition");
         let target = initial.mean();
         let config = SimulationConfig::new(19)
-            .with_stopping_rule(StoppingRule::variance_ratio_below(1e-4).or_max_time(100_000.0))
-            .with_check_every_ticks((graph.edge_count() / 10).max(1) as u64);
+            .with_stopping_rule(StoppingRule::variance_ratio_below(1e-4).or_max_time(100_000.0));
         let algorithm =
             SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
                 .expect("valid partition");
