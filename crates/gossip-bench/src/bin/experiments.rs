@@ -12,6 +12,7 @@
 //! cargo run -p gossip-bench --release --bin experiments -- --json results.json
 //! cargo run -p gossip-bench --release --bin experiments -- --only SCALE
 //! cargo run -p gossip-bench --release --bin experiments -- --only SIM_SCALE
+//! cargo run -p gossip-bench --release --bin experiments -- --only ROBUSTNESS
 //! ```
 //!
 //! Whenever the SCALE experiment runs, its report (spectral quantities plus
@@ -19,7 +20,10 @@
 //! `BENCH_scale.json` (path overridable with `--scale-json <path>`) to seed
 //! the perf trajectory.  Likewise the SIM_SCALE experiment (asynchronous
 //! runs with O(1) per-tick Definition 1 stopping) writes
-//! `BENCH_sim_scale.json` (`--sim-scale-json <path>`).
+//! `BENCH_sim_scale.json` (`--sim-scale-json <path>`), and the ROBUSTNESS
+//! experiment (fault injection against fault-free baselines) writes
+//! `BENCH_robustness.json` (`--robustness-json <path>`); the robustness
+//! report carries no wall-clock fields, so CI diffs it byte-for-byte.
 
 use gossip_bench::runner::{self, HarnessConfig};
 use gossip_bench::Table;
@@ -27,8 +31,9 @@ use std::collections::BTreeSet;
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed <u64>] [--only E1 E2 ... SCALE SIM_SCALE] \
-         [--json <path>] [--scale-json <path>] [--sim-scale-json <path>]"
+        "usage: experiments [--quick] [--seed <u64>] \
+         [--only E1 E2 ... SCALE SIM_SCALE ROBUSTNESS] [--json <path>] \
+         [--scale-json <path>] [--sim-scale-json <path>] [--robustness-json <path>]"
     );
 }
 
@@ -39,6 +44,7 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut scale_json_path = String::from("BENCH_scale.json");
     let mut sim_scale_json_path = String::from("BENCH_sim_scale.json");
+    let mut robustness_json_path = String::from("BENCH_robustness.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -96,6 +102,17 @@ fn main() {
                     }
                 }
             }
+            "--robustness-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => robustness_json_path = path.clone(),
+                    None => {
+                        eprintln!("--robustness-json requires a path");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -113,9 +130,11 @@ fn main() {
     let mut tables: Vec<Table> = Vec::new();
     let mut scale_report: Option<runner::ScaleReport> = None;
     let mut sim_scale_report: Option<runner::SimScaleReport> = None;
+    let mut robustness_report: Option<runner::RobustnessReport> = None;
 
     let run = |scale_report: &mut Option<runner::ScaleReport>,
-               sim_scale_report: &mut Option<runner::SimScaleReport>|
+               sim_scale_report: &mut Option<runner::SimScaleReport>,
+               robustness_report: &mut Option<runner::RobustnessReport>|
      -> runner::BenchResult<Vec<Table>> {
         let mut out = Vec::new();
         if wanted("E1") || wanted("E2") || wanted("E3") {
@@ -163,10 +182,19 @@ fn main() {
             *sim_scale_report = Some(report);
             out.push(table);
         }
+        if wanted("ROBUSTNESS") {
+            let (report, table) = runner::run_robustness(&config)?;
+            *robustness_report = Some(report);
+            out.push(table);
+        }
         Ok(out)
     };
 
-    match run(&mut scale_report, &mut sim_scale_report) {
+    match run(
+        &mut scale_report,
+        &mut sim_scale_report,
+        &mut robustness_report,
+    ) {
         Ok(result) => tables.extend(result),
         Err(error) => {
             eprintln!("experiment harness failed: {error}");
@@ -210,6 +238,22 @@ fn main() {
             }
             Err(error) => {
                 eprintln!("failed to serialize sim-scale report: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(report) = &robustness_report {
+        match serde_json::to_string_pretty(report) {
+            Ok(json) => {
+                if let Err(error) = std::fs::write(&robustness_json_path, json) {
+                    eprintln!("failed to write {robustness_json_path}: {error}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote robustness report to {robustness_json_path}");
+            }
+            Err(error) => {
+                eprintln!("failed to serialize robustness report: {error}");
                 std::process::exit(1);
             }
         }

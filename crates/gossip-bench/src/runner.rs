@@ -1,4 +1,4 @@
-//! Experiment runners E1–E10 plus the Scale and SimScale tiers.
+//! Experiment runners E1–E10 plus the Scale, SimScale and Robustness tiers.
 //!
 //! Every function is deterministic given the [`HarnessConfig`] (all
 //! randomness is seeded), returns structured data plus a rendered
@@ -1094,6 +1094,233 @@ pub fn run_sim_scale(config: &HarnessConfig) -> BenchResult<(SimScaleReport, Tab
 }
 
 // ---------------------------------------------------------------------------
+// Robustness: fault injection and dynamic topology.
+// ---------------------------------------------------------------------------
+
+/// One row of the robustness tier: a faulted asynchronous run against its
+/// fault-free baseline, with conservation-oracle and surviving-topology
+/// columns.  Deliberately contains no wall-clock fields: the report is part
+/// of the CI determinism gate and must be byte-identical across runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessRow {
+    /// Scenario name (from `Scenario::name`).
+    pub family: String,
+    /// Fault profile name (from `FaultProfile::name`).
+    pub fault: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Per-contact drop probability of the profile (0 for topological
+    /// faults).
+    pub drop_probability: f64,
+    /// Ticks to the stop of the fault-free baseline run (same clock seed).
+    pub baseline_ticks: u64,
+    /// Ticks to the stop of the faulted run.
+    pub ticks: u64,
+    /// Why the faulted run stopped (expected: `Converged`).
+    pub stop_reason: String,
+    /// Final normalized variance of the faulted run (exact recompute).
+    pub variance_ratio: f64,
+    /// Conservation oracle: `|mean X(T) − mean X(0)|` of the faulted run.
+    /// Suppressed contacts skip the pairwise update atomically, so this must
+    /// stay at rounding-noise level no matter the schedule.
+    pub mean_drift: f64,
+    /// Contacts whose handler ran.
+    pub delivered: u64,
+    /// Contacts dropped by the message-loss process.
+    pub dropped: u64,
+    /// Contacts suppressed by link outages.
+    pub edge_down_skips: u64,
+    /// Contacts suppressed by node pauses.
+    pub node_pause_skips: u64,
+    /// Worst-surviving-subgraph spectral probe: the minimum algebraic
+    /// connectivity over the components that remain when every edge the
+    /// plan ever takes down (and every edge incident to an ever-paused
+    /// node) is removed; `0.0` if nothing with an edge survives.
+    pub worst_surviving_lambda2: f64,
+}
+
+/// The robustness-tier report serialized to `BENCH_robustness.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustnessReport {
+    /// Whether the quick size grid was used.
+    pub quick: bool,
+    /// Harness seed.
+    pub seed: u64,
+    /// One row per (size, churn case) pair.
+    pub rows: Vec<RobustnessRow>,
+}
+
+// Hand-written serde impls: the vendored derive is a no-op (vendor/README.md).
+impl serde::Serialize for RobustnessRow {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("family".to_string(), self.family.to_json_value()),
+            ("fault".to_string(), self.fault.to_json_value()),
+            ("n".to_string(), self.n.to_json_value()),
+            ("edges".to_string(), self.edges.to_json_value()),
+            (
+                "drop_probability".to_string(),
+                self.drop_probability.to_json_value(),
+            ),
+            (
+                "baseline_ticks".to_string(),
+                self.baseline_ticks.to_json_value(),
+            ),
+            ("ticks".to_string(), self.ticks.to_json_value()),
+            ("stop_reason".to_string(), self.stop_reason.to_json_value()),
+            (
+                "variance_ratio".to_string(),
+                self.variance_ratio.to_json_value(),
+            ),
+            ("mean_drift".to_string(), self.mean_drift.to_json_value()),
+            ("delivered".to_string(), self.delivered.to_json_value()),
+            ("dropped".to_string(), self.dropped.to_json_value()),
+            (
+                "edge_down_skips".to_string(),
+                self.edge_down_skips.to_json_value(),
+            ),
+            (
+                "node_pause_skips".to_string(),
+                self.node_pause_skips.to_json_value(),
+            ),
+            (
+                "worst_surviving_lambda2".to_string(),
+                self.worst_surviving_lambda2.to_json_value(),
+            ),
+        ])
+    }
+}
+
+impl serde::Serialize for RobustnessReport {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("quick".to_string(), self.quick.to_json_value()),
+            ("seed".to_string(), self.seed.to_json_value()),
+            ("rows".to_string(), self.rows.to_json_value()),
+        ])
+    }
+}
+
+/// Runs the robustness tier: for every size in the robustness grid and every
+/// churn case, one fault-free baseline run and one faulted run (same clock
+/// seed, adversarial cut-aligned start, global uniform clock, Definition 1
+/// stop), plus the worst-surviving-subgraph spectral probe of the plan's
+/// dynamic topology.  The report carries no wall-clock fields, so two runs
+/// at the same seed are byte-identical — CI diffs the JSON.
+///
+/// # Errors
+///
+/// Propagates graph-construction, fault-plan and simulation errors.
+pub fn run_robustness(config: &HarnessConfig) -> BenchResult<(RobustnessReport, Table)> {
+    let sweep = sweep::robustness_sweep(config.quick);
+    let mut rows = Vec::new();
+    for (index, case) in sweep.iter().enumerate() {
+        let instance = case
+            .scenario
+            .instantiate(config.seed.wrapping_add(1600 + index as u64))?;
+        instance.validate_notation1()?;
+        let graph = &instance.graph;
+        let plan = case
+            .fault
+            .compile(&instance, config.seed.wrapping_add(1700 + index as u64));
+        let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
+        let base_config = SimulationConfig::new(config.seed.wrapping_add(1800 + index as u64))
+            .with_clock_model(ClockModel::GlobalUniform)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000_000));
+
+        let mut baseline_sim = AsyncSimulator::new(
+            graph,
+            initial.clone(),
+            VanillaGossip::new(),
+            base_config.clone(),
+        )?;
+        let baseline = baseline_sim.run()?;
+
+        let initial_mean = initial.mean();
+        let mut faulted_sim = AsyncSimulator::new(
+            graph,
+            initial,
+            VanillaGossip::new(),
+            base_config.with_fault_plan(plan.clone()),
+        )?;
+        let faulted = faulted_sim.run()?;
+
+        // Worst surviving subgraph: remove everything the plan ever takes
+        // down and probe the weakest remaining island.
+        let mut view = gossip_graph::dynamic::DynamicGraphView::new(graph);
+        for edge in plan.edges_ever_down() {
+            view.kill_edge(edge)?;
+        }
+        for node in plan.nodes_ever_paused() {
+            view.kill_node(node)?;
+        }
+        let worst_lambda2 = view.worst_surviving_connectivity()?.unwrap_or(0.0);
+
+        rows.push(RobustnessRow {
+            family: instance.name.clone(),
+            fault: case.fault.name(),
+            n: graph.node_count(),
+            edges: graph.edge_count(),
+            drop_probability: case.fault.drop_probability(),
+            baseline_ticks: baseline.total_ticks,
+            ticks: faulted.total_ticks,
+            stop_reason: format!("{:?}", faulted.stop_reason),
+            variance_ratio: faulted.variance_ratio(),
+            mean_drift: (faulted.final_values.mean() - initial_mean).abs(),
+            delivered: faulted.fault_stats.delivered,
+            dropped: faulted.fault_stats.dropped,
+            edge_down_skips: faulted.fault_stats.edge_down_skips,
+            node_pause_skips: faulted.fault_stats.node_pause_skips,
+            worst_surviving_lambda2: worst_lambda2,
+        });
+    }
+    let report = RobustnessReport {
+        quick: config.quick,
+        seed: config.seed,
+        rows,
+    };
+
+    let descriptor = ExperimentId::Robustness.descriptor();
+    let mut table = Table::new(
+        format!("{}: {}", descriptor.id, descriptor.title),
+        &[
+            "family",
+            "fault",
+            "n",
+            "|E|",
+            "base ticks",
+            "fault ticks",
+            "slowdown",
+            "stop",
+            "var ratio",
+            "suppressed",
+            "worst λ₂",
+            "mean drift",
+        ],
+    );
+    for row in &report.rows {
+        let suppressed = row.dropped + row.edge_down_skips + row.node_pause_skips;
+        table.push_row(vec![
+            row.family.clone(),
+            row.fault.clone(),
+            row.n.to_string(),
+            row.edges.to_string(),
+            row.baseline_ticks.to_string(),
+            row.ticks.to_string(),
+            fmt(row.ticks as f64 / row.baseline_ticks.max(1) as f64),
+            row.stop_reason.clone(),
+            fmt(row.variance_ratio),
+            suppressed.to_string(),
+            fmt(row.worst_surviving_lambda2),
+            fmt(row.mean_drift),
+        ]);
+    }
+    Ok((report, table))
+}
+
+// ---------------------------------------------------------------------------
 // Convenience wrappers.
 // ---------------------------------------------------------------------------
 
@@ -1119,6 +1346,7 @@ pub fn run_all(config: &HarnessConfig) -> BenchResult<Vec<Table>> {
     tables.push(run_e10(config)?.1);
     tables.push(run_scale(config)?.1);
     tables.push(run_sim_scale(config)?.1);
+    tables.push(run_robustness(config)?.1);
     Ok(tables)
 }
 
@@ -1211,6 +1439,53 @@ mod tests {
                     .unwrap();
             let outcome = sim.run().unwrap();
             assert!(outcome.converged(), "{} did not converge", instance.name);
+        }
+    }
+
+    #[test]
+    fn robustness_runs_converge_and_conserve_mass_on_a_mini_suite() {
+        // Drive the real per-case machinery of `run_robustness` on the
+        // smallest suite size so the unit suite stays fast: every churn case
+        // must converge under its faults, conserve the mean exactly, and
+        // keep a connected-enough surviving subgraph probe-able.
+        for (index, case) in gossip_workloads::churn::churn_suite(48).iter().enumerate() {
+            let instance = case.scenario.instantiate(23 + index as u64).unwrap();
+            let plan = case.fault.compile(&instance, 31 + index as u64);
+            let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
+            let mean = initial.mean();
+            let sim_config = SimulationConfig::new(41 + index as u64)
+                .with_clock_model(ClockModel::GlobalUniform)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(50_000_000))
+                .with_fault_plan(plan.clone());
+            let mut sim =
+                AsyncSimulator::new(&instance.graph, initial, VanillaGossip::new(), sim_config)
+                    .unwrap();
+            let outcome = sim.run().unwrap();
+            assert!(
+                outcome.converged(),
+                "{} did not converge under faults",
+                case.name()
+            );
+            assert!(
+                (outcome.final_values.mean() - mean).abs() < 1e-9,
+                "{} leaked mass",
+                case.name()
+            );
+            assert!(
+                outcome.fault_stats.total_suppressed() > 0,
+                "{} suppressed nothing — the fault never engaged",
+                case.name()
+            );
+            // The worst-surviving probe is computable for every plan.
+            let mut view = gossip_graph::dynamic::DynamicGraphView::new(&instance.graph);
+            for edge in plan.edges_ever_down() {
+                view.kill_edge(edge).unwrap();
+            }
+            for node in plan.nodes_ever_paused() {
+                view.kill_node(node).unwrap();
+            }
+            let worst = view.worst_surviving_connectivity().unwrap();
+            assert!(worst.unwrap_or(0.0) >= 0.0);
         }
     }
 

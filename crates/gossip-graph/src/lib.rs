@@ -22,6 +22,10 @@
 //! * [`laplacian`] / [`spectral`] — dense Laplacians and their spectra, used
 //!   for the spectral estimate of the vanilla averaging time.
 //! * [`traversal`] — BFS, connectivity, components, distances, diameter.
+//! * [`dynamic`] — a live/dead edge mask over an immutable graph
+//!   ([`DynamicGraphView`]) with connectivity and worst-surviving-subgraph
+//!   spectral probes, the graph-layer counterpart of the simulator's
+//!   fault-injection tier.
 //!
 //! # Examples
 //!
@@ -41,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod cut;
+pub mod dynamic;
 pub mod generators;
 pub mod graph;
 pub mod laplacian;
@@ -49,6 +54,7 @@ pub mod partition;
 pub mod spectral;
 pub mod traversal;
 
+pub use dynamic::DynamicGraphView;
 pub use graph::{Edge, EdgeId, Graph, GraphBuilder, NodeId};
 pub use partition::Partition;
 

@@ -5,6 +5,7 @@
 //! handler, updates the trace, and evaluates the stopping rule.
 
 use crate::clock::{EdgeClockQueue, GlobalTickProcess, TickProcess};
+use crate::fault::{ContactFate, FaultInjector, FaultPlan, FaultStats};
 use crate::handler::{EdgeTickContext, EdgeTickHandler};
 use crate::stopping::{SimulationStatus, StopReason, StoppingRule};
 use crate::trace::{Trace, TraceConfig, TraceRecorder};
@@ -77,6 +78,11 @@ pub struct SimulationConfig {
     /// [`AsyncSimulator::settling_time`] (the latter remains readable even
     /// when `run` fails, e.g. on budget exhaustion, so callers can censor).
     pub settling_threshold: Option<f64>,
+    /// Optional deterministic fault environment (edge outages, node pauses,
+    /// message drops — see [`crate::fault`]).  `None`, and a `Some` plan for
+    /// which [`FaultPlan::is_empty`] holds, are byte-identical to the
+    /// fault-free engine.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl SimulationConfig {
@@ -94,6 +100,7 @@ impl SimulationConfig {
             variance_mode: VarianceMode::Incremental,
             moment_refresh_every_ticks: DEFAULT_MOMENT_REFRESH_TICKS,
             settling_threshold: None,
+            fault_plan: None,
         }
     }
 
@@ -152,6 +159,12 @@ impl SimulationConfig {
         self.settling_threshold = Some(threshold);
         self
     }
+
+    /// Attaches a deterministic fault plan (see [`crate::fault`]).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
 }
 
 /// Result of an asynchronous run.
@@ -178,6 +191,9 @@ pub struct SimulationOutcome {
     /// Number of exact O(n) moment refreshes performed during the run (the
     /// scheduled drift bound; zero under [`VarianceMode::ExactEveryCheck`]).
     pub moment_refreshes: u64,
+    /// What the fault injector did during the run; all zeros when no fault
+    /// plan was configured.
+    pub fault_stats: FaultStats,
 }
 
 impl SimulationOutcome {
@@ -226,6 +242,8 @@ pub struct AsyncSimulator<'g, H> {
     /// every node value is finite (squared deviations beyond f64 range);
     /// suppresses repeated O(n) salvage attempts until the tracker recovers.
     moments_overflowed: bool,
+    /// Compiled fault plan, if one was configured.
+    faults: Option<FaultInjector>,
 }
 
 impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
@@ -249,6 +267,10 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             });
         }
         initial.check_finite()?;
+        let faults = match &config.fault_plan {
+            Some(plan) => Some(FaultInjector::new(plan, graph)?),
+            None => None,
+        };
         let sampler = match config.clock_model {
             ClockModel::PerEdgeQueue => Sampler::Queue(EdgeClockQueue::new(graph, config.seed)?),
             ClockModel::GlobalUniform => {
@@ -266,6 +288,7 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             last_settle: 0.0,
             moment_refreshes: 0,
             moments_overflowed: false,
+            faults,
         })
     }
 
@@ -355,7 +378,21 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                 edge_tick_count: event.edge_tick_count,
                 global_tick_count: event.global_tick_count,
             };
-            self.handler.on_edge_tick(&mut self.values, &ctx);
+            // Fault classification happens before the handler runs: a
+            // suppressed contact skips the pairwise update atomically (never
+            // half-applied), leaving the moment tracker untouched, while the
+            // clock and time still advance — a down link loses messages, it
+            // does not slow the network.
+            let delivered = match self.faults.as_mut() {
+                Some(injector) => {
+                    injector.classify(event.edge, edge, event.global_tick_count)
+                        == ContactFate::Delivered
+                }
+                None => true,
+            };
+            if delivered {
+                self.handler.on_edge_tick(&mut self.values, &ctx);
+            }
 
             if let Some(rec) = recorder.as_mut() {
                 rec.record(time, ticks, &self.values, false);
@@ -459,7 +496,16 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             trace,
             settling_time: self.config.settling_threshold.map(|_| self.last_settle),
             moment_refreshes: self.moment_refreshes,
+            fault_stats: self.fault_stats(),
         }
+    }
+
+    /// The fault-injection counters accumulated so far (all zeros when no
+    /// fault plan is configured).  Like [`Self::settling_time`] this stays
+    /// readable after [`Self::run`] returns an error, so callers can report
+    /// how much of a censored run was suppressed.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|i| i.stats()).unwrap_or_default()
     }
 }
 
@@ -656,8 +702,13 @@ mod tests {
             .with_check_every_ticks(0)
             .with_variance_mode(VarianceMode::ExactEveryCheck)
             .with_moment_refresh_every_ticks(0)
-            .with_settling_threshold(0.25);
+            .with_settling_threshold(0.25)
+            .with_fault_plan(FaultPlan::new(3).with_drop_probability(0.1));
         assert_eq!(c.seed, 7);
+        assert_eq!(
+            c.fault_plan,
+            Some(FaultPlan::new(3).with_drop_probability(0.1))
+        );
         assert_eq!(c.clock_model, ClockModel::GlobalUniform);
         assert_eq!(c.max_events, 123);
         assert_eq!(c.check_every_ticks, 1);
@@ -670,6 +721,7 @@ mod tests {
         assert_eq!(d.variance_mode, VarianceMode::Incremental);
         assert_eq!(d.moment_refresh_every_ticks, DEFAULT_MOMENT_REFRESH_TICKS);
         assert_eq!(d.settling_threshold, None);
+        assert_eq!(d.fault_plan, None);
     }
 
     #[test]
@@ -810,6 +862,124 @@ mod tests {
             .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200));
         let mut sim = AsyncSimulator::new(&g, spike(4), BlowupThenNan, config).unwrap();
         assert!(matches!(sim.run(), Err(SimError::NonFiniteValue { .. })));
+    }
+
+    #[test]
+    fn noop_fault_plan_is_byte_identical_to_no_plan() {
+        let g = dumbbell(5).unwrap().0;
+        let run = |plan: Option<FaultPlan>| {
+            let mut config = SimulationConfig::new(21)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500_000));
+            config.fault_plan = plan;
+            let mut sim = AsyncSimulator::new(&g, spike(10), Vanilla, config).unwrap();
+            sim.run().unwrap()
+        };
+        let baseline = run(None);
+        let noop = run(Some(FaultPlan::none()));
+        assert_eq!(baseline.total_ticks, noop.total_ticks);
+        assert_eq!(baseline.stop_reason, noop.stop_reason);
+        assert_eq!(baseline.moment_refreshes, noop.moment_refreshes);
+        for (a, b) in baseline
+            .final_values
+            .as_slice()
+            .iter()
+            .zip(noop.final_values.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(noop.fault_stats.total_suppressed(), 0);
+        assert_eq!(noop.fault_stats.delivered, noop.total_ticks);
+        assert_eq!(baseline.fault_stats, FaultStats::default());
+    }
+
+    #[test]
+    fn message_drops_conserve_mass_and_delay_convergence() {
+        let g = complete(8).unwrap();
+        let initial = spike(8);
+        let mean = initial.mean();
+        let run = |p: f64| {
+            let config = SimulationConfig::new(13)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000))
+                .with_fault_plan(FaultPlan::new(99).with_drop_probability(p));
+            let mut sim = AsyncSimulator::new(&g, spike(8), Vanilla, config).unwrap();
+            sim.run().unwrap()
+        };
+        let clean = run(0.0);
+        let lossy = run(0.5);
+        assert!(clean.converged());
+        assert!(lossy.converged());
+        // Dropped contacts are skipped atomically, so the sum is conserved
+        // exactly as in the clean run.
+        assert!((lossy.final_values.mean() - mean).abs() < 1e-9);
+        // Half the contacts do nothing, so more ticks are needed.
+        assert!(lossy.total_ticks > clean.total_ticks);
+        assert!(lossy.fault_stats.dropped > 0);
+        assert_eq!(
+            lossy.fault_stats.total_contacts(),
+            lossy.total_ticks,
+            "every tick is classified exactly once"
+        );
+    }
+
+    #[test]
+    fn edge_outage_suppresses_only_the_window() {
+        // A complete graph with one edge down for the first 1000 ticks: the
+        // run still converges (the other 14 edges keep mixing), and only the
+        // in-window ticks of that edge are suppressed.
+        let g = complete(6).unwrap();
+        let config = SimulationConfig::new(17)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(1e-9).or_max_ticks(1_000_000))
+            .with_fault_plan(FaultPlan::new(1).with_edge_outage(gossip_graph::EdgeId(0), 0, 1000));
+        let mut sim = AsyncSimulator::new(&g, spike(6), Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(outcome.converged());
+        assert!(outcome.fault_stats.edge_down_skips > 0);
+        assert_eq!(outcome.fault_stats.dropped, 0);
+        assert_eq!(outcome.fault_stats.node_pause_skips, 0);
+    }
+
+    #[test]
+    fn pausing_every_node_censors_at_the_guard_instead_of_spinning() {
+        // With every node paused forever, no contact is ever delivered: the
+        // variance never moves, Definition 1 can never fire, and the engine
+        // must run to its tick guard (censoring) rather than spin or error.
+        let g = complete(4).unwrap();
+        let mut plan = FaultPlan::new(5);
+        for i in 0..4 {
+            plan = plan.with_node_pause(NodeId(i), 0, u64::MAX);
+        }
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500))
+            .with_fault_plan(plan);
+        let mut sim = AsyncSimulator::new(&g, spike(4), Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.stop_reason, StopReason::TickLimit);
+        assert!(!outcome.converged());
+        assert!((outcome.variance_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(outcome.fault_stats.delivered, 0);
+        assert_eq!(outcome.fault_stats.node_pause_skips, outcome.total_ticks);
+        // The counters stay readable on the simulator itself.
+        assert_eq!(sim.fault_stats(), outcome.fault_stats);
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected_at_construction() {
+        let g = complete(3).unwrap();
+        let config =
+            SimulationConfig::new(1).with_fault_plan(FaultPlan::new(0).with_drop_probability(2.0));
+        assert!(matches!(
+            AsyncSimulator::new(&g, spike(3), Vanilla, config),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        let config = SimulationConfig::new(1).with_fault_plan(FaultPlan::new(0).with_node_pause(
+            NodeId(9),
+            0,
+            1,
+        ));
+        assert!(matches!(
+            AsyncSimulator::new(&g, spike(3), Vanilla, config),
+            Err(SimError::Graph(_))
+        ));
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `T` is continuous; the number of ticks of any edge by time `T` is Poisson
 //! with mean `T`.
 //!
-//! The crate separates four concerns:
+//! The crate separates five concerns:
 //!
 //! * [`values::NodeValues`] — the state vector `x(t)` with the variance /
 //!   mean / per-block accounting the paper's Definition 1 is phrased in,
@@ -20,6 +20,10 @@
 //! * [`handler::EdgeTickHandler`] — the algorithm interface; concrete
 //!   algorithms (vanilla gossip, the convex class `C`, the paper's
 //!   non-convex Algorithm A, …) live in the `gossip-core` crate.
+//! * [`fault::FaultPlan`] — deterministic fault environments (seeded edge
+//!   up/down schedules, node pauses, per-contact message drops) injected
+//!   ahead of the handler, so churn and loss scenarios stay bit-exactly
+//!   reproducible.
 //! * [`engine::AsyncSimulator`] and [`sync::SyncSimulator`] — drivers that
 //!   advance the clocks, invoke the handler, record [`trace::Trace`]s and
 //!   evaluate [`stopping::StoppingRule`]s.
@@ -63,6 +67,7 @@
 
 pub mod clock;
 pub mod engine;
+pub mod fault;
 pub mod handler;
 pub mod moments;
 pub mod stopping;
@@ -71,6 +76,7 @@ pub mod trace;
 pub mod values;
 
 pub use engine::{AsyncSimulator, SimulationConfig, SimulationOutcome, VarianceMode};
+pub use fault::{FaultPlan, FaultStats};
 pub use handler::{EdgeTickContext, EdgeTickHandler};
 pub use moments::MomentTracker;
 pub use stopping::StoppingRule;

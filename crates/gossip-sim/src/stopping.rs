@@ -199,6 +199,29 @@ mod tests {
     }
 
     #[test]
+    fn variance_ratio_maps_infinities_and_degenerate_initials() {
+        // +∞ variance (finite values whose squared deviations overflow f64,
+        // the engine's "overflowed" episode): never converged.
+        let s = status(1.0, 5, f64::INFINITY, 1.0);
+        assert_eq!(s.variance_ratio(), f64::INFINITY);
+        assert_eq!(StoppingRule::definition1().evaluate(&s), None);
+        // ∞/∞ forms a NaN ratio, which must also map to +∞, not converge.
+        let s = status(1.0, 5, f64::INFINITY, f64::INFINITY);
+        assert_eq!(s.variance_ratio(), f64::INFINITY);
+        assert_eq!(StoppingRule::definition1().evaluate(&s), None);
+        // A (nonsensical) negative initial variance is treated like zero:
+        // already averaged.
+        let s = status(1.0, 5, 1.0, -1.0);
+        assert_eq!(s.variance_ratio(), 0.0);
+        // NaN initial variance: `initial <= 0.0` is false for NaN, so the
+        // ratio path runs and the NaN maps to +∞ — a poisoned baseline can
+        // never read as converged.
+        let s = status(1.0, 5, 1.0, f64::NAN);
+        assert_eq!(s.variance_ratio(), f64::INFINITY);
+        assert_eq!(StoppingRule::definition1().evaluate(&s), None);
+    }
+
+    #[test]
     fn variance_rule_fires_only_below_threshold() {
         let rule = StoppingRule::variance_ratio_below(0.1);
         assert_eq!(rule.evaluate(&status(1.0, 5, 0.5, 1.0)), None);

@@ -45,12 +45,32 @@ pub struct NodeValues {
 }
 
 /// Two states are equal when they hold the same node values; the moment
-/// tracker is derived state (identical update histories produce identical
-/// trackers, but a freshly constructed copy of an evolved state is still the
-/// *same* state).
+/// tracker is **intentionally excluded**: it is derived state (identical
+/// update histories produce identical trackers, but a freshly constructed
+/// copy of an evolved state is still the *same* state, even though the
+/// evolved tracker carries float drift the fresh one does not).
+///
+/// In debug builds, equality additionally asserts the contract that makes
+/// the exclusion sound: rebuilding both trackers from the (equal) values
+/// must produce bit-identical moments — i.e. the only way two equal states
+/// can disagree is through pre-refresh drift, which [`refresh_moments`]
+/// reconciles.
+///
+/// [`refresh_moments`]: NodeValues::refresh_moments
 impl PartialEq for NodeValues {
     fn eq(&self, other: &Self) -> bool {
-        self.values == other.values
+        let equal = self.values == other.values;
+        #[cfg(debug_assertions)]
+        if equal {
+            let a = MomentTracker::from_slice(self.values.as_slice());
+            let b = MomentTracker::from_slice(other.values.as_slice());
+            debug_assert!(
+                a.sum().to_bits() == b.sum().to_bits()
+                    && a.variance().to_bits() == b.variance().to_bits(),
+                "equal values must rebuild bit-identical moment trackers"
+            );
+        }
+        equal
     }
 }
 
@@ -493,6 +513,38 @@ mod tests {
         a.average_pair(NodeId(0), NodeId(1));
         let b = NodeValues::from_values(vec![2.0, 2.0]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn equality_excludes_drifted_trackers_and_refresh_reconciles_them() {
+        // Regression test for the PartialEq contract: trackers are
+        // *intentionally* excluded from equality.  Drive one state through
+        // many O(1) updates so its tracker accumulates drift, then compare
+        // against a freshly constructed copy of the same values.
+        let mut evolved = NodeValues::from_values(vec![4.0, 0.0, 10.0, -2.0, 1.5]).unwrap();
+        for step in 0..2000usize {
+            let i = NodeId(step % 5);
+            let j = NodeId((step + 1 + step % 3) % 5);
+            if i != j {
+                evolved.convex_pair_update(i, j, 0.25 + 0.5 * ((step % 7) as f64 / 7.0));
+            }
+        }
+        let fresh = NodeValues::from_values(evolved.as_slice().to_vec()).unwrap();
+        // Equal as states, even though the evolved tracker carries drift the
+        // fresh one does not.
+        assert_eq!(evolved, fresh);
+        // After an exact refresh the trackers agree bitwise: both are now
+        // the pure function of the (equal) values.
+        let mut reconciled = evolved.clone();
+        reconciled.refresh_moments();
+        assert_eq!(
+            reconciled.incremental_variance().to_bits(),
+            fresh.incremental_variance().to_bits()
+        );
+        assert_eq!(
+            reconciled.incremental_mean().to_bits(),
+            fresh.incremental_mean().to_bits()
+        );
     }
 
     proptest! {

@@ -30,11 +30,15 @@ pub enum ExperimentId {
     /// incremental per-tick Definition 1 stopping at large `n`), reported as
     /// `BENCH_sim_scale.json`.
     SimScale,
+    /// The robustness tier (fault injection: message loss, bridge outages,
+    /// node churn, cut flapping — against fault-free baselines), reported as
+    /// `BENCH_robustness.json`.
+    Robustness,
 }
 
 impl ExperimentId {
     /// All experiments, in canonical order.
-    pub fn all() -> [ExperimentId; 12] {
+    pub fn all() -> [ExperimentId; 13] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -48,6 +52,7 @@ impl ExperimentId {
             ExperimentId::E10,
             ExperimentId::Scale,
             ExperimentId::SimScale,
+            ExperimentId::Robustness,
         ]
     }
 
@@ -170,6 +175,21 @@ impl ExperimentId {
                            uniform clock.",
                 bench_target: "gossip-bench runner::run_sim_scale + BENCH_sim_scale.json",
             },
+            ExperimentId::Robustness => ExperimentDescriptor {
+                id: self,
+                title: "Robustness tier: Definition 1 stopping under faults",
+                claim: "Vanilla gossip still reaches the 1/e² stop under message loss, \
+                        transient bridge outages, rolling node churn and a flapping cut; \
+                        total mass is conserved exactly (suppressed contacts skip the \
+                        pairwise update atomically) and the slowdown over the fault-free \
+                        baseline is bounded by the suppressed-contact fraction and the \
+                        worst surviving subgraph's connectivity.",
+                workload: "Churn suite (chordal ring + 25% loss, expander dumbbell + bridge \
+                           outage, expander barbell + node churn, ring of cliques + cut \
+                           flap) at n ∈ {96, 192, 768} (quick: {96, 192}), vanilla gossip, \
+                           global uniform clock, faulted vs fault-free baseline runs.",
+                bench_target: "gossip-bench runner::run_robustness + BENCH_robustness.json",
+            },
         }
     }
 }
@@ -203,7 +223,7 @@ mod tests {
     #[test]
     fn all_experiments_have_distinct_nonempty_descriptors() {
         let all = ExperimentId::all();
-        assert_eq!(all.len(), 12);
+        assert_eq!(all.len(), 13);
         let mut titles = BTreeSet::new();
         for id in all {
             let d = id.descriptor();

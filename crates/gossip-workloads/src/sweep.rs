@@ -125,6 +125,29 @@ pub fn sim_scale_sweep(quick: bool) -> Sweep<Scenario> {
     Sweep::new("scenario", values)
 }
 
+/// Total graph sizes of the robustness tier: small enough that every
+/// (baseline, faulted) run pair finishes quickly even under heavy message
+/// loss, large enough that the fault windows cover a meaningful fraction of
+/// the run.
+pub fn robustness_sizes(quick: bool) -> Sweep<usize> {
+    let values = if quick {
+        vec![96, 192]
+    } else {
+        vec![96, 192, 768]
+    };
+    Sweep::new("n", values)
+}
+
+/// The robustness-tier sweep: for each size in [`robustness_sizes`], the
+/// four churn cases of [`crate::churn::churn_suite`].
+pub fn robustness_sweep(quick: bool) -> Sweep<crate::churn::ChurnCase> {
+    let mut values = Vec::new();
+    for &n in robustness_sizes(quick).iter() {
+        values.extend(crate::churn::churn_suite(n));
+    }
+    Sweep::new("churn case", values)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +217,19 @@ mod tests {
         let full = sim_scale_sweep(false);
         assert_eq!(full.len(), 3 * 4);
         assert_eq!(full.values.last().unwrap().node_count(), 50_000);
+    }
+
+    #[test]
+    fn robustness_sweep_covers_all_cases_per_size() {
+        assert_eq!(robustness_sizes(true).values, vec![96, 192]);
+        assert_eq!(robustness_sizes(false).values, vec![96, 192, 768]);
+        let s = robustness_sweep(true);
+        assert_eq!(s.len(), 2 * 4);
+        assert_eq!(s.parameter, "churn case");
+        for case in s.iter() {
+            assert!(!case.name().is_empty());
+        }
+        assert_eq!(robustness_sweep(false).len(), 3 * 4);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod prelude {
     pub use gossip_core::diffusion::{FirstOrderDiffusion, SecondOrderDiffusion};
     pub use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoefficient};
     pub use gossip_core::two_time_scale::TwoTimeScaleGossip;
+    pub use gossip_graph::dynamic::DynamicGraphView;
     pub use gossip_graph::generators::{
         barbell, bridged_clusters, chordal_ring, complete, dumbbell, expander_barbell,
         expander_dumbbell, grid_corridor, ring_of_cliques, two_block_sbm,
@@ -63,12 +64,14 @@ pub mod prelude {
         AsyncSimulator, ClockModel, SimulationConfig, SimulationOutcome, VarianceMode,
         DEFAULT_MOMENT_REFRESH_TICKS,
     };
+    pub use gossip_sim::fault::{FaultPlan, FaultStats};
     pub use gossip_sim::handler::{EdgeTickContext, EdgeTickHandler};
     pub use gossip_sim::moments::MomentTracker;
     pub use gossip_sim::stopping::StoppingRule;
     pub use gossip_sim::sync::{RoundHandler, SyncConfig, SyncSimulator};
     pub use gossip_sim::trace::{Trace, TraceConfig};
     pub use gossip_sim::values::NodeValues;
+    pub use gossip_workloads::churn::{churn_suite, ChurnCase, FaultProfile};
     pub use gossip_workloads::{ExperimentId, InitialCondition, Scenario};
 }
 

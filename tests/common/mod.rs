@@ -85,6 +85,17 @@ pub mod seeds {
     pub const SIM_SCALE_DUMBBELL: u64 = 441;
     /// `sim_scale_tier`: the quick sim-scale sweep.
     pub const SIM_SCALE_SUITE: u64 = 442;
+    /// `fault_differential`: clock seed of the no-op-plan bit-identity
+    /// oracle (offset by the family index).
+    pub const FAULT_DIFFERENTIAL: u64 = 451;
+    /// `fault_differential`: scenario instantiation of the oracle families.
+    pub const FAULT_SCENARIO: u64 = 452;
+    /// `fault_differential`: clock seed of the deterministic mixed-fault
+    /// conservation runs (offset by the family index).
+    pub const FAULT_CONSERVATION: u64 = 453;
+    /// `fault_differential`: fault-plan drop/churn stream of the mixed-fault
+    /// conservation runs.
+    pub const FAULT_PLAN: u64 = 454;
 }
 
 /// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.
