@@ -13,7 +13,15 @@
 //! cargo run -p gossip-bench --release --bin experiments -- --only SCALE
 //! cargo run -p gossip-bench --release --bin experiments -- --only SIM_SCALE
 //! cargo run -p gossip-bench --release --bin experiments -- --only ROBUSTNESS
+//! cargo run -p gossip-bench --release --bin experiments -- --only PERF --jobs 4
 //! ```
+//!
+//! `--jobs <n>` bounds the deterministic run executor that fans scenario
+//! rows (and, in the PERF tier, estimator runs) out over worker threads;
+//! the default honors `GOSSIP_JOBS`, then the machine's available
+//! parallelism.  Every table and report is byte-identical at any `--jobs`
+//! value — only wall-clock columns vary — and `--jobs 1` reproduces the
+//! historical serial execution exactly.
 //!
 //! Whenever the SCALE experiment runs, its report (spectral quantities plus
 //! wall-clock timings of the sparse pipeline) is additionally written to
@@ -23,7 +31,11 @@
 //! `BENCH_sim_scale.json` (`--sim-scale-json <path>`), and the ROBUSTNESS
 //! experiment (fault injection against fault-free baselines) writes
 //! `BENCH_robustness.json` (`--robustness-json <path>`); the robustness
-//! report carries no wall-clock fields, so CI diffs it byte-for-byte.
+//! report carries no wall-clock fields, so CI diffs it byte-for-byte.  The
+//! PERF experiment (hot-loop throughput plus serial-vs-parallel estimator
+//! timing with a built-in bitwise oracle) writes `BENCH_perf.json`
+//! (`--perf-json <path>`); CI diffs it across two runs at different
+//! `--jobs` after stripping the wall-clock and `jobs` fields.
 
 use gossip_bench::runner::{self, HarnessConfig};
 use gossip_bench::Table;
@@ -31,9 +43,10 @@ use std::collections::BTreeSet;
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed <u64>] \
-         [--only E1 E2 ... SCALE SIM_SCALE ROBUSTNESS] [--json <path>] \
-         [--scale-json <path>] [--sim-scale-json <path>] [--robustness-json <path>]"
+        "usage: experiments [--quick] [--seed <u64>] [--jobs <n>] \
+         [--only E1 E2 ... SCALE SIM_SCALE ROBUSTNESS PERF] [--json <path>] \
+         [--scale-json <path>] [--sim-scale-json <path>] \
+         [--robustness-json <path>] [--perf-json <path>]"
     );
 }
 
@@ -45,6 +58,7 @@ fn main() {
     let mut scale_json_path = String::from("BENCH_scale.json");
     let mut sim_scale_json_path = String::from("BENCH_sim_scale.json");
     let mut robustness_json_path = String::from("BENCH_robustness.json");
+    let mut perf_json_path = String::from("BENCH_perf.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +70,17 @@ fn main() {
                     Some(seed) => config.seed = seed,
                     None => {
                         eprintln!("--seed requires an unsigned integer");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--jobs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(jobs) if jobs >= 1 => config.jobs = Some(jobs),
+                    _ => {
+                        eprintln!("--jobs requires a positive integer");
                         print_usage();
                         std::process::exit(2);
                     }
@@ -113,6 +138,17 @@ fn main() {
                     }
                 }
             }
+            "--perf-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => perf_json_path = path.clone(),
+                    None => {
+                        eprintln!("--perf-json requires a path");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -131,10 +167,12 @@ fn main() {
     let mut scale_report: Option<runner::ScaleReport> = None;
     let mut sim_scale_report: Option<runner::SimScaleReport> = None;
     let mut robustness_report: Option<runner::RobustnessReport> = None;
+    let mut perf_report: Option<runner::PerfReport> = None;
 
     let run = |scale_report: &mut Option<runner::ScaleReport>,
                sim_scale_report: &mut Option<runner::SimScaleReport>,
-               robustness_report: &mut Option<runner::RobustnessReport>|
+               robustness_report: &mut Option<runner::RobustnessReport>,
+               perf_report: &mut Option<runner::PerfReport>|
      -> runner::BenchResult<Vec<Table>> {
         let mut out = Vec::new();
         if wanted("E1") || wanted("E2") || wanted("E3") {
@@ -187,6 +225,12 @@ fn main() {
             *robustness_report = Some(report);
             out.push(table);
         }
+        if wanted("PERF") {
+            let (report, throughput_table, estimator_table) = runner::run_perf(&config)?;
+            *perf_report = Some(report);
+            out.push(throughput_table);
+            out.push(estimator_table);
+        }
         Ok(out)
     };
 
@@ -194,6 +238,7 @@ fn main() {
         &mut scale_report,
         &mut sim_scale_report,
         &mut robustness_report,
+        &mut perf_report,
     ) {
         Ok(result) => tables.extend(result),
         Err(error) => {
@@ -254,6 +299,22 @@ fn main() {
             }
             Err(error) => {
                 eprintln!("failed to serialize robustness report: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(report) = &perf_report {
+        match serde_json::to_string_pretty(report) {
+            Ok(json) => {
+                if let Err(error) = std::fs::write(&perf_json_path, json) {
+                    eprintln!("failed to write {perf_json_path}: {error}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote perf report to {perf_json_path}");
+            }
+            Err(error) => {
+                eprintln!("failed to serialize perf report: {error}");
                 std::process::exit(1);
             }
         }

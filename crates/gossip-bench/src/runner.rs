@@ -1,9 +1,18 @@
-//! Experiment runners E1–E10 plus the Scale, SimScale and Robustness tiers.
+//! Experiment runners E1–E10 plus the Scale, SimScale, Robustness and Perf
+//! tiers.
 //!
 //! Every function is deterministic given the [`HarnessConfig`] (all
 //! randomness is seeded), returns structured data plus a rendered
 //! [`Table`], and is sized so that the full harness finishes in minutes on a
 //! laptop in `--release`.
+//!
+//! Scenario rows are independent seeded computations, so every tier fans
+//! them out over a [`gossip_exec::Executor`] ([`HarnessConfig::jobs`] wide,
+//! default `GOSSIP_JOBS` / available parallelism) with **ordered
+//! collection**: rows land in their input positions, so every table and
+//! JSON report is byte-identical to the serial order at any job count (only
+//! wall-clock columns, where present, vary).  `--jobs 1` reproduces the
+//! historical serial execution exactly.
 
 use crate::probes::{CutTickProbe, EpochProbe};
 use crate::table::Table;
@@ -16,6 +25,7 @@ use gossip_core::convex::{RandomNeighborGossip, VanillaGossip, WeightedConvexGos
 use gossip_core::diffusion::{FirstOrderDiffusion, SecondOrderDiffusion};
 use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoefficient};
 use gossip_core::two_time_scale::TwoTimeScaleGossip;
+use gossip_exec::Executor;
 use gossip_graph::{Graph, Partition};
 use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig};
 use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
@@ -41,6 +51,12 @@ pub struct HarnessConfig {
     pub quick: bool,
     /// Base seed; every experiment derives its own sub-seeds from it.
     pub seed: u64,
+    /// Worker threads the tiers fan their scenario rows out over.  `None`
+    /// resolves `GOSSIP_JOBS`, then the available parallelism; `Some(1)`
+    /// forces the serial path.  Every setting produces byte-identical tables
+    /// and reports (wall-clock columns aside) — rows are collected in input
+    /// order.
+    pub jobs: Option<usize>,
 }
 
 impl HarnessConfig {
@@ -49,6 +65,7 @@ impl HarnessConfig {
         HarnessConfig {
             quick: true,
             seed: 0xC0FFEE,
+            jobs: None,
         }
     }
 
@@ -57,6 +74,7 @@ impl HarnessConfig {
         HarnessConfig {
             quick: false,
             seed: 0xC0FFEE,
+            jobs: None,
         }
     }
 
@@ -76,15 +94,28 @@ impl HarnessConfig {
         }
     }
 
+    /// The row-level executor of this harness run.
+    fn executor(&self) -> Executor {
+        Executor::with_override(self.jobs)
+    }
+
     fn estimator(&self, seed_offset: u64, max_time: f64) -> AveragingTimeEstimator {
         // Stopping checks are O(1) against the incremental moment tracker,
         // so the estimator keeps its default per-tick resolution
         // (`check_every_ticks = 1`): measured averaging times no longer
         // overshoot by up to an |E|/10 check interval.
+        //
+        // Estimators built here run inside a tier's row-level fan-out, so
+        // their own run fan-out is pinned to one job: the rows already
+        // saturate the pool, and a nested pool per row would oversubscribe
+        // the machine without changing any output (the PERF tier, which
+        // times estimator-level parallelism deliberately, builds its own
+        // estimators).
         AveragingTimeEstimator::new(
             EstimatorConfig::new(self.seed.wrapping_add(seed_offset))
                 .with_runs(self.runs())
-                .with_max_time(max_time),
+                .with_max_time(max_time)
+                .with_jobs(Some(1)),
         )
     }
 }
@@ -137,39 +168,42 @@ pub struct DumbbellSweep {
 /// Propagates graph-construction and simulation errors.
 pub fn run_dumbbell_sweep(config: &HarnessConfig) -> BenchResult<DumbbellSweep> {
     let sizes = sweep::dumbbell_size_sweep(16, config.max_dumbbell_n());
-    let mut rows = Vec::new();
-    for (index, scenario) in sizes.iter().enumerate() {
-        let instance = scenario.instantiate(config.seed)?;
-        let graph = &instance.graph;
-        let partition = &instance.partition;
-        let summary = bounds::BoundsSummary::compute(graph, partition, 4.0)?;
-        // Convex algorithms need Θ(n1) time; give them ample head-room.
-        let max_time = 60.0 * summary.convex_lower_bound + 500.0;
-        let estimator = config.estimator(index as u64 * 101, max_time);
+    let rows = config.executor().try_map_indexed(
+        sizes.len(),
+        |index| -> BenchResult<DumbbellSweepRow> {
+            let scenario = &sizes.values[index];
+            let instance = scenario.instantiate(config.seed)?;
+            let graph = &instance.graph;
+            let partition = &instance.partition;
+            let summary = bounds::BoundsSummary::compute(graph, partition, 4.0)?;
+            // Convex algorithms need Θ(n1) time; give them ample head-room.
+            let max_time = 60.0 * summary.convex_lower_bound + 500.0;
+            let estimator = config.estimator(index as u64 * 101, max_time);
 
-        let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
-        let weighted = estimator.estimate(graph, partition, || {
-            WeightedConvexGossip::new(0.7).expect("valid alpha")
-        })?;
-        let random_neighbor = {
-            let seed = config.seed.wrapping_add(7 + index as u64);
-            estimator.estimate(graph, partition, || RandomNeighborGossip::new(seed))?
-        };
-        let algorithm_a = estimator.estimate(graph, partition, || {
-            SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
-                .expect("valid partition")
-        })?;
+            let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
+            let weighted = estimator.estimate(graph, partition, || {
+                WeightedConvexGossip::new(0.7).expect("valid alpha")
+            })?;
+            let random_neighbor = {
+                let seed = config.seed.wrapping_add(7 + index as u64);
+                estimator.estimate(graph, partition, || RandomNeighborGossip::new(seed))?
+            };
+            let algorithm_a = estimator.estimate(graph, partition, || {
+                SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
+                    .expect("valid partition")
+            })?;
 
-        rows.push(DumbbellSweepRow {
-            n: graph.node_count(),
-            lower_bound: summary.convex_lower_bound,
-            upper_bound: summary.theorem2_upper_bound,
-            vanilla: vanilla.averaging_time,
-            weighted: weighted.averaging_time,
-            random_neighbor: random_neighbor.averaging_time,
-            algorithm_a: algorithm_a.averaging_time,
-        });
-    }
+            Ok(DumbbellSweepRow {
+                n: graph.node_count(),
+                lower_bound: summary.convex_lower_bound,
+                upper_bound: summary.theorem2_upper_bound,
+                vanilla: vanilla.averaging_time,
+                weighted: weighted.averaging_time,
+                random_neighbor: random_neighbor.averaging_time,
+                algorithm_a: algorithm_a.averaging_time,
+            })
+        },
+    )?;
     Ok(DumbbellSweep { rows })
 }
 
@@ -371,51 +405,53 @@ pub fn run_e5(config: &HarnessConfig) -> BenchResult<(Vec<E5Row>, Table)> {
     } else {
         vec![16, 32, 64]
     };
-    let mut rows = Vec::new();
-    for (index, half) in halves.iter().enumerate() {
-        let (graph, partition) = gossip_graph::generators::dumbbell(*half)?;
-        // Start from a within-block-noisy vector so that several epochs are
-        // needed (the clean adversarial vector converges after one transfer).
-        let initial = gossip_workloads::InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
-            graph.node_count(),
-            Some(&partition),
-            config.seed ^ 0x55,
-        )?;
-        let algorithm = SparseCutAlgorithm::from_partition(
-            &graph,
-            &partition,
-            SparseCutConfig::new().with_epoch_constant(2.0),
-        )?;
-        let designated = algorithm.designated_edge();
-        let epoch_ticks = algorithm.epoch_ticks();
-        // Renormalize at every epoch boundary so that an arbitrary number of
-        // per-epoch contraction factors can be observed without the variance
-        // hitting the floating-point floor; stop after a fixed horizon of
-        // epochs rather than on convergence.
-        let target_epochs: f64 = if config.quick { 12.0 } else { 25.0 };
-        let probe = EpochProbe::new(algorithm, designated, epoch_ticks).with_renormalization();
-        let sim_config = SimulationConfig::new(config.seed.wrapping_add(50 + index as u64))
-            .with_stopping_rule(StoppingRule::max_time(
-                (target_epochs + 2.0) * epoch_ticks as f64,
-            ));
-        let mut simulator = AsyncSimulator::new(&graph, initial, probe, sim_config)?;
-        let _ = simulator.run()?;
-        let probe = simulator.handler();
-        let increments = probe.log_variance_increments();
-        if increments.is_empty() {
-            continue;
-        }
-        let report = DominanceReport::from_increments(&increments, graph.node_count())?;
-        rows.push(E5Row {
-            n: graph.node_count(),
-            epochs: report.epochs,
-            contraction_fraction: report.contraction_fraction,
-            ceiling_violation_fraction: report.ceiling_violation_fraction,
-            dominated: report.dominated_pointwise,
-            final_observed_drop: report.final_observed,
-            final_dominating: report.final_dominating,
-        });
-    }
+    let maybe_rows =
+        config
+            .executor()
+            .try_map_indexed(halves.len(), |index| -> BenchResult<Option<E5Row>> {
+                let half = halves[index];
+                let (graph, partition) = gossip_graph::generators::dumbbell(half)?;
+                // Start from a within-block-noisy vector so that several epochs are
+                // needed (the clean adversarial vector converges after one transfer).
+                let initial = gossip_workloads::InitialCondition::Uniform { lo: -1.0, hi: 1.0 }
+                    .generate(graph.node_count(), Some(&partition), config.seed ^ 0x55)?;
+                let algorithm = SparseCutAlgorithm::from_partition(
+                    &graph,
+                    &partition,
+                    SparseCutConfig::new().with_epoch_constant(2.0),
+                )?;
+                let designated = algorithm.designated_edge();
+                let epoch_ticks = algorithm.epoch_ticks();
+                // Renormalize at every epoch boundary so that an arbitrary number of
+                // per-epoch contraction factors can be observed without the variance
+                // hitting the floating-point floor; stop after a fixed horizon of
+                // epochs rather than on convergence.
+                let target_epochs: f64 = if config.quick { 12.0 } else { 25.0 };
+                let probe =
+                    EpochProbe::new(algorithm, designated, epoch_ticks).with_renormalization();
+                let sim_config = SimulationConfig::new(config.seed.wrapping_add(50 + index as u64))
+                    .with_stopping_rule(StoppingRule::max_time(
+                        (target_epochs + 2.0) * epoch_ticks as f64,
+                    ));
+                let mut simulator = AsyncSimulator::new(&graph, initial, probe, sim_config)?;
+                let _ = simulator.run()?;
+                let probe = simulator.handler();
+                let increments = probe.log_variance_increments();
+                if increments.is_empty() {
+                    return Ok(None);
+                }
+                let report = DominanceReport::from_increments(&increments, graph.node_count())?;
+                Ok(Some(E5Row {
+                    n: graph.node_count(),
+                    epochs: report.epochs,
+                    contraction_fraction: report.contraction_fraction,
+                    ceiling_violation_fraction: report.ceiling_violation_fraction,
+                    dominated: report.dominated_pointwise,
+                    final_observed_drop: report.final_observed,
+                    final_dominating: report.final_dominating,
+                }))
+            })?;
+    let rows: Vec<E5Row> = maybe_rows.into_iter().flatten().collect();
 
     let descriptor = ExperimentId::E5.descriptor();
     let mut table = Table::new(
@@ -463,24 +499,31 @@ pub fn run_e6(config: &HarnessConfig) -> BenchResult<(Table, Table)> {
         format!("{}: {} — cut width", descriptor.id, descriptor.title),
         &["|E12|", "Thm1 bound", "vanilla T_av", "Algorithm A T_av"],
     );
-    for (index, scenario) in cut_sweep.iter().enumerate() {
-        let instance = scenario.instantiate(config.seed.wrapping_add(600 + index as u64))?;
-        let graph = &instance.graph;
-        let partition = &instance.partition;
-        let lower = bounds::theorem1_lower_bound(partition);
-        let max_time = 60.0 * lower + 300.0;
-        let estimator = config.estimator(700 + index as u64, max_time);
-        let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
-        let algo = estimator.estimate(graph, partition, || {
-            SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
-                .expect("valid partition")
-        })?;
-        cut_table.push_row(vec![
-            partition.cut_edge_count().to_string(),
-            fmt(lower),
-            fmt(vanilla.averaging_time),
-            fmt(algo.averaging_time),
-        ]);
+    let cut_rows = config.executor().try_map_indexed(
+        cut_sweep.len(),
+        |index| -> BenchResult<Vec<String>> {
+            let scenario = &cut_sweep.values[index];
+            let instance = scenario.instantiate(config.seed.wrapping_add(600 + index as u64))?;
+            let graph = &instance.graph;
+            let partition = &instance.partition;
+            let lower = bounds::theorem1_lower_bound(partition);
+            let max_time = 60.0 * lower + 300.0;
+            let estimator = config.estimator(700 + index as u64, max_time);
+            let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
+            let algo = estimator.estimate(graph, partition, || {
+                SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
+                    .expect("valid partition")
+            })?;
+            Ok(vec![
+                partition.cut_edge_count().to_string(),
+                fmt(lower),
+                fmt(vanilla.averaging_time),
+                fmt(algo.averaging_time),
+            ])
+        },
+    )?;
+    for row in cut_rows {
+        cut_table.push_row(row);
     }
 
     // Part 2: the epoch constant C.
@@ -491,20 +534,27 @@ pub fn run_e6(config: &HarnessConfig) -> BenchResult<(Table, Table)> {
         format!("{}: {} — epoch constant C", descriptor.id, descriptor.title),
         &["C", "epoch ticks", "Algorithm A T_av"],
     );
-    for (index, &c) in constants.iter().enumerate() {
-        let estimator = config.estimator(800 + index as u64, 4000.0);
-        let algo_config = SparseCutConfig::new().with_epoch_constant(c);
-        let probe_algo =
-            SparseCutAlgorithm::from_partition(&graph, &partition, algo_config.clone())?;
-        let estimate = estimator.estimate(&graph, &partition, || {
-            SparseCutAlgorithm::from_partition(&graph, &partition, algo_config.clone())
-                .expect("valid partition")
-        })?;
-        c_table.push_row(vec![
-            fmt(c),
-            probe_algo.epoch_ticks().to_string(),
-            fmt(estimate.averaging_time),
-        ]);
+    let c_rows = config.executor().try_map_indexed(
+        constants.len(),
+        |index| -> BenchResult<Vec<String>> {
+            let c = constants.values[index];
+            let estimator = config.estimator(800 + index as u64, 4000.0);
+            let algo_config = SparseCutConfig::new().with_epoch_constant(c);
+            let probe_algo =
+                SparseCutAlgorithm::from_partition(&graph, &partition, algo_config.clone())?;
+            let estimate = estimator.estimate(&graph, &partition, || {
+                SparseCutAlgorithm::from_partition(&graph, &partition, algo_config.clone())
+                    .expect("valid partition")
+            })?;
+            Ok(vec![
+                fmt(c),
+                probe_algo.epoch_ticks().to_string(),
+                fmt(estimate.averaging_time),
+            ])
+        },
+    )?;
+    for row in c_rows {
+        c_table.push_row(row);
     }
     Ok((cut_table, c_table))
 }
@@ -547,30 +597,42 @@ pub fn run_e7(config: &HarnessConfig) -> BenchResult<Table> {
     } else {
         vec![16, 32, 64, 128]
     };
-    for (index, n) in sizes.iter().enumerate() {
-        let (graph, partition) = gossip_graph::generators::dumbbell(n / 2)?;
-        let initial = AveragingTimeEstimator::adversarial_initial(&partition);
+    let rows =
+        config
+            .executor()
+            .try_map_indexed(sizes.len(), |index| -> BenchResult<Vec<String>> {
+                let n = sizes[index];
+                let (graph, partition) = gossip_graph::generators::dumbbell(n / 2)?;
+                let initial = AveragingTimeEstimator::adversarial_initial(&partition);
 
-        let fos = sync_settling_time(&graph, initial.clone(), FirstOrderDiffusion::new())?;
-        let sos = sync_settling_time(&graph, initial.clone(), SecondOrderDiffusion::new(1.8)?)?;
+                let fos = sync_settling_time(&graph, initial.clone(), FirstOrderDiffusion::new())?;
+                let sos =
+                    sync_settling_time(&graph, initial.clone(), SecondOrderDiffusion::new(1.8)?)?;
 
-        let lower = bounds::theorem1_lower_bound(&partition);
-        let estimator = config.estimator(900 + index as u64, 80.0 * lower + 400.0);
-        let momentum = estimator.estimate(&graph, &partition, || {
-            TwoTimeScaleGossip::for_graph(&graph, 0.7).expect("valid momentum")
-        })?;
-        let algo = estimator.estimate(&graph, &partition, || {
-            SparseCutAlgorithm::from_partition(&graph, &partition, SparseCutConfig::default())
-                .expect("valid partition")
-        })?;
+                let lower = bounds::theorem1_lower_bound(&partition);
+                let estimator = config.estimator(900 + index as u64, 80.0 * lower + 400.0);
+                let momentum = estimator.estimate(&graph, &partition, || {
+                    TwoTimeScaleGossip::for_graph(&graph, 0.7).expect("valid momentum")
+                })?;
+                let algo = estimator.estimate(&graph, &partition, || {
+                    SparseCutAlgorithm::from_partition(
+                        &graph,
+                        &partition,
+                        SparseCutConfig::default(),
+                    )
+                    .expect("valid partition")
+                })?;
 
-        table.push_row(vec![
-            n.to_string(),
-            fmt(fos),
-            fmt(sos),
-            fmt(momentum.averaging_time),
-            fmt(algo.averaging_time),
-        ]);
+                Ok(vec![
+                    n.to_string(),
+                    fmt(fos),
+                    fmt(sos),
+                    fmt(momentum.averaging_time),
+                    fmt(algo.averaging_time),
+                ])
+            })?;
+    for row in rows {
+        table.push_row(row);
     }
     Ok(table)
 }
@@ -599,27 +661,36 @@ pub fn run_e8(config: &HarnessConfig) -> BenchResult<Table> {
         ],
     );
     let total = if config.quick { 32 } else { 96 };
-    for (index, scenario) in robustness_suite(total).into_iter().enumerate() {
-        let instance = scenario.instantiate(config.seed.wrapping_add(100 + index as u64))?;
-        instance.validate_notation1()?;
-        let graph = &instance.graph;
-        let partition = &instance.partition;
-        let lower = bounds::theorem1_lower_bound(partition);
-        let estimator = config.estimator(1000 + index as u64, 80.0 * lower + 400.0);
-        let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
-        let algo = estimator.estimate(graph, partition, || {
-            SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
-                .expect("valid partition")
-        })?;
-        table.push_row(vec![
-            instance.name.clone(),
-            graph.node_count().to_string(),
-            partition.cut_edge_count().to_string(),
-            fmt(lower),
-            fmt(vanilla.averaging_time),
-            fmt(algo.averaging_time),
-            fmt(vanilla.averaging_time / algo.averaging_time.max(1e-9)),
-        ]);
+    let suite = robustness_suite(total);
+    let rows =
+        config
+            .executor()
+            .try_map_indexed(suite.len(), |index| -> BenchResult<Vec<String>> {
+                let scenario = &suite[index];
+                let instance =
+                    scenario.instantiate(config.seed.wrapping_add(100 + index as u64))?;
+                instance.validate_notation1()?;
+                let graph = &instance.graph;
+                let partition = &instance.partition;
+                let lower = bounds::theorem1_lower_bound(partition);
+                let estimator = config.estimator(1000 + index as u64, 80.0 * lower + 400.0);
+                let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
+                let algo = estimator.estimate(graph, partition, || {
+                    SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
+                        .expect("valid partition")
+                })?;
+                Ok(vec![
+                    instance.name.clone(),
+                    graph.node_count().to_string(),
+                    partition.cut_edge_count().to_string(),
+                    fmt(lower),
+                    fmt(vanilla.averaging_time),
+                    fmt(algo.averaging_time),
+                    fmt(vanilla.averaging_time / algo.averaging_time.max(1e-9)),
+                ])
+            })?;
+    for row in rows {
+        table.push_row(row);
     }
     Ok(table)
 }
@@ -641,10 +712,18 @@ pub fn run_e9(config: &HarnessConfig) -> BenchResult<Table> {
     );
     let k = 64;
     let trials = if config.quick { 4_000 } else { 20_000 };
-    for &s in &[0.5, 1.0, 1.5, 2.0, 2.5] {
-        let empirical = simple_walk_tail_frequency(k, s, trials, config.seed.wrapping_add(9));
-        let bound = concentration::simple_walk_tail_bound(k, s)?;
-        table.push_row(vec![fmt(s), fmt(empirical), fmt(bound)]);
+    let thresholds = [0.5, 1.0, 1.5, 2.0, 2.5];
+    let rows = config.executor().try_map_indexed(
+        thresholds.len(),
+        |index| -> BenchResult<Vec<String>> {
+            let s = thresholds[index];
+            let empirical = simple_walk_tail_frequency(k, s, trials, config.seed.wrapping_add(9));
+            let bound = concentration::simple_walk_tail_bound(k, s)?;
+            Ok(vec![fmt(s), fmt(empirical), fmt(bound)])
+        },
+    )?;
+    for row in rows {
+        table.push_row(row);
     }
     Ok(table)
 }
@@ -697,23 +776,28 @@ pub fn run_e10(config: &HarnessConfig) -> BenchResult<(Vec<E10Row>, Table)> {
             TransferCoefficient::Custom(0.5),
         ),
     ];
-    let mut rows = Vec::new();
-    for (name, coefficient) in choices {
-        let estimate: AveragingTimeEstimate = estimator.estimate(&graph, &partition, || {
-            SparseCutAlgorithm::from_partition(
-                &graph,
-                &partition,
-                SparseCutConfig::new().with_transfer_coefficient(coefficient),
-            )
-            .expect("valid partition")
-        })?;
-        rows.push(E10Row {
-            coefficient: name,
-            gamma: coefficient.resolve(n1, n2),
-            averaging_time: estimate.averaging_time,
-            censored_runs: estimate.censored_runs,
-        });
-    }
+    let rows =
+        config
+            .executor()
+            .try_map_indexed(choices.len(), |index| -> BenchResult<E10Row> {
+                let (name, coefficient) = &choices[index];
+                let coefficient = *coefficient;
+                let estimate: AveragingTimeEstimate =
+                    estimator.estimate(&graph, &partition, || {
+                        SparseCutAlgorithm::from_partition(
+                            &graph,
+                            &partition,
+                            SparseCutConfig::new().with_transfer_coefficient(coefficient),
+                        )
+                        .expect("valid partition")
+                    })?;
+                Ok(E10Row {
+                    coefficient: name.clone(),
+                    gamma: coefficient.resolve(n1, n2),
+                    averaging_time: estimate.averaging_time,
+                    censored_runs: estimate.censored_runs,
+                })
+            })?;
 
     let descriptor = ExperimentId::E10.descriptor();
     let mut table = Table::new(
@@ -760,9 +844,14 @@ pub struct ScaleRow {
     pub gossip_spectral_gap: f64,
     /// Spectral `T_van` estimate in absolute time.
     pub t_van_estimate: f64,
-    /// Wall-clock milliseconds to build the graph.
+    /// Wall-clock milliseconds to build the graph.  Rows fan out over the
+    /// harness executor, so at `jobs > 1` this includes contention from
+    /// sibling rows; for timings comparable across machines run with
+    /// `--jobs 1`, or use the PERF tier, whose throughput rows are always
+    /// timed serially.
     pub build_ms: f64,
-    /// Wall-clock milliseconds for the sparse spectral profile.
+    /// Wall-clock milliseconds for the sparse spectral profile
+    /// (contention-dependent at `jobs > 1`, like [`Self::build_ms`]).
     pub spectral_ms: f64,
 }
 
@@ -843,28 +932,34 @@ impl serde::Serialize for ScaleReport {
 pub fn run_scale(config: &HarnessConfig) -> BenchResult<(ScaleReport, Table)> {
     gossip_linalg::matrix::reset_largest_dense_dimension();
     let sweep = sweep::scale_sweep(config.quick);
-    let mut rows = Vec::new();
-    for (index, scenario) in sweep.iter().enumerate() {
-        let build_start = std::time::Instant::now();
-        let instance = scenario.instantiate(config.seed.wrapping_add(1200 + index as u64))?;
-        let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
-        let spectral_start = std::time::Instant::now();
-        let profile = gossip_graph::spectral::SpectralProfile::compute(&instance.graph)?;
-        let t_van = profile.vanilla_averaging_time_estimate();
-        let spectral_ms = spectral_start.elapsed().as_secs_f64() * 1e3;
-        rows.push(ScaleRow {
-            family: instance.name.clone(),
-            n: instance.graph.node_count(),
-            edges: instance.graph.edge_count(),
-            cut_edges: instance.partition.cut_edge_count(),
-            algebraic_connectivity: profile.algebraic_connectivity,
-            laplacian_lambda_max: profile.laplacian_lambda_max,
-            gossip_spectral_gap: profile.gossip_spectral_gap,
-            t_van_estimate: t_van,
-            build_ms,
-            spectral_ms,
-        });
-    }
+    // The dense-dimension tracker is a process-global atomic (fetch_max), so
+    // concurrent rows feed it exactly like serial rows do.
+    let rows =
+        config
+            .executor()
+            .try_map_indexed(sweep.len(), |index| -> BenchResult<ScaleRow> {
+                let scenario = &sweep.values[index];
+                let build_start = std::time::Instant::now();
+                let instance =
+                    scenario.instantiate(config.seed.wrapping_add(1200 + index as u64))?;
+                let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+                let spectral_start = std::time::Instant::now();
+                let profile = gossip_graph::spectral::SpectralProfile::compute(&instance.graph)?;
+                let t_van = profile.vanilla_averaging_time_estimate();
+                let spectral_ms = spectral_start.elapsed().as_secs_f64() * 1e3;
+                Ok(ScaleRow {
+                    family: instance.name.clone(),
+                    n: instance.graph.node_count(),
+                    edges: instance.graph.edge_count(),
+                    cut_edges: instance.partition.cut_edge_count(),
+                    algebraic_connectivity: profile.algebraic_connectivity,
+                    laplacian_lambda_max: profile.laplacian_lambda_max,
+                    gossip_spectral_gap: profile.gossip_spectral_gap,
+                    t_van_estimate: t_van,
+                    build_ms,
+                    spectral_ms,
+                })
+            })?;
     let report = ScaleReport {
         quick: config.quick,
         seed: config.seed,
@@ -933,9 +1028,13 @@ pub struct SimScaleRow {
     /// Scheduled exact moment refreshes performed during the run — the only
     /// O(n) variance passes on the hot path.
     pub moment_refreshes: u64,
-    /// Wall-clock milliseconds for the run.
+    /// Wall-clock milliseconds for the run.  Rows fan out over the harness
+    /// executor, so at `jobs > 1` this includes contention from sibling
+    /// rows; for clean throughput numbers run with `--jobs 1`, or use the
+    /// PERF tier, whose throughput rows are always timed serially.
     pub wall_ms: f64,
-    /// Event throughput (ticks per wall-clock second).
+    /// Event throughput (ticks per wall-clock second; contention-dependent
+    /// at `jobs > 1`, like [`Self::wall_ms`]).
     pub ticks_per_sec: f64,
 }
 
@@ -994,6 +1093,70 @@ impl serde::Serialize for SimScaleReport {
     }
 }
 
+/// Runs one sim-scale row per scenario — an asynchronous vanilla run to the
+/// Definition 1 stop with per-tick O(1) checking, timed — fanning the rows
+/// out over the harness executor with ordered collection.
+///
+/// This is the row machinery of [`run_sim_scale`], exposed separately so the
+/// parallel-determinism suite can drive the real code path on a small
+/// scenario list.  All deterministic fields (everything except `wall_ms` and
+/// `ticks_per_sec`) are byte-identical at any job count.
+///
+/// # Errors
+///
+/// Propagates graph-construction and simulation errors.
+pub fn sim_scale_rows(
+    config: &HarnessConfig,
+    scenarios: &[Scenario],
+) -> BenchResult<Vec<SimScaleRow>> {
+    config
+        .executor()
+        .try_map_indexed(scenarios.len(), |index| -> BenchResult<SimScaleRow> {
+            let scenario = &scenarios[index];
+            let instance = scenario.instantiate(config.seed.wrapping_add(1300 + index as u64))?;
+            let graph = &instance.graph;
+            let n = graph.node_count();
+            let (initial, initial_label) = match scenario {
+                Scenario::ChordalRing { .. } => (
+                    AveragingTimeEstimator::adversarial_initial(&instance.partition),
+                    "arc-adversarial",
+                ),
+                _ => (
+                    InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
+                        n,
+                        Some(&instance.partition),
+                        config.seed.wrapping_add(1400 + index as u64),
+                    )?,
+                    "uniform",
+                ),
+            };
+            let sim_config = SimulationConfig::new(config.seed.wrapping_add(1500 + index as u64))
+                // The global sampler draws ticks in O(1); the per-edge
+                // queue's heap would add an O(log |E|) factor per event.
+                .with_clock_model(ClockModel::GlobalUniform)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
+                .with_max_events(4_000_000_000);
+            let start = std::time::Instant::now();
+            let mut simulator =
+                AsyncSimulator::new(graph, initial, VanillaGossip::new(), sim_config)?;
+            let outcome = simulator.run()?;
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            Ok(SimScaleRow {
+                family: instance.name.clone(),
+                n,
+                edges: graph.edge_count(),
+                initial: initial_label.to_string(),
+                ticks: outcome.total_ticks,
+                stop_time: outcome.elapsed_time,
+                stop_reason: format!("{:?}", outcome.stop_reason),
+                variance_ratio: outcome.variance_ratio(),
+                moment_refreshes: outcome.moment_refreshes,
+                wall_ms,
+                ticks_per_sec: outcome.total_ticks as f64 / (wall_ms / 1e3).max(1e-9),
+            })
+        })
+}
+
 /// Runs the simulation scaling-tier experiment: for every size in the scale
 /// grid and every family of `sim_scale_suite`, one asynchronous vanilla run
 /// to the Definition 1 stop with per-tick O(1) incremental checking, timed.
@@ -1010,49 +1173,7 @@ impl serde::Serialize for SimScaleReport {
 pub fn run_sim_scale(config: &HarnessConfig) -> BenchResult<(SimScaleReport, Table)> {
     let sweep = sweep::sim_scale_sweep(config.quick);
     let refresh = gossip_sim::engine::DEFAULT_MOMENT_REFRESH_TICKS;
-    let mut rows = Vec::new();
-    for (index, scenario) in sweep.iter().enumerate() {
-        let instance = scenario.instantiate(config.seed.wrapping_add(1300 + index as u64))?;
-        let graph = &instance.graph;
-        let n = graph.node_count();
-        let (initial, initial_label) = match scenario {
-            Scenario::ChordalRing { .. } => (
-                AveragingTimeEstimator::adversarial_initial(&instance.partition),
-                "arc-adversarial",
-            ),
-            _ => (
-                InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
-                    n,
-                    Some(&instance.partition),
-                    config.seed.wrapping_add(1400 + index as u64),
-                )?,
-                "uniform",
-            ),
-        };
-        let sim_config = SimulationConfig::new(config.seed.wrapping_add(1500 + index as u64))
-            // The global sampler draws ticks in O(1); the per-edge queue's
-            // heap would add an O(log |E|) factor per event.
-            .with_clock_model(ClockModel::GlobalUniform)
-            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
-            .with_max_events(4_000_000_000);
-        let start = std::time::Instant::now();
-        let mut simulator = AsyncSimulator::new(graph, initial, VanillaGossip::new(), sim_config)?;
-        let outcome = simulator.run()?;
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        rows.push(SimScaleRow {
-            family: instance.name.clone(),
-            n,
-            edges: graph.edge_count(),
-            initial: initial_label.to_string(),
-            ticks: outcome.total_ticks,
-            stop_time: outcome.elapsed_time,
-            stop_reason: format!("{:?}", outcome.stop_reason),
-            variance_ratio: outcome.variance_ratio(),
-            moment_refreshes: outcome.moment_refreshes,
-            wall_ms,
-            ticks_per_sec: outcome.total_ticks as f64 / (wall_ms / 1e3).max(1e-9),
-        });
-    }
+    let rows = sim_scale_rows(config, &sweep.values)?;
     let report = SimScaleReport {
         quick: config.quick,
         seed: config.seed,
@@ -1215,67 +1336,71 @@ impl serde::Serialize for RobustnessReport {
 /// Propagates graph-construction, fault-plan and simulation errors.
 pub fn run_robustness(config: &HarnessConfig) -> BenchResult<(RobustnessReport, Table)> {
     let sweep = sweep::robustness_sweep(config.quick);
-    let mut rows = Vec::new();
-    for (index, case) in sweep.iter().enumerate() {
-        let instance = case
-            .scenario
-            .instantiate(config.seed.wrapping_add(1600 + index as u64))?;
-        instance.validate_notation1()?;
-        let graph = &instance.graph;
-        let plan = case
-            .fault
-            .compile(&instance, config.seed.wrapping_add(1700 + index as u64));
-        let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
-        let base_config = SimulationConfig::new(config.seed.wrapping_add(1800 + index as u64))
-            .with_clock_model(ClockModel::GlobalUniform)
-            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000_000));
+    let rows =
+        config
+            .executor()
+            .try_map_indexed(sweep.len(), |index| -> BenchResult<RobustnessRow> {
+                let case = &sweep.values[index];
+                let instance = case
+                    .scenario
+                    .instantiate(config.seed.wrapping_add(1600 + index as u64))?;
+                instance.validate_notation1()?;
+                let graph = &instance.graph;
+                let plan = case
+                    .fault
+                    .compile(&instance, config.seed.wrapping_add(1700 + index as u64));
+                let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
+                let base_config =
+                    SimulationConfig::new(config.seed.wrapping_add(1800 + index as u64))
+                        .with_clock_model(ClockModel::GlobalUniform)
+                        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000_000));
 
-        let mut baseline_sim = AsyncSimulator::new(
-            graph,
-            initial.clone(),
-            VanillaGossip::new(),
-            base_config.clone(),
-        )?;
-        let baseline = baseline_sim.run()?;
+                let mut baseline_sim = AsyncSimulator::new(
+                    graph,
+                    initial.clone(),
+                    VanillaGossip::new(),
+                    base_config.clone(),
+                )?;
+                let baseline = baseline_sim.run()?;
 
-        let initial_mean = initial.mean();
-        let mut faulted_sim = AsyncSimulator::new(
-            graph,
-            initial,
-            VanillaGossip::new(),
-            base_config.with_fault_plan(plan.clone()),
-        )?;
-        let faulted = faulted_sim.run()?;
+                let initial_mean = initial.mean();
+                let mut faulted_sim = AsyncSimulator::new(
+                    graph,
+                    initial,
+                    VanillaGossip::new(),
+                    base_config.with_fault_plan(plan.clone()),
+                )?;
+                let faulted = faulted_sim.run()?;
 
-        // Worst surviving subgraph: remove everything the plan ever takes
-        // down and probe the weakest remaining island.
-        let mut view = gossip_graph::dynamic::DynamicGraphView::new(graph);
-        for edge in plan.edges_ever_down() {
-            view.kill_edge(edge)?;
-        }
-        for node in plan.nodes_ever_paused() {
-            view.kill_node(node)?;
-        }
-        let worst_lambda2 = view.worst_surviving_connectivity()?.unwrap_or(0.0);
+                // Worst surviving subgraph: remove everything the plan ever takes
+                // down and probe the weakest remaining island.
+                let mut view = gossip_graph::dynamic::DynamicGraphView::new(graph);
+                for edge in plan.edges_ever_down() {
+                    view.kill_edge(edge)?;
+                }
+                for node in plan.nodes_ever_paused() {
+                    view.kill_node(node)?;
+                }
+                let worst_lambda2 = view.worst_surviving_connectivity()?.unwrap_or(0.0);
 
-        rows.push(RobustnessRow {
-            family: instance.name.clone(),
-            fault: case.fault.name(),
-            n: graph.node_count(),
-            edges: graph.edge_count(),
-            drop_probability: case.fault.drop_probability(),
-            baseline_ticks: baseline.total_ticks,
-            ticks: faulted.total_ticks,
-            stop_reason: format!("{:?}", faulted.stop_reason),
-            variance_ratio: faulted.variance_ratio(),
-            mean_drift: (faulted.final_values.mean() - initial_mean).abs(),
-            delivered: faulted.fault_stats.delivered,
-            dropped: faulted.fault_stats.dropped,
-            edge_down_skips: faulted.fault_stats.edge_down_skips,
-            node_pause_skips: faulted.fault_stats.node_pause_skips,
-            worst_surviving_lambda2: worst_lambda2,
-        });
-    }
+                Ok(RobustnessRow {
+                    family: instance.name.clone(),
+                    fault: case.fault.name(),
+                    n: graph.node_count(),
+                    edges: graph.edge_count(),
+                    drop_probability: case.fault.drop_probability(),
+                    baseline_ticks: baseline.total_ticks,
+                    ticks: faulted.total_ticks,
+                    stop_reason: format!("{:?}", faulted.stop_reason),
+                    variance_ratio: faulted.variance_ratio(),
+                    mean_drift: (faulted.final_values.mean() - initial_mean).abs(),
+                    delivered: faulted.fault_stats.delivered,
+                    dropped: faulted.fault_stats.dropped,
+                    edge_down_skips: faulted.fault_stats.edge_down_skips,
+                    node_pause_skips: faulted.fault_stats.node_pause_skips,
+                    worst_surviving_lambda2: worst_lambda2,
+                })
+            })?;
     let report = RobustnessReport {
         quick: config.quick,
         seed: config.seed,
@@ -1321,6 +1446,355 @@ pub fn run_robustness(config: &HarnessConfig) -> BenchResult<(RobustnessReport, 
 }
 
 // ---------------------------------------------------------------------------
+// Perf: hot-loop throughput and parallel-estimator speedup.
+// ---------------------------------------------------------------------------
+
+/// One throughput row of the performance tier: a timed fault-free vanilla
+/// relaxation through the devirtualized hot loop.
+///
+/// `wall_ms` and `ticks_per_sec` are **wall-clock fields** and vary run to
+/// run; everything else is a pure function of the seed.  The CI determinism
+/// gate diffs the report with the wall-clock fields (and `jobs`) stripped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfThroughputRow {
+    /// Scenario name (from `Scenario::name`).
+    pub family: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Edge ticks processed until the run stopped (deterministic).
+    pub ticks: u64,
+    /// Why the run stopped (expected: `Converged`; deterministic).
+    pub stop_reason: String,
+    /// Final normalized variance (deterministic).
+    pub variance_ratio: f64,
+    /// Wall-clock milliseconds for the run (volatile).
+    pub wall_ms: f64,
+    /// Event throughput in ticks per wall-clock second (volatile).
+    pub ticks_per_sec: f64,
+}
+
+/// One estimator row of the performance tier: the Definition 1 estimator
+/// timed end-to-end serially and with the run fan-out, with a bitwise
+/// comparison of the two estimates built in — a perf measurement that
+/// doubles as a determinism oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfEstimatorRow {
+    /// Scenario name (from `Scenario::name`).
+    pub family: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Independent runs per estimate.
+    pub runs: usize,
+    /// The estimated averaging time — identical (bitwise) between the serial
+    /// and parallel estimates, or `run_perf` errors out.
+    pub averaging_time: f64,
+    /// Mean per-run settling time (deterministic).
+    pub mean_settling_time: f64,
+    /// Runs that confirmed convergence (deterministic).
+    pub confirmed_runs: usize,
+    /// Wall-clock milliseconds of the 1-job estimate (volatile).
+    pub wall_ms_serial: f64,
+    /// Wall-clock milliseconds of the N-job estimate (volatile).
+    pub wall_ms_parallel: f64,
+    /// `wall_ms_serial / wall_ms_parallel` (volatile).
+    pub speedup: f64,
+}
+
+/// The performance-tier report serialized to `BENCH_perf.json`.
+///
+/// Volatile fields — `jobs`, `wall_ms`, `wall_ms_serial`,
+/// `wall_ms_parallel`, `ticks_per_sec`, `speedup` — are the only ones that
+/// may differ between two runs at the same seed (or at different `--jobs`);
+/// CI strips exactly those lines before diffing the report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Whether the quick size grid was used.
+    pub quick: bool,
+    /// Harness seed.
+    pub seed: u64,
+    /// Resolved worker count of the parallel measurements (volatile: depends
+    /// on `--jobs` / `GOSSIP_JOBS` / the machine).
+    pub jobs: usize,
+    /// One timed relaxation per scale family.
+    pub throughput: Vec<PerfThroughputRow>,
+    /// One timed serial-vs-parallel estimator comparison per scale family.
+    pub estimator: Vec<PerfEstimatorRow>,
+}
+
+// Hand-written serde impls: the vendored derive is a no-op (vendor/README.md).
+impl serde::Serialize for PerfThroughputRow {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("family".to_string(), self.family.to_json_value()),
+            ("n".to_string(), self.n.to_json_value()),
+            ("edges".to_string(), self.edges.to_json_value()),
+            ("ticks".to_string(), self.ticks.to_json_value()),
+            ("stop_reason".to_string(), self.stop_reason.to_json_value()),
+            (
+                "variance_ratio".to_string(),
+                self.variance_ratio.to_json_value(),
+            ),
+            ("wall_ms".to_string(), self.wall_ms.to_json_value()),
+            (
+                "ticks_per_sec".to_string(),
+                self.ticks_per_sec.to_json_value(),
+            ),
+        ])
+    }
+}
+
+impl serde::Serialize for PerfEstimatorRow {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("family".to_string(), self.family.to_json_value()),
+            ("n".to_string(), self.n.to_json_value()),
+            ("runs".to_string(), self.runs.to_json_value()),
+            (
+                "averaging_time".to_string(),
+                self.averaging_time.to_json_value(),
+            ),
+            (
+                "mean_settling_time".to_string(),
+                self.mean_settling_time.to_json_value(),
+            ),
+            (
+                "confirmed_runs".to_string(),
+                self.confirmed_runs.to_json_value(),
+            ),
+            (
+                "wall_ms_serial".to_string(),
+                self.wall_ms_serial.to_json_value(),
+            ),
+            (
+                "wall_ms_parallel".to_string(),
+                self.wall_ms_parallel.to_json_value(),
+            ),
+            ("speedup".to_string(), self.speedup.to_json_value()),
+        ])
+    }
+}
+
+impl serde::Serialize for PerfReport {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("quick".to_string(), self.quick.to_json_value()),
+            ("seed".to_string(), self.seed.to_json_value()),
+            ("jobs".to_string(), self.jobs.to_json_value()),
+            ("throughput".to_string(), self.throughput.to_json_value()),
+            ("estimator".to_string(), self.estimator.to_json_value()),
+        ])
+    }
+}
+
+/// Runs the performance tier at explicit sizes — the test hook behind
+/// [`run_perf`], which supplies the standard quick/full grid.
+///
+/// * **Throughput**: one fault-free vanilla relaxation per scale family at
+///   `sim_n` nodes (global uniform clock, Definition 1 stop), timed; rows
+///   fan out over the harness executor.
+/// * **Estimator**: per scale family at `est_n` nodes, the Definition 1
+///   estimator (`est_runs` runs, adversarial start) timed end-to-end twice —
+///   once at 1 job, once at the resolved job count — and the two estimates
+///   compared **bitwise**.  Any divergence is an error, so the PERF tier is
+///   itself a serial-vs-parallel determinism oracle.  These comparisons run
+///   serially at the row level so the serial timing is not polluted by
+///   sibling rows on other cores.
+///
+/// # Errors
+///
+/// Propagates graph-construction and simulation errors, and reports a
+/// parallel estimate that diverges from its serial twin as an error.
+pub fn run_perf_sized(
+    config: &HarnessConfig,
+    sim_n: usize,
+    est_n: usize,
+    est_runs: usize,
+) -> BenchResult<(PerfReport, Table, Table)> {
+    let jobs = config.executor().jobs();
+
+    let suite = gossip_workloads::scenarios::sim_scale_suite(sim_n);
+    // ticks/s is this tier's headline metric, so the timed relaxations run
+    // strictly one at a time (a single-job executor) no matter what the
+    // harness job count is: concurrent siblings would contend for cache and
+    // memory bandwidth and deflate every row.  Four serial rows cost
+    // seconds; polluted throughput numbers poison the perf trajectory.
+    let throughput = Executor::new(1).try_map_indexed(
+        suite.len(),
+        |index| -> BenchResult<PerfThroughputRow> {
+            let scenario = &suite[index];
+            let instance = scenario.instantiate(config.seed.wrapping_add(1900 + index as u64))?;
+            let graph = &instance.graph;
+            let n = graph.node_count();
+            let initial = match scenario {
+                Scenario::ChordalRing { .. } => {
+                    AveragingTimeEstimator::adversarial_initial(&instance.partition)
+                }
+                _ => InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
+                    n,
+                    Some(&instance.partition),
+                    config.seed.wrapping_add(2000 + index as u64),
+                )?,
+            };
+            let sim_config = SimulationConfig::new(config.seed.wrapping_add(2100 + index as u64))
+                .with_clock_model(ClockModel::GlobalUniform)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
+                .with_max_events(4_000_000_000);
+            let start = std::time::Instant::now();
+            let mut simulator =
+                AsyncSimulator::new(graph, initial, VanillaGossip::new(), sim_config)?;
+            let outcome = simulator.run()?;
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            Ok(PerfThroughputRow {
+                family: instance.name.clone(),
+                n,
+                edges: graph.edge_count(),
+                ticks: outcome.total_ticks,
+                stop_reason: format!("{:?}", outcome.stop_reason),
+                variance_ratio: outcome.variance_ratio(),
+                wall_ms,
+                ticks_per_sec: outcome.total_ticks as f64 / (wall_ms / 1e3).max(1e-9),
+            })
+        },
+    )?;
+
+    let est_suite = gossip_workloads::scenarios::sim_scale_suite(est_n);
+    let mut estimator_rows = Vec::with_capacity(est_suite.len());
+    for (index, scenario) in est_suite.iter().enumerate() {
+        let instance = scenario.instantiate(config.seed.wrapping_add(2200 + index as u64))?;
+        let lower = bounds::theorem1_lower_bound(&instance.partition);
+        let base = EstimatorConfig::new(config.seed.wrapping_add(2300 + index as u64))
+            .with_runs(est_runs)
+            .with_max_time(60.0 * lower + 500.0);
+
+        let serial_start = std::time::Instant::now();
+        let serial = AveragingTimeEstimator::new(base.clone().with_jobs(Some(1))).estimate(
+            &instance.graph,
+            &instance.partition,
+            VanillaGossip::new,
+        )?;
+        let wall_ms_serial = serial_start.elapsed().as_secs_f64() * 1e3;
+
+        let parallel_start = std::time::Instant::now();
+        let parallel = AveragingTimeEstimator::new(base.with_jobs(Some(jobs))).estimate(
+            &instance.graph,
+            &instance.partition,
+            VanillaGossip::new,
+        )?;
+        let wall_ms_parallel = parallel_start.elapsed().as_secs_f64() * 1e3;
+
+        let bitwise_equal = serial == parallel
+            && serial
+                .settling_times
+                .iter()
+                .zip(parallel.settling_times.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !bitwise_equal {
+            return Err(format!(
+                "parallel estimate diverged from serial on {} at {} jobs: {:?} vs {:?}",
+                instance.name, jobs, parallel, serial
+            )
+            .into());
+        }
+
+        estimator_rows.push(PerfEstimatorRow {
+            family: instance.name.clone(),
+            n: instance.graph.node_count(),
+            runs: est_runs,
+            averaging_time: serial.averaging_time,
+            mean_settling_time: serial.mean_settling_time,
+            confirmed_runs: serial.confirmed_runs,
+            wall_ms_serial,
+            wall_ms_parallel,
+            speedup: wall_ms_serial / wall_ms_parallel.max(1e-9),
+        });
+    }
+
+    let report = PerfReport {
+        quick: config.quick,
+        seed: config.seed,
+        jobs,
+        throughput,
+        estimator: estimator_rows,
+    };
+
+    let descriptor = ExperimentId::Perf.descriptor();
+    let mut throughput_table = Table::new(
+        format!(
+            "{}: {} — hot-loop throughput",
+            descriptor.id, descriptor.title
+        ),
+        &[
+            "family",
+            "n",
+            "|E|",
+            "ticks",
+            "stop",
+            "var ratio",
+            "wall ms",
+            "ticks/s",
+        ],
+    );
+    for row in &report.throughput {
+        throughput_table.push_row(vec![
+            row.family.clone(),
+            row.n.to_string(),
+            row.edges.to_string(),
+            row.ticks.to_string(),
+            row.stop_reason.clone(),
+            fmt(row.variance_ratio),
+            fmt(row.wall_ms),
+            fmt(row.ticks_per_sec),
+        ]);
+    }
+    let mut estimator_table = Table::new(
+        format!(
+            "{}: {} — estimator at 1 vs {} jobs",
+            descriptor.id, descriptor.title, jobs
+        ),
+        &[
+            "family",
+            "n",
+            "runs",
+            "T_av",
+            "confirmed",
+            "wall ms (1 job)",
+            "wall ms (N jobs)",
+            "speedup",
+        ],
+    );
+    for row in &report.estimator {
+        estimator_table.push_row(vec![
+            row.family.clone(),
+            row.n.to_string(),
+            row.runs.to_string(),
+            fmt(row.averaging_time),
+            row.confirmed_runs.to_string(),
+            fmt(row.wall_ms_serial),
+            fmt(row.wall_ms_parallel),
+            fmt(row.speedup),
+        ]);
+    }
+    Ok((report, throughput_table, estimator_table))
+}
+
+/// Runs the performance tier on the standard grid: throughput relaxations at
+/// 2 048 (quick) / 16 384 (full) nodes, estimator comparisons at 256 / 512
+/// nodes with 6 / 12 runs.  See [`run_perf_sized`].
+///
+/// # Errors
+///
+/// See [`run_perf_sized`].
+pub fn run_perf(config: &HarnessConfig) -> BenchResult<(PerfReport, Table, Table)> {
+    if config.quick {
+        run_perf_sized(config, 2048, 256, 6)
+    } else {
+        run_perf_sized(config, 16384, 512, 12)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Convenience wrappers.
 // ---------------------------------------------------------------------------
 
@@ -1347,6 +1821,9 @@ pub fn run_all(config: &HarnessConfig) -> BenchResult<Vec<Table>> {
     tables.push(run_scale(config)?.1);
     tables.push(run_sim_scale(config)?.1);
     tables.push(run_robustness(config)?.1);
+    let (_, perf_throughput, perf_estimator) = run_perf(config)?;
+    tables.push(perf_throughput);
+    tables.push(perf_estimator);
     Ok(tables)
 }
 

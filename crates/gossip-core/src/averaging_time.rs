@@ -24,8 +24,16 @@
 //! the variance was still above the threshold when the run was cut off, and
 //! they are counted in [`AveragingTimeEstimate::censored_runs`] rather than
 //! aborting the whole estimate.
+//!
+//! The runs are i.i.d. sample paths — each a pure function of its derived
+//! per-run seed — so the estimator fans them out over a
+//! [`gossip_exec::Executor`] worker pool.  Results are collected **in run
+//! order**, which makes the estimate byte-identical to the serial one at any
+//! job count; [`EstimatorConfig::jobs`] (or the `GOSSIP_JOBS` environment
+//! variable) controls the pool width.
 
 use crate::{CoreError, Result};
+use gossip_exec::Executor;
 use gossip_graph::{Graph, Partition};
 use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig};
 use gossip_sim::handler::EdgeTickHandler;
@@ -61,6 +69,12 @@ pub struct EstimatorConfig {
     /// The quantile of settling times reported as the averaging time
     /// (default `1 − 1/e`, matching Definition 1).
     pub quantile: f64,
+    /// Worker threads the independent runs fan out over.  `None` (the
+    /// default) resolves `GOSSIP_JOBS`, then the machine's available
+    /// parallelism; `Some(1)` forces the serial path.  Every setting
+    /// produces byte-identical estimates — runs are collected in run order —
+    /// so this knob only changes wall-clock time.
+    pub jobs: Option<usize>,
 }
 
 impl EstimatorConfig {
@@ -77,6 +91,7 @@ impl EstimatorConfig {
             check_every_ticks: 1,
             clock_model: ClockModel::PerEdgeQueue,
             quantile: 1.0 - (-1.0f64).exp(),
+            jobs: None,
         }
     }
 
@@ -119,6 +134,13 @@ impl EstimatorConfig {
     /// Sets the reported quantile.
     pub fn with_quantile(mut self, quantile: f64) -> Self {
         self.quantile = quantile;
+        self
+    }
+
+    /// Sets the worker-thread override for the run fan-out (see
+    /// [`Self::jobs`]).
+    pub fn with_jobs(mut self, jobs: Option<usize>) -> Self {
+        self.jobs = jobs;
         self
     }
 
@@ -244,7 +266,10 @@ impl AveragingTimeEstimator {
     /// starting from the adversarial cut-aligned initial condition.
     ///
     /// `factory` is called once per run so that algorithms with internal
-    /// state (counters, RNGs, memory) start fresh each time.
+    /// state (counters, RNGs, memory) start fresh each time.  It must be
+    /// `Sync`: runs fan out over worker threads, each calling the factory
+    /// for its own fresh handler (the handler itself never crosses
+    /// threads).
     ///
     /// # Errors
     ///
@@ -257,7 +282,7 @@ impl AveragingTimeEstimator {
     ) -> Result<AveragingTimeEstimate>
     where
         H: EdgeTickHandler,
-        F: Fn() -> H,
+        F: Fn() -> H + Sync,
     {
         let initial = Self::adversarial_initial(partition);
         self.estimate_with_initial(graph, Some(partition), &initial, factory)
@@ -265,9 +290,17 @@ impl AveragingTimeEstimator {
 
     /// Estimates the averaging time from an explicit initial condition.
     ///
+    /// The independent runs are distributed over an [`Executor`] whose
+    /// width is [`EstimatorConfig::jobs`] (default: `GOSSIP_JOBS`, then the
+    /// available parallelism).  Results are collected in run order, so the
+    /// estimate — every settling time, the quantile, the censoring counts,
+    /// and any propagated error — is byte-identical to the serial one.
+    ///
     /// # Errors
     ///
-    /// Returns configuration errors and propagates simulation failures.
+    /// Returns configuration errors and propagates simulation failures (for
+    /// parallel runs, the failure of the lowest-numbered failing run, which
+    /// is exactly what the serial loop reported).
     pub fn estimate_with_initial<H, F>(
         &self,
         graph: &Graph,
@@ -277,15 +310,14 @@ impl AveragingTimeEstimator {
     ) -> Result<AveragingTimeEstimate>
     where
         H: EdgeTickHandler,
-        F: Fn() -> H,
+        F: Fn() -> H + Sync,
     {
         self.config.validate()?;
         let initial_variance = initial.variance();
-        let mut settling_times = Vec::with_capacity(self.config.runs);
-        let mut confirmed_runs = 0usize;
-        let mut censored_runs = 0usize;
 
-        for run in 0..self.config.runs {
+        // One task per run: a pure function of the derived per-run seed,
+        // returning (confirmed?, settling time).
+        let run_one = |run: usize| -> gossip_sim::Result<(bool, f64)> {
             let seed = derive_run_seed(self.config.seed, run as u64);
             let stop = StoppingRule::variance_ratio_below(
                 self.config.threshold * self.config.confirmation_factor,
@@ -308,13 +340,8 @@ impl AveragingTimeEstimator {
                 // not confirmed convergence when the budget ran out, but the
                 // settling observation up to that point is still valid.
                 Err(SimError::EventBudgetExhausted { .. }) => false,
-                Err(other) => return Err(other.into()),
+                Err(other) => return Err(other),
             };
-            if confirmed {
-                confirmed_runs += 1;
-            } else {
-                censored_runs += 1;
-            }
             // The engine tracked the last checked time with the normalized
             // variance still at or above the threshold — valid even when the
             // run ended in budget exhaustion.
@@ -323,6 +350,20 @@ impl AveragingTimeEstimator {
             } else {
                 simulator.settling_time()
             };
+            Ok((confirmed, settle))
+        };
+        let executor = Executor::with_override(self.config.jobs);
+        let observations = executor.try_map_indexed(self.config.runs, run_one)?;
+
+        let mut settling_times = Vec::with_capacity(self.config.runs);
+        let mut confirmed_runs = 0usize;
+        let mut censored_runs = 0usize;
+        for (confirmed, settle) in observations {
+            if confirmed {
+                confirmed_runs += 1;
+            } else {
+                censored_runs += 1;
+            }
             settling_times.push(settle);
         }
 
@@ -488,6 +529,56 @@ mod tests {
             algo_a.averaging_time,
             vanilla.averaging_time
         );
+    }
+
+    #[test]
+    fn parallel_estimates_are_byte_identical_to_serial() {
+        let (g, p) = dumbbell(6).unwrap();
+        let estimate_at = |jobs: usize| {
+            AveragingTimeEstimator::new(
+                EstimatorConfig::new(13)
+                    .with_runs(6)
+                    .with_max_time(2_000.0)
+                    .with_jobs(Some(jobs)),
+            )
+            .estimate(&g, &p, VanillaGossip::new)
+            .unwrap()
+        };
+        let serial = estimate_at(1);
+        for jobs in [2, 4, 16] {
+            let parallel = estimate_at(jobs);
+            assert_eq!(serial, parallel, "jobs = {jobs}");
+            for (a, b) in serial
+                .settling_times
+                .iter()
+                .zip(parallel.settling_times.iter())
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_error_matches_serial_first_failing_run() {
+        // A handler that poisons the state makes every run fail; serial and
+        // parallel estimators must report the same error (the lowest run's).
+        struct Poison;
+        impl gossip_sim::handler::EdgeTickHandler for Poison {
+            fn on_edge_tick(
+                &mut self,
+                values: &mut gossip_sim::values::NodeValues,
+                _ctx: &gossip_sim::handler::EdgeTickContext<'_>,
+            ) {
+                values.set(gossip_graph::NodeId(0), f64::NAN);
+            }
+        }
+        let (g, p) = dumbbell(4).unwrap();
+        let run = |jobs: usize| {
+            AveragingTimeEstimator::new(EstimatorConfig::new(3).with_runs(4).with_jobs(Some(jobs)))
+                .estimate(&g, &p, || Poison)
+                .unwrap_err()
+        };
+        assert_eq!(run(1).to_string(), run(4).to_string());
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub trait TickProcess {
 /// # Panics
 ///
 /// Panics if `rate` is not strictly positive.
+#[inline]
 pub fn exponential_sample<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
     // Inverse-CDF sampling; `1 - u` avoids ln(0).
@@ -145,24 +146,31 @@ impl EdgeClockQueue {
 }
 
 impl TickProcess for EdgeClockQueue {
+    #[inline]
     fn next_tick(&mut self) -> TickEvent {
-        let entry = self
-            .queue
-            .pop()
-            .expect("queue always holds one entry per edge");
-        self.now = entry.time;
+        // Re-arm in place through `peek_mut`: writing the fresh arrival time
+        // into the root entry and letting the `PeekMut` guard sift it down
+        // costs one sift instead of the two a pop + push pair would.  The
+        // delivered stream is unchanged: entries are totally ordered (ties
+        // broken by edge index, and no edge appears twice), so the pop order
+        // is the sorted order no matter how the heap is arranged internally
+        // — `queue_rearm_matches_reference_pop_push` pins this bit-for-bit.
+        let (time, edge) = {
+            let mut head = self
+                .queue
+                .peek_mut()
+                .expect("queue always holds one entry per edge");
+            let (time, edge) = (head.time, head.edge);
+            head.time = time + exponential_sample(&mut self.rng, self.rate);
+            (time, edge)
+        };
+        self.now = time;
         self.global_tick_count += 1;
-        self.edge_tick_counts[entry.edge.index()] += 1;
-        // Re-arm this edge's clock.
-        let next = entry.time + exponential_sample(&mut self.rng, self.rate);
-        self.queue.push(QueueEntry {
-            time: next,
-            edge: entry.edge,
-        });
+        self.edge_tick_counts[edge.index()] += 1;
         TickEvent {
-            time: entry.time,
-            edge: entry.edge,
-            edge_tick_count: self.edge_tick_counts[entry.edge.index()],
+            time,
+            edge,
+            edge_tick_count: self.edge_tick_counts[edge.index()],
             global_tick_count: self.global_tick_count,
         }
     }
@@ -171,6 +179,15 @@ impl TickProcess for EdgeClockQueue {
         self.now
     }
 }
+
+/// How many `(Δt, edge)` draws [`GlobalTickProcess`] precomputes per batch.
+///
+/// Batching amortizes the sampler's per-call overhead (rate recomputation,
+/// RNG dispatch) over the engine's hottest loop.  Draws inside a batch
+/// happen in exactly the per-tick order (`Exp` gap, then edge index), so the
+/// ChaCha stream — and therefore every seeded output — is bit-identical to
+/// the unbatched sampler's.
+const GLOBAL_TICK_BATCH: usize = 256;
 
 /// Superposition sampler: a global rate-`|E|` Poisson process with uniform
 /// edge assignment.
@@ -182,6 +199,10 @@ pub struct GlobalTickProcess {
     global_tick_count: u64,
     now: f64,
     rate_per_edge: f64,
+    /// Precomputed `(inter-arrival gap, edge index)` pairs, in draw order.
+    batch: Vec<(f64, usize)>,
+    /// Next unconsumed entry of `batch`.
+    batch_pos: usize,
 }
 
 impl GlobalTickProcess {
@@ -201,6 +222,8 @@ impl GlobalTickProcess {
             global_tick_count: 0,
             now: 0.0,
             rate_per_edge: 1.0,
+            batch: Vec::with_capacity(GLOBAL_TICK_BATCH),
+            batch_pos: 0,
         })
     }
 
@@ -208,13 +231,33 @@ impl GlobalTickProcess {
     pub fn edge_tick_count(&self, edge: EdgeId) -> u64 {
         self.edge_tick_counts[edge.index()]
     }
+
+    #[cold]
+    fn refill_batch(&mut self) {
+        let total_rate = self.rate_per_edge * self.edge_count as f64;
+        self.batch.clear();
+        for _ in 0..GLOBAL_TICK_BATCH {
+            // Draw order per event — gap first, then edge — matches the
+            // historical one-event-at-a-time sampler, keeping the stream
+            // bit-identical for every seed.
+            let gap = exponential_sample(&mut self.rng, total_rate);
+            let edge = self.rng.gen_range(0..self.edge_count);
+            self.batch.push((gap, edge));
+        }
+        self.batch_pos = 0;
+    }
 }
 
 impl TickProcess for GlobalTickProcess {
+    #[inline]
     fn next_tick(&mut self) -> TickEvent {
-        let total_rate = self.rate_per_edge * self.edge_count as f64;
-        self.now += exponential_sample(&mut self.rng, total_rate);
-        let edge = EdgeId(self.rng.gen_range(0..self.edge_count));
+        if self.batch_pos == self.batch.len() {
+            self.refill_batch();
+        }
+        let (gap, edge_index) = self.batch[self.batch_pos];
+        self.batch_pos += 1;
+        let edge = EdgeId(edge_index);
+        self.now += gap;
         self.global_tick_count += 1;
         self.edge_tick_counts[edge.index()] += 1;
         TickEvent {
@@ -286,6 +329,89 @@ mod tests {
             assert_eq!(ev.edge_tick_count, per_edge[ev.edge.index()]);
             assert_eq!(clock.edge_tick_count(ev.edge), ev.edge_tick_count);
             assert!((clock.now() - ev.time).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn queue_rearm_matches_reference_pop_push() {
+        // The production queue re-arms through `peek_mut` (one sift); this
+        // reference implementation is the historical pop + push (two sifts).
+        // Entries are totally ordered, so both must deliver the exact same
+        // tick stream — bit-for-bit, including re-arm draws.
+        struct Reference {
+            queue: BinaryHeap<QueueEntry>,
+            rng: ChaCha8Rng,
+            counts: Vec<u64>,
+            global: u64,
+        }
+        impl Reference {
+            fn new(graph: &Graph, seed: u64) -> Self {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let mut queue = BinaryHeap::new();
+                for edge in graph.edge_ids() {
+                    let t = exponential_sample(&mut rng, 1.0);
+                    queue.push(QueueEntry { time: t, edge });
+                }
+                Reference {
+                    queue,
+                    rng,
+                    counts: vec![0; graph.edge_count()],
+                    global: 0,
+                }
+            }
+            fn next_tick(&mut self) -> TickEvent {
+                let entry = self.queue.pop().unwrap();
+                self.global += 1;
+                self.counts[entry.edge.index()] += 1;
+                let next = entry.time + exponential_sample(&mut self.rng, 1.0);
+                self.queue.push(QueueEntry {
+                    time: next,
+                    edge: entry.edge,
+                });
+                TickEvent {
+                    time: entry.time,
+                    edge: entry.edge,
+                    edge_tick_count: self.counts[entry.edge.index()],
+                    global_tick_count: self.global,
+                }
+            }
+        }
+        for seed in [0u64, 7, 42, 0xDEAD] {
+            let g = complete(6).unwrap();
+            let mut production = EdgeClockQueue::new(&g, seed).unwrap();
+            let mut reference = Reference::new(&g, seed);
+            for tick in 0..5_000 {
+                let a = production.next_tick();
+                let b = reference.next_tick();
+                assert_eq!(a.edge, b.edge, "seed {seed} tick {tick}");
+                assert_eq!(
+                    a.time.to_bits(),
+                    b.time.to_bits(),
+                    "seed {seed} tick {tick}"
+                );
+                assert_eq!(a.edge_tick_count, b.edge_tick_count);
+                assert_eq!(a.global_tick_count, b.global_tick_count);
+            }
+        }
+    }
+
+    #[test]
+    fn global_batching_matches_reference_single_draws() {
+        // The batched sampler must consume the ChaCha stream in the exact
+        // per-event order (gap, then edge) of the historical unbatched
+        // implementation, across several batch refills.
+        let g = complete(5).unwrap();
+        let seed = 99u64;
+        let mut production = GlobalTickProcess::new(&g, seed).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let total_rate = g.edge_count() as f64;
+        let mut now = 0.0;
+        for tick in 0..(3 * GLOBAL_TICK_BATCH + 17) {
+            now += exponential_sample(&mut rng, total_rate);
+            let edge = EdgeId(rng.gen_range(0..g.edge_count()));
+            let ev = production.next_tick();
+            assert_eq!(ev.edge, edge, "tick {tick}");
+            assert_eq!(ev.time.to_bits(), now.to_bits(), "tick {tick}");
         }
     }
 

@@ -11,7 +11,7 @@ use crate::stopping::{SimulationStatus, StopReason, StoppingRule};
 use crate::trace::{Trace, TraceConfig, TraceRecorder};
 use crate::values::NodeValues;
 use crate::{Result, SimError};
-use gossip_graph::{Graph, Partition};
+use gossip_graph::{Edge, Graph, Partition};
 use serde::{Deserialize, Serialize};
 
 /// Which tick sampler the simulator uses.
@@ -218,6 +218,7 @@ enum Sampler {
 }
 
 impl Sampler {
+    #[inline]
     fn next_tick(&mut self) -> crate::clock::TickEvent {
         match self {
             Sampler::Queue(q) => q.next_tick(),
@@ -231,6 +232,11 @@ impl Sampler {
 /// See the crate-level documentation for an end-to-end example.
 pub struct AsyncSimulator<'g, H> {
     graph: &'g Graph,
+    /// Prevalidated edge table: the samplers only emit identifiers below the
+    /// edge count they were constructed with, so the hot loop indexes this
+    /// slice directly instead of going through the `Result`-returning
+    /// [`Graph::edge`] lookup on every tick.
+    edges: &'g [Edge],
     values: NodeValues,
     handler: H,
     config: SimulationConfig,
@@ -280,6 +286,7 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
         let initial_variance = initial.variance();
         Ok(AsyncSimulator {
             graph,
+            edges: graph.edges(),
             values: initial,
             handler,
             config,
@@ -335,6 +342,13 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
 
     /// Runs until the stopping rule fires.
     ///
+    /// The per-tick loop is monomorphized over whether faults and tracing
+    /// are configured: the common fault-free, trace-free path carries no
+    /// `Option` branches for either concern, and each variant is compiled
+    /// separately (see [`Self::run_loop`]).  The trace configuration and
+    /// partition are **taken** out of the config by the first call (they are
+    /// consumed by the recorder), not cloned on every call.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::EventBudgetExhausted`] if the hard event cap is hit
@@ -344,8 +358,8 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
         let mut recorder = self
             .config
             .trace
-            .clone()
-            .map(|cfg| TraceRecorder::new(cfg, self.config.partition.clone()));
+            .take()
+            .map(|cfg| TraceRecorder::new(cfg, self.config.partition.take()));
 
         // A run may be asked to stop before any event (e.g. zero initial
         // variance).
@@ -360,6 +374,37 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             return Ok(self.finish(0.0, 0, reason, recorder));
         }
 
+        let stopped = match (self.faults.is_some(), recorder.is_some()) {
+            (false, false) => self.run_loop::<false, false>(&mut recorder),
+            (false, true) => self.run_loop::<false, true>(&mut recorder),
+            (true, false) => self.run_loop::<true, false>(&mut recorder),
+            (true, true) => self.run_loop::<true, true>(&mut recorder),
+        };
+        let (time, ticks, reason) = match stopped {
+            Ok(stopped) => stopped,
+            Err(error) => {
+                // Hand the moved-in trace configuration and partition back
+                // so a later `run` on this simulator still traces.
+                if let Some(rec) = recorder {
+                    let (_, cfg, partition) = rec.finish_with_parts();
+                    self.config.trace = Some(cfg);
+                    self.config.partition = partition;
+                }
+                return Err(error);
+            }
+        };
+        Ok(self.finish(time, ticks, reason, recorder))
+    }
+
+    /// The per-tick loop, compiled once per `(FAULTS, TRACE)` combination so
+    /// the fault-free path has no injector branch and the untraced path no
+    /// recorder check.  The const parameters mirror `self.faults.is_some()`
+    /// and `recorder.is_some()` — [`Self::run`] is the only caller and keeps
+    /// them in sync.
+    fn run_loop<const FAULTS: bool, const TRACE: bool>(
+        &mut self,
+        recorder: &mut Option<TraceRecorder>,
+    ) -> Result<(f64, u64, StopReason)> {
         let mut ticks = 0u64;
         let mut time;
         loop {
@@ -369,7 +414,7 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             let event = self.sampler.next_tick();
             ticks = event.global_tick_count;
             time = event.time;
-            let edge = self.graph.edge(event.edge)?;
+            let edge = self.edges[event.edge.index()];
             let ctx = EdgeTickContext {
                 graph: self.graph,
                 edge,
@@ -383,19 +428,25 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             // half-applied), leaving the moment tracker untouched, while the
             // clock and time still advance — a down link loses messages, it
             // does not slow the network.
-            let delivered = match self.faults.as_mut() {
-                Some(injector) => {
-                    injector.classify(event.edge, edge, event.global_tick_count)
-                        == ContactFate::Delivered
-                }
-                None => true,
+            let delivered = if FAULTS {
+                let injector = self
+                    .faults
+                    .as_mut()
+                    .expect("FAULTS is only instantiated with an injector present");
+                injector.classify(event.edge, edge, event.global_tick_count)
+                    == ContactFate::Delivered
+            } else {
+                true
             };
             if delivered {
                 self.handler.on_edge_tick(&mut self.values, &ctx);
             }
 
-            if let Some(rec) = recorder.as_mut() {
-                rec.record(time, ticks, &self.values, false);
+            if TRACE {
+                recorder
+                    .as_mut()
+                    .expect("TRACE is only instantiated with a recorder present")
+                    .record(time, ticks, &self.values, false);
             }
 
             if self.config.variance_mode == VarianceMode::Incremental
@@ -469,7 +520,7 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                         // must still surface, not leak into the outcome).
                         self.values.check_finite()?;
                     }
-                    return Ok(self.finish(time, ticks, reason, recorder));
+                    return Ok((time, ticks, reason));
                 }
             }
         }
@@ -484,7 +535,13 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
     ) -> SimulationOutcome {
         let trace = recorder.map(|mut rec| {
             rec.record(time, ticks.max(1), &self.values, true);
-            rec.finish()
+            // Restore the moved-in trace configuration and partition so a
+            // later `run` on this simulator records again (they are taken,
+            // not cloned, at the top of `run`).
+            let (trace, cfg, partition) = rec.finish_with_parts();
+            self.config.trace = Some(cfg);
+            self.config.partition = partition;
+            trace
         });
         SimulationOutcome {
             final_variance: self.values.variance(),
@@ -675,6 +732,27 @@ mod tests {
         // The mean column is constant (mass conservation) across the trace.
         for p in trace.points() {
             assert!(p.mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tracing_survives_repeated_runs() {
+        // The trace configuration and partition are moved into the recorder
+        // (not cloned per run) and restored when the run finishes, so a
+        // second `run` on the same simulator must still record a trace with
+        // block statistics.
+        let (g, partition) = dumbbell(3).unwrap();
+        let config = SimulationConfig::new(2)
+            .with_partition(partition)
+            .with_trace(TraceConfig::every_ticks(1).with_block_statistics())
+            .with_stopping_rule(StoppingRule::max_ticks(25));
+        let mut sim = AsyncSimulator::new(&g, spike(6), Vanilla, config).unwrap();
+        let first = sim.run().unwrap();
+        let second = sim.run().unwrap();
+        for outcome in [&first, &second] {
+            let trace = outcome.trace.as_ref().expect("trace requested");
+            assert!(!trace.is_empty());
+            assert!(trace.points()[0].block_mean_one.is_some());
         }
     }
 

@@ -171,6 +171,20 @@ impl TraceRecorder {
             points: self.points,
         }
     }
+
+    /// Finishes recording and returns the trace together with the
+    /// configuration and partition the recorder was built from, so a driver
+    /// that moved them in (instead of cloning per run) can restore them for
+    /// a subsequent run.
+    pub fn finish_with_parts(self) -> (Trace, TraceConfig, Option<Partition>) {
+        (
+            Trace {
+                points: self.points,
+            },
+            self.config,
+            self.partition,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,8 @@
 pub use gossip_analysis as analysis;
 /// The paper's algorithms, estimator, and bounds (re-export of `gossip-core`).
 pub use gossip_core as core;
+/// Deterministic parallel run executor (re-export of `gossip-exec`).
+pub use gossip_exec as exec;
 /// Graph substrate (re-export of `gossip-graph`).
 pub use gossip_graph as graph;
 /// Dense linear algebra (re-export of `gossip-linalg`).
@@ -52,6 +54,7 @@ pub mod prelude {
     pub use gossip_core::diffusion::{FirstOrderDiffusion, SecondOrderDiffusion};
     pub use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoefficient};
     pub use gossip_core::two_time_scale::TwoTimeScaleGossip;
+    pub use gossip_exec::Executor;
     pub use gossip_graph::dynamic::DynamicGraphView;
     pub use gossip_graph::generators::{
         barbell, bridged_clusters, chordal_ring, complete, dumbbell, expander_barbell,

@@ -96,6 +96,18 @@ pub mod seeds {
     /// `fault_differential`: fault-plan drop/churn stream of the mixed-fault
     /// conservation runs.
     pub const FAULT_PLAN: u64 = 454;
+    /// `parallel_determinism`: estimator fan-out byte-identity oracle
+    /// (jobs 1 vs 2 vs 4).
+    pub const PARALLEL_ESTIMATOR: u64 = 461;
+    /// `parallel_determinism`: PERF report byte-identity oracle (volatile
+    /// fields stripped, jobs 1 vs 4).
+    pub const PARALLEL_PERF: u64 = 462;
+    /// `parallel_determinism`: SIM_SCALE row byte-identity oracle
+    /// (jobs 1 vs 4).
+    pub const PARALLEL_SIM_SCALE: u64 = 463;
+    /// `parallel_determinism`: fully deterministic bench table (E9) rendered
+    /// at jobs 1 vs 4.
+    pub const PARALLEL_TABLE: u64 = 464;
 }
 
 /// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.
@@ -144,7 +156,7 @@ pub fn measure_averaging_time<H, F>(
 ) -> f64
 where
     H: EdgeTickHandler,
-    F: Fn() -> H,
+    F: Fn() -> H + Sync,
 {
     let estimate = shape_estimator(partition, seed, slack)
         .estimate(graph, partition, factory)

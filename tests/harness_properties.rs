@@ -202,6 +202,52 @@ fn clock_models_give_equivalent_averaging_times() {
     );
 }
 
+/// The exact tick streams of both samplers, pinned bit-for-bit.
+///
+/// This is the harness-level guard behind hot-loop refactors of the clock
+/// code (the `peek_mut` single-sift re-arm, the batched global sampler):
+/// any change that perturbs the delivered `(edge, time)` sequence — even
+/// while remaining distributionally correct — silently reshuffles every
+/// seeded experiment in the repository, so it must fail loudly here
+/// instead.  The reference-implementation equivalence tests live in
+/// `gossip-sim/src/clock.rs`; this pins the absolute stream.
+#[test]
+#[allow(clippy::excessive_precision)] // full-precision pins are the point
+fn clock_tick_streams_are_pinned_bit_for_bit() {
+    use sparse_cut_gossip::sim::clock::{EdgeClockQueue, GlobalTickProcess, TickProcess};
+    let (graph, _) = dumbbell_fixture(3);
+    let expected_queue = [
+        (3usize, 3.58098696363254809e-1f64),
+        (3, 4.93027336994565912e-1),
+        (6, 5.88955697031959824e-1),
+        (0, 5.98495752404341053e-1),
+        (5, 7.67048511208316519e-1),
+    ];
+    let expected_global = [
+        (3usize, 8.54993932006201524e-2f64),
+        (2, 2.75347942269882129e-1),
+        (3, 4.97170914808564401e-1),
+        (0, 5.81307442955987241e-1),
+        (2, 8.58302709213610182e-1),
+    ];
+    let mut queue = EdgeClockQueue::new(&graph, 2024).expect("graph has edges");
+    let mut global = GlobalTickProcess::new(&graph, 2024).expect("graph has edges");
+    for (clock, expected) in [
+        (
+            &mut queue as &mut dyn sparse_cut_gossip::sim::clock::TickProcess,
+            &expected_queue,
+        ),
+        (&mut global, &expected_global),
+    ] {
+        for (tick, &(edge, time)) in expected.iter().enumerate() {
+            let event = clock.next_tick();
+            assert_eq!(event.edge.index(), edge, "tick {tick}");
+            assert_eq!(event.time.to_bits(), time.to_bits(), "tick {tick}");
+        }
+        let _ = TickProcess::now(clock);
+    }
+}
+
 /// Exact determinism at the harness level: re-running the full estimator
 /// pipeline with the same seed reproduces the averaging time bit for bit.
 #[test]

@@ -19,7 +19,7 @@ use sparse_cut_gossip::prelude::*;
 fn measure<H, F>(half: usize, factory: F, seed: u64) -> (f64, f64)
 where
     H: EdgeTickHandler,
-    F: Fn() -> H,
+    F: Fn() -> H + Sync,
 {
     let (graph, partition) = dumbbell_fixture(half);
     let time = measure_averaging_time(&graph, &partition, factory, seed, 200.0);

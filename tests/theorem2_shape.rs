@@ -22,7 +22,7 @@ const SLACK: f64 = 400.0;
 fn averaging_time<H, F>(half: usize, factory: F, seed: u64) -> f64
 where
     H: EdgeTickHandler,
-    F: Fn() -> H,
+    F: Fn() -> H + Sync,
 {
     let (graph, partition) = dumbbell_fixture(half);
     measure_averaging_time(&graph, &partition, factory, seed, SLACK)
