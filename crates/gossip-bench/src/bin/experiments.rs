@@ -23,6 +23,12 @@
 //! value — only wall-clock columns vary — and `--jobs 1` reproduces the
 //! historical serial execution exactly.
 //!
+//! `--shards <k>` turns on intra-run sharding: every kernel-capable
+//! simulation the tiers build applies conflict-free event batches over `k`
+//! workers.  Sharded outputs are bit-identical at every `--shards` value
+//! (CI diffs `--shards 1` against `--shards 4`) but are a *different
+//! deterministic mode* from the default legacy loop, so the flag is opt-in.
+//!
 //! Whenever the SCALE experiment runs, its report (spectral quantities plus
 //! wall-clock timings of the sparse pipeline) is additionally written to
 //! `BENCH_scale.json` (path overridable with `--scale-json <path>`) to seed
@@ -43,7 +49,7 @@ use std::collections::BTreeSet;
 
 fn print_usage() {
     eprintln!(
-        "usage: experiments [--quick] [--seed <u64>] [--jobs <n>] \
+        "usage: experiments [--quick] [--seed <u64>] [--jobs <n>] [--shards <k>] \
          [--only E1 E2 ... SCALE SIM_SCALE ROBUSTNESS PERF] [--json <path>] \
          [--scale-json <path>] [--sim-scale-json <path>] \
          [--robustness-json <path>] [--perf-json <path>]"
@@ -81,6 +87,17 @@ fn main() {
                     Some(jobs) if jobs >= 1 => config.jobs = Some(jobs),
                     _ => {
                         eprintln!("--jobs requires a positive integer");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--shards" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<usize>().ok()) {
+                    Some(shards) if shards >= 1 => config.shards = Some(shards),
+                    _ => {
+                        eprintln!("--shards requires a positive integer");
                         print_usage();
                         std::process::exit(2);
                     }
@@ -226,10 +243,9 @@ fn main() {
             out.push(table);
         }
         if wanted("PERF") {
-            let (report, throughput_table, estimator_table) = runner::run_perf(&config)?;
+            let (report, perf_tables) = runner::run_perf(&config)?;
             *perf_report = Some(report);
-            out.push(throughput_table);
-            out.push(estimator_table);
+            out.extend(perf_tables);
         }
         Ok(out)
     };

@@ -27,7 +27,7 @@ use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoeff
 use gossip_core::two_time_scale::TwoTimeScaleGossip;
 use gossip_exec::Executor;
 use gossip_graph::{Graph, Partition};
-use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig};
+use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig, SimulationOutcome};
 use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
 use gossip_sim::sync::{RoundHandler, SyncConfig, SyncSimulator};
 use gossip_sim::values::NodeValues;
@@ -57,6 +57,13 @@ pub struct HarnessConfig {
     /// and reports (wall-clock columns aside) — rows are collected in input
     /// order.
     pub jobs: Option<usize>,
+    /// Intra-run sharding threaded into every simulation the tiers build
+    /// (see `SimulationConfig::shards`).  `None` (the default) keeps the
+    /// legacy per-tick loop and the historical byte-stable outputs;
+    /// `Some(k)` switches every kernel-capable simulation to the sharded
+    /// engine, whose deterministic outputs are bit-identical across every
+    /// shard count — CI diffs `--shards 1` against `--shards 4`.
+    pub shards: Option<usize>,
 }
 
 impl HarnessConfig {
@@ -66,6 +73,7 @@ impl HarnessConfig {
             quick: true,
             seed: 0xC0FFEE,
             jobs: None,
+            shards: None,
         }
     }
 
@@ -75,6 +83,7 @@ impl HarnessConfig {
             quick: false,
             seed: 0xC0FFEE,
             jobs: None,
+            shards: None,
         }
     }
 
@@ -99,6 +108,14 @@ impl HarnessConfig {
         Executor::with_override(self.jobs)
     }
 
+    /// Applies the harness-wide shard setting to a simulation config.
+    fn sharded(&self, sim_config: SimulationConfig) -> SimulationConfig {
+        match self.shards {
+            Some(shards) => sim_config.with_shards(shards),
+            None => sim_config,
+        }
+    }
+
     fn estimator(&self, seed_offset: u64, max_time: f64) -> AveragingTimeEstimator {
         // Stopping checks are O(1) against the incremental moment tracker,
         // so the estimator keeps its default per-tick resolution
@@ -115,7 +132,8 @@ impl HarnessConfig {
             EstimatorConfig::new(self.seed.wrapping_add(seed_offset))
                 .with_runs(self.runs())
                 .with_max_time(max_time)
-                .with_jobs(Some(1)),
+                .with_jobs(Some(1))
+                .with_shards(self.shards),
         )
     }
 }
@@ -327,8 +345,10 @@ pub fn run_e4(config: &HarnessConfig) -> BenchResult<(E4Result, Table)> {
     let horizon = if config.quick { 20.0 } else { 40.0 };
     let initial = AveragingTimeEstimator::adversarial_initial(&partition);
     let probe = CutTickProbe::new(VanillaGossip::new(), partition.clone());
-    let sim_config = SimulationConfig::new(config.seed.wrapping_add(4))
-        .with_stopping_rule(StoppingRule::max_time(horizon));
+    let sim_config = config.sharded(
+        SimulationConfig::new(config.seed.wrapping_add(4))
+            .with_stopping_rule(StoppingRule::max_time(horizon)),
+    );
     let mut simulator = AsyncSimulator::new(&graph, initial, probe, sim_config)?;
     let outcome = simulator.run()?;
     let probe = simulator.handler();
@@ -429,10 +449,12 @@ pub fn run_e5(config: &HarnessConfig) -> BenchResult<(Vec<E5Row>, Table)> {
                 let target_epochs: f64 = if config.quick { 12.0 } else { 25.0 };
                 let probe =
                     EpochProbe::new(algorithm, designated, epoch_ticks).with_renormalization();
-                let sim_config = SimulationConfig::new(config.seed.wrapping_add(50 + index as u64))
-                    .with_stopping_rule(StoppingRule::max_time(
-                        (target_epochs + 2.0) * epoch_ticks as f64,
-                    ));
+                let sim_config = config.sharded(
+                    SimulationConfig::new(config.seed.wrapping_add(50 + index as u64))
+                        .with_stopping_rule(StoppingRule::max_time(
+                            (target_epochs + 2.0) * epoch_ticks as f64,
+                        )),
+                );
                 let mut simulator = AsyncSimulator::new(&graph, initial, probe, sim_config)?;
                 let _ = simulator.run()?;
                 let probe = simulator.handler();
@@ -1130,12 +1152,14 @@ pub fn sim_scale_rows(
                     "uniform",
                 ),
             };
-            let sim_config = SimulationConfig::new(config.seed.wrapping_add(1500 + index as u64))
-                // The global sampler draws ticks in O(1); the per-edge
-                // queue's heap would add an O(log |E|) factor per event.
-                .with_clock_model(ClockModel::GlobalUniform)
-                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
-                .with_max_events(4_000_000_000);
+            let sim_config = config.sharded(
+                SimulationConfig::new(config.seed.wrapping_add(1500 + index as u64))
+                    // The global sampler draws ticks in O(1); the per-edge
+                    // queue's heap would add an O(log |E|) factor per event.
+                    .with_clock_model(ClockModel::GlobalUniform)
+                    .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
+                    .with_max_events(4_000_000_000),
+            );
             let start = std::time::Instant::now();
             let mut simulator =
                 AsyncSimulator::new(graph, initial, VanillaGossip::new(), sim_config)?;
@@ -1350,10 +1374,11 @@ pub fn run_robustness(config: &HarnessConfig) -> BenchResult<(RobustnessReport, 
                     .fault
                     .compile(&instance, config.seed.wrapping_add(1700 + index as u64));
                 let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
-                let base_config =
+                let base_config = config.sharded(
                     SimulationConfig::new(config.seed.wrapping_add(1800 + index as u64))
                         .with_clock_model(ClockModel::GlobalUniform)
-                        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000_000));
+                        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000_000)),
+                );
 
                 let mut baseline_sim = AsyncSimulator::new(
                     graph,
@@ -1475,10 +1500,27 @@ pub struct PerfThroughputRow {
     pub ticks_per_sec: f64,
 }
 
+/// One timed pass of an estimator comparison at a fixed job count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfJobTiming {
+    /// Worker count of this pass (volatile: the top of the grid depends on
+    /// `--jobs` / `GOSSIP_JOBS` / the machine).
+    pub jobs: usize,
+    /// Wall-clock milliseconds of the full estimate (volatile).
+    pub wall_ms: f64,
+    /// One-job wall clock divided by this pass's wall clock (volatile).
+    pub speedup: f64,
+}
+
 /// One estimator row of the performance tier: the Definition 1 estimator
-/// timed end-to-end serially and with the run fan-out, with a bitwise
-/// comparison of the two estimates built in — a perf measurement that
-/// doubles as a determinism oracle.
+/// timed end-to-end at every job count of the grid (1, 2, 4 and the
+/// resolved width, deduplicated), with a bitwise comparison of every
+/// parallel estimate against the one-job estimate built in — a perf
+/// measurement that doubles as a determinism oracle.
+///
+/// Each family's instance is sized so one run costs milliseconds to tens of
+/// milliseconds: the timed workload has to dwarf per-run dispatch, or the
+/// "speedup" would measure pool overhead instead of the estimator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfEstimatorRow {
     /// Scenario name (from `Scenario::name`).
@@ -1487,8 +1529,8 @@ pub struct PerfEstimatorRow {
     pub n: usize,
     /// Independent runs per estimate.
     pub runs: usize,
-    /// The estimated averaging time — identical (bitwise) between the serial
-    /// and parallel estimates, or `run_perf` errors out.
+    /// The estimated averaging time — identical (bitwise) at every job
+    /// count, or `run_perf` errors out.
     pub averaging_time: f64,
     /// Mean per-run settling time (deterministic).
     pub mean_settling_time: f64,
@@ -1496,18 +1538,54 @@ pub struct PerfEstimatorRow {
     pub confirmed_runs: usize,
     /// Wall-clock milliseconds of the 1-job estimate (volatile).
     pub wall_ms_serial: f64,
-    /// Wall-clock milliseconds of the N-job estimate (volatile).
+    /// Wall-clock milliseconds at the top of the job grid (volatile).
     pub wall_ms_parallel: f64,
     /// `wall_ms_serial / wall_ms_parallel` (volatile).
+    pub speedup: f64,
+    /// One timed pass per job count of the grid, ascending (the first entry
+    /// is the one-job pass the others are compared against).
+    pub timings: Vec<PerfJobTiming>,
+}
+
+/// One sharded-relaxation row of the performance tier: a single large
+/// vanilla relaxation through the sharded engine at one shard versus the
+/// configured shard width, with the bitwise-identity invariant checked in
+/// code.
+///
+/// Both runs use `SimulationConfig::shards` (`Some(1)` versus `Some(k)`), so
+/// they execute the *same* event schedule and merge order — only the lane
+/// fan-out differs — and every deterministic field must agree bit for bit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfShardRow {
+    /// Scenario name (from `Scenario::name`).
+    pub family: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Shard width of the parallel run (volatile: `--shards`, default 4).
+    pub shards: usize,
+    /// Edge ticks processed until the run stopped (deterministic).
+    pub ticks: u64,
+    /// Why the run stopped (expected: `Converged`; deterministic).
+    pub stop_reason: String,
+    /// Final normalized variance (deterministic).
+    pub variance_ratio: f64,
+    /// Wall-clock milliseconds of the one-shard run (volatile).
+    pub wall_ms_serial: f64,
+    /// Wall-clock milliseconds of the `shards`-wide run (volatile).
+    pub wall_ms_sharded: f64,
+    /// `wall_ms_serial / wall_ms_sharded` (volatile).
     pub speedup: f64,
 }
 
 /// The performance-tier report serialized to `BENCH_perf.json`.
 ///
-/// Volatile fields — `jobs`, `wall_ms`, `wall_ms_serial`,
-/// `wall_ms_parallel`, `ticks_per_sec`, `speedup` — are the only ones that
-/// may differ between two runs at the same seed (or at different `--jobs`);
-/// CI strips exactly those lines before diffing the report.
+/// Volatile fields — `jobs`, `shards`, `wall_ms`, `wall_ms_serial`,
+/// `wall_ms_parallel`, `wall_ms_sharded`, `ticks_per_sec`, `speedup` — are
+/// the only ones that may differ between two runs at the same seed (or at
+/// different `--jobs` / `--shards`); CI strips exactly those lines before
+/// diffing the report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PerfReport {
     /// Whether the quick size grid was used.
@@ -1517,10 +1595,14 @@ pub struct PerfReport {
     /// Resolved worker count of the parallel measurements (volatile: depends
     /// on `--jobs` / `GOSSIP_JOBS` / the machine).
     pub jobs: usize,
+    /// Shard width of the sharded-relaxation rows (volatile: `--shards`).
+    pub shards: usize,
     /// One timed relaxation per scale family.
     pub throughput: Vec<PerfThroughputRow>,
-    /// One timed serial-vs-parallel estimator comparison per scale family.
+    /// One timed estimator job-grid comparison per scale family.
     pub estimator: Vec<PerfEstimatorRow>,
+    /// Timed one-shard-versus-`shards` relaxations with the bitwise oracle.
+    pub sharded: Vec<PerfShardRow>,
 }
 
 // Hand-written serde impls: the vendored derive is a no-op (vendor/README.md).
@@ -1541,6 +1623,16 @@ impl serde::Serialize for PerfThroughputRow {
                 "ticks_per_sec".to_string(),
                 self.ticks_per_sec.to_json_value(),
             ),
+        ])
+    }
+}
+
+impl serde::Serialize for PerfJobTiming {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("jobs".to_string(), self.jobs.to_json_value()),
+            ("wall_ms".to_string(), self.wall_ms.to_json_value()),
+            ("speedup".to_string(), self.speedup.to_json_value()),
         ])
     }
 }
@@ -1572,6 +1664,33 @@ impl serde::Serialize for PerfEstimatorRow {
                 self.wall_ms_parallel.to_json_value(),
             ),
             ("speedup".to_string(), self.speedup.to_json_value()),
+            ("timings".to_string(), self.timings.to_json_value()),
+        ])
+    }
+}
+
+impl serde::Serialize for PerfShardRow {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("family".to_string(), self.family.to_json_value()),
+            ("n".to_string(), self.n.to_json_value()),
+            ("edges".to_string(), self.edges.to_json_value()),
+            ("shards".to_string(), self.shards.to_json_value()),
+            ("ticks".to_string(), self.ticks.to_json_value()),
+            ("stop_reason".to_string(), self.stop_reason.to_json_value()),
+            (
+                "variance_ratio".to_string(),
+                self.variance_ratio.to_json_value(),
+            ),
+            (
+                "wall_ms_serial".to_string(),
+                self.wall_ms_serial.to_json_value(),
+            ),
+            (
+                "wall_ms_sharded".to_string(),
+                self.wall_ms_sharded.to_json_value(),
+            ),
+            ("speedup".to_string(), self.speedup.to_json_value()),
         ])
     }
 }
@@ -1582,36 +1701,71 @@ impl serde::Serialize for PerfReport {
             ("quick".to_string(), self.quick.to_json_value()),
             ("seed".to_string(), self.seed.to_json_value()),
             ("jobs".to_string(), self.jobs.to_json_value()),
+            ("shards".to_string(), self.shards.to_json_value()),
             ("throughput".to_string(), self.throughput.to_json_value()),
             ("estimator".to_string(), self.estimator.to_json_value()),
+            ("sharded".to_string(), self.sharded.to_json_value()),
         ])
     }
+}
+
+/// The estimator scenarios of the performance tier, sized per family so a
+/// single run costs enough wall clock to dwarf per-run dispatch.
+///
+/// The naive choice — one size for all families, as the throughput section
+/// uses — made the chordal ring's runs finish in ~0.1 ms while the ring of
+/// cliques took ~150 ms: the fast family timed pool dispatch, the slow one
+/// blew the tier's budget.  The sparse-cut families are therefore sized
+/// *down* (their averaging time is Ω(n₁/|E₁₂|), so even small instances run
+/// ≥10 ms) and the cut-free chordal ring *up* (it relaxes in O(log n) time).
+fn perf_estimator_suite(est_n: usize) -> Vec<Scenario> {
+    vec![
+        Scenario::ChordalRing {
+            n: (est_n * 8).max(64),
+        },
+        Scenario::ExpanderDumbbell {
+            half: (est_n / 4).max(16),
+        },
+        Scenario::ExpanderBarbell {
+            left: (est_n / 6).max(8),
+            right: (est_n / 3).max(16),
+        },
+        Scenario::RingOfCliques {
+            cliques: (est_n / 64).max(3),
+            clique_size: 16,
+        },
+    ]
 }
 
 /// Runs the performance tier at explicit sizes — the test hook behind
 /// [`run_perf`], which supplies the standard quick/full grid.
 ///
 /// * **Throughput**: one fault-free vanilla relaxation per scale family at
-///   `sim_n` nodes (global uniform clock, Definition 1 stop), timed; rows
-///   fan out over the harness executor.
-/// * **Estimator**: per scale family at `est_n` nodes, the Definition 1
-///   estimator (`est_runs` runs, adversarial start) timed end-to-end twice —
-///   once at 1 job, once at the resolved job count — and the two estimates
-///   compared **bitwise**.  Any divergence is an error, so the PERF tier is
-///   itself a serial-vs-parallel determinism oracle.  These comparisons run
-///   serially at the row level so the serial timing is not polluted by
-///   sibling rows on other cores.
+///   `sim_n` nodes (global uniform clock, Definition 1 stop), timed
+///   strictly serially.
+/// * **Estimator**: per scale family (sizes from [`perf_estimator_suite`]),
+///   the Definition 1 estimator (`est_runs` runs, adversarial start) timed
+///   end-to-end at every job count of the grid `{1, 2, 4, resolved}`
+///   (deduplicated), after one untimed warmup pass that spawns the worker
+///   pool and faults the instance in.  Every parallel estimate is compared
+///   **bitwise** against the one-job estimate; any divergence is an error,
+///   so the PERF tier is itself a serial-vs-parallel determinism oracle.
+/// * **Sharded**: large single relaxations (`shard_n` nodes) through the
+///   sharded engine at one shard versus the configured width, timed, with
+///   the bitwise-identity invariant checked in code.
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors, and reports a
-/// parallel estimate that diverges from its serial twin as an error.
+/// Propagates graph-construction and simulation errors, and reports any
+/// parallel or sharded result that diverges from its serial twin as an
+/// error.
 pub fn run_perf_sized(
     config: &HarnessConfig,
     sim_n: usize,
     est_n: usize,
     est_runs: usize,
-) -> BenchResult<(PerfReport, Table, Table)> {
+    shard_n: usize,
+) -> BenchResult<(PerfReport, Vec<Table>)> {
     let jobs = config.executor().jobs();
 
     let suite = gossip_workloads::scenarios::sim_scale_suite(sim_n);
@@ -1637,10 +1791,12 @@ pub fn run_perf_sized(
                     config.seed.wrapping_add(2000 + index as u64),
                 )?,
             };
-            let sim_config = SimulationConfig::new(config.seed.wrapping_add(2100 + index as u64))
-                .with_clock_model(ClockModel::GlobalUniform)
-                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
-                .with_max_events(4_000_000_000);
+            let sim_config = config.sharded(
+                SimulationConfig::new(config.seed.wrapping_add(2100 + index as u64))
+                    .with_clock_model(ClockModel::GlobalUniform)
+                    .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
+                    .with_max_events(4_000_000_000),
+            );
             let start = std::time::Instant::now();
             let mut simulator =
                 AsyncSimulator::new(graph, initial, VanillaGossip::new(), sim_config)?;
@@ -1659,45 +1815,67 @@ pub fn run_perf_sized(
         },
     )?;
 
-    let est_suite = gossip_workloads::scenarios::sim_scale_suite(est_n);
+    let mut job_grid = vec![1, 2, 4, jobs];
+    job_grid.sort_unstable();
+    job_grid.dedup();
+    let max_jobs = *job_grid.last().expect("grid is non-empty");
+
+    let est_suite = perf_estimator_suite(est_n);
     let mut estimator_rows = Vec::with_capacity(est_suite.len());
     for (index, scenario) in est_suite.iter().enumerate() {
         let instance = scenario.instantiate(config.seed.wrapping_add(2200 + index as u64))?;
         let lower = bounds::theorem1_lower_bound(&instance.partition);
         let base = EstimatorConfig::new(config.seed.wrapping_add(2300 + index as u64))
             .with_runs(est_runs)
-            .with_max_time(60.0 * lower + 500.0);
+            .with_max_time(60.0 * lower + 500.0)
+            .with_shards(config.shards);
 
-        let serial_start = std::time::Instant::now();
-        let serial = AveragingTimeEstimator::new(base.clone().with_jobs(Some(1))).estimate(
-            &instance.graph,
-            &instance.partition,
-            VanillaGossip::new,
-        )?;
-        let wall_ms_serial = serial_start.elapsed().as_secs_f64() * 1e3;
+        // Untimed warmup: spawns (and parks) the pool workers, faults the
+        // instance's pages in, and fills the per-worker scratch arenas, so
+        // the first timed pass doesn't pay one-time setup costs.
+        AveragingTimeEstimator::new(
+            base.clone()
+                .with_runs(est_runs.min(2))
+                .with_jobs(Some(max_jobs)),
+        )
+        .estimate(&instance.graph, &instance.partition, VanillaGossip::new)?;
 
-        let parallel_start = std::time::Instant::now();
-        let parallel = AveragingTimeEstimator::new(base.with_jobs(Some(jobs))).estimate(
-            &instance.graph,
-            &instance.partition,
-            VanillaGossip::new,
-        )?;
-        let wall_ms_parallel = parallel_start.elapsed().as_secs_f64() * 1e3;
-
-        let bitwise_equal = serial == parallel
-            && serial
-                .settling_times
-                .iter()
-                .zip(parallel.settling_times.iter())
-                .all(|(a, b)| a.to_bits() == b.to_bits());
-        if !bitwise_equal {
-            return Err(format!(
-                "parallel estimate diverged from serial on {} at {} jobs: {:?} vs {:?}",
-                instance.name, jobs, parallel, serial
-            )
-            .into());
+        let mut baseline: Option<AveragingTimeEstimate> = None;
+        let mut timings: Vec<PerfJobTiming> = Vec::with_capacity(job_grid.len());
+        for &grid_jobs in &job_grid {
+            let start = std::time::Instant::now();
+            let estimate = AveragingTimeEstimator::new(base.clone().with_jobs(Some(grid_jobs)))
+                .estimate(&instance.graph, &instance.partition, VanillaGossip::new)?;
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            match &baseline {
+                None => baseline = Some(estimate),
+                Some(serial) => {
+                    let bitwise_equal = *serial == estimate
+                        && serial
+                            .settling_times
+                            .iter()
+                            .zip(estimate.settling_times.iter())
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if !bitwise_equal {
+                        return Err(format!(
+                            "parallel estimate diverged from serial on {} at {} jobs: \
+                             {:?} vs {:?}",
+                            instance.name, grid_jobs, estimate, serial
+                        )
+                        .into());
+                    }
+                }
+            }
+            let serial_wall = timings.first().map_or(wall_ms, |t| t.wall_ms);
+            timings.push(PerfJobTiming {
+                jobs: grid_jobs,
+                wall_ms,
+                speedup: serial_wall / wall_ms.max(1e-9),
+            });
         }
 
+        let serial = baseline.expect("the grid starts at one job");
+        let top = timings.last().expect("the grid is non-empty").clone();
         estimator_rows.push(PerfEstimatorRow {
             family: instance.name.clone(),
             n: instance.graph.node_count(),
@@ -1705,9 +1883,87 @@ pub fn run_perf_sized(
             averaging_time: serial.averaging_time,
             mean_settling_time: serial.mean_settling_time,
             confirmed_runs: serial.confirmed_runs,
+            wall_ms_serial: timings[0].wall_ms,
+            wall_ms_parallel: top.wall_ms,
+            speedup: top.speedup,
+            timings,
+        });
+    }
+
+    // Sharded relaxations: the same schedule at one shard versus the
+    // configured width must agree bit for bit (the merge-order invariant),
+    // while the wide run may only win wall clock.  The pool is already warm
+    // from the estimator grid above.
+    let shard_width = config.shards.unwrap_or(4).max(1);
+    let shard_suite = [
+        Scenario::ChordalRing { n: shard_n.max(3) },
+        Scenario::ExpanderDumbbell {
+            half: (shard_n / 2).max(3),
+        },
+    ];
+    let mut sharded_rows = Vec::with_capacity(shard_suite.len());
+    for (index, scenario) in shard_suite.iter().enumerate() {
+        let instance = scenario.instantiate(config.seed.wrapping_add(2400 + index as u64))?;
+        let graph = &instance.graph;
+        let n = graph.node_count();
+        let initial = match scenario {
+            Scenario::ChordalRing { .. } => {
+                AveragingTimeEstimator::adversarial_initial(&instance.partition)
+            }
+            _ => InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
+                n,
+                Some(&instance.partition),
+                config.seed.wrapping_add(2500 + index as u64),
+            )?,
+        };
+        let base = SimulationConfig::new(config.seed.wrapping_add(2600 + index as u64))
+            .with_clock_model(ClockModel::GlobalUniform)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
+            .with_max_events(4_000_000_000);
+        let run_at = |shards: usize| -> BenchResult<(SimulationOutcome, f64)> {
+            let start = std::time::Instant::now();
+            let mut simulator = AsyncSimulator::new(
+                graph,
+                initial.clone(),
+                VanillaGossip::new(),
+                base.clone().with_shards(shards),
+            )?;
+            let outcome = simulator.run()?;
+            Ok((outcome, start.elapsed().as_secs_f64() * 1e3))
+        };
+        let (serial_outcome, wall_ms_serial) = run_at(1)?;
+        let (sharded_outcome, wall_ms_sharded) = run_at(shard_width)?;
+
+        let bitwise_equal = serial_outcome.total_ticks == sharded_outcome.total_ticks
+            && serial_outcome.stop_reason == sharded_outcome.stop_reason
+            && serial_outcome.moment_refreshes == sharded_outcome.moment_refreshes
+            && serial_outcome.fault_stats == sharded_outcome.fault_stats
+            && serial_outcome.elapsed_time.to_bits() == sharded_outcome.elapsed_time.to_bits()
+            && serial_outcome
+                .final_values
+                .as_slice()
+                .iter()
+                .zip(sharded_outcome.final_values.as_slice().iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !bitwise_equal {
+            return Err(format!(
+                "sharded relaxation diverged from its one-shard twin on {} at {} shards",
+                instance.name, shard_width
+            )
+            .into());
+        }
+
+        sharded_rows.push(PerfShardRow {
+            family: instance.name.clone(),
+            n,
+            edges: graph.edge_count(),
+            shards: shard_width,
+            ticks: serial_outcome.total_ticks,
+            stop_reason: format!("{:?}", serial_outcome.stop_reason),
+            variance_ratio: serial_outcome.variance_ratio(),
             wall_ms_serial,
-            wall_ms_parallel,
-            speedup: wall_ms_serial / wall_ms_parallel.max(1e-9),
+            wall_ms_sharded,
+            speedup: wall_ms_serial / wall_ms_sharded.max(1e-9),
         });
     }
 
@@ -1715,8 +1971,10 @@ pub fn run_perf_sized(
         quick: config.quick,
         seed: config.seed,
         jobs,
+        shards: shard_width,
         throughput,
         estimator: estimator_rows,
+        sharded: sharded_rows,
     };
 
     let descriptor = ExperimentId::Perf.descriptor();
@@ -1750,8 +2008,8 @@ pub fn run_perf_sized(
     }
     let mut estimator_table = Table::new(
         format!(
-            "{}: {} — estimator at 1 vs {} jobs",
-            descriptor.id, descriptor.title, jobs
+            "{}: {} — estimator across the job grid (max {} jobs)",
+            descriptor.id, descriptor.title, max_jobs
         ),
         &[
             "family",
@@ -1760,11 +2018,18 @@ pub fn run_perf_sized(
             "T_av",
             "confirmed",
             "wall ms (1 job)",
-            "wall ms (N jobs)",
-            "speedup",
+            "wall ms (max)",
+            "speedup by jobs",
         ],
     );
     for row in &report.estimator {
+        let speedups = row
+            .timings
+            .iter()
+            .skip(1)
+            .map(|t| format!("{}:{}", t.jobs, fmt(t.speedup)))
+            .collect::<Vec<_>>()
+            .join(" ");
         estimator_table.push_row(vec![
             row.family.clone(),
             row.n.to_string(),
@@ -1773,24 +2038,62 @@ pub fn run_perf_sized(
             row.confirmed_runs.to_string(),
             fmt(row.wall_ms_serial),
             fmt(row.wall_ms_parallel),
+            if speedups.is_empty() {
+                "-".to_string()
+            } else {
+                speedups
+            },
+        ]);
+    }
+    let mut sharded_table = Table::new(
+        format!(
+            "{}: {} — sharded relaxation at 1 vs {} shards",
+            descriptor.id, descriptor.title, shard_width
+        ),
+        &[
+            "family",
+            "n",
+            "|E|",
+            "shards",
+            "ticks",
+            "stop",
+            "wall ms (1 shard)",
+            "wall ms (k shards)",
+            "speedup",
+        ],
+    );
+    for row in &report.sharded {
+        sharded_table.push_row(vec![
+            row.family.clone(),
+            row.n.to_string(),
+            row.edges.to_string(),
+            row.shards.to_string(),
+            row.ticks.to_string(),
+            row.stop_reason.clone(),
+            fmt(row.wall_ms_serial),
+            fmt(row.wall_ms_sharded),
             fmt(row.speedup),
         ]);
     }
-    Ok((report, throughput_table, estimator_table))
+    Ok((
+        report,
+        vec![throughput_table, estimator_table, sharded_table],
+    ))
 }
 
 /// Runs the performance tier on the standard grid: throughput relaxations at
-/// 2 048 (quick) / 16 384 (full) nodes, estimator comparisons at 256 / 512
-/// nodes with 6 / 12 runs.  See [`run_perf_sized`].
+/// 2 048 (quick) / 16 384 (full) nodes, estimator grids derived from 256 /
+/// 512 with 6 / 12 runs, sharded relaxations at 2 048 / 50 000 nodes.  See
+/// [`run_perf_sized`].
 ///
 /// # Errors
 ///
 /// See [`run_perf_sized`].
-pub fn run_perf(config: &HarnessConfig) -> BenchResult<(PerfReport, Table, Table)> {
+pub fn run_perf(config: &HarnessConfig) -> BenchResult<(PerfReport, Vec<Table>)> {
     if config.quick {
-        run_perf_sized(config, 2048, 256, 6)
+        run_perf_sized(config, 2048, 256, 6, 2048)
     } else {
-        run_perf_sized(config, 16384, 512, 12)
+        run_perf_sized(config, 16384, 512, 12, 50_000)
     }
 }
 
@@ -1821,9 +2124,8 @@ pub fn run_all(config: &HarnessConfig) -> BenchResult<Vec<Table>> {
     tables.push(run_scale(config)?.1);
     tables.push(run_sim_scale(config)?.1);
     tables.push(run_robustness(config)?.1);
-    let (_, perf_throughput, perf_estimator) = run_perf(config)?;
-    tables.push(perf_throughput);
-    tables.push(perf_estimator);
+    let (_, perf_tables) = run_perf(config)?;
+    tables.extend(perf_tables);
     Ok(tables)
 }
 

@@ -39,8 +39,17 @@ use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig};
 use gossip_sim::handler::EdgeTickHandler;
 use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
 use gossip_sim::values::NodeValues;
-use gossip_sim::SimError;
+use gossip_sim::{ClockScratch, SimError};
 use serde::{Deserialize, Serialize};
+
+/// Per-worker reusable buffers for the run fan-out: one state vector and one
+/// set of clock-queue buffers, recycled across every run a worker claims so
+/// the hot path stops allocating per derived seed.
+#[derive(Debug, Default)]
+struct RunScratch {
+    values: Option<NodeValues>,
+    clock: ClockScratch,
+}
 
 /// Configuration of the estimator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -75,6 +84,13 @@ pub struct EstimatorConfig {
     /// produces byte-identical estimates — runs are collected in run order —
     /// so this knob only changes wall-clock time.
     pub jobs: Option<usize>,
+    /// Intra-run sharding passed through to
+    /// [`SimulationConfig::shards`](gossip_sim::engine::SimulationConfig::shards):
+    /// `Some(k)` makes each simulation apply conflict-free event batches over
+    /// `k` workers (bit-identical across every shard count, including
+    /// `Some(1)`); `None` (the default) keeps the legacy per-tick loop.
+    /// Handlers without a pairwise kernel fall back to the legacy loop.
+    pub shards: Option<usize>,
 }
 
 impl EstimatorConfig {
@@ -92,6 +108,7 @@ impl EstimatorConfig {
             clock_model: ClockModel::PerEdgeQueue,
             quantile: 1.0 - (-1.0f64).exp(),
             jobs: None,
+            shards: None,
         }
     }
 
@@ -141,6 +158,12 @@ impl EstimatorConfig {
     /// [`Self::jobs`]).
     pub fn with_jobs(mut self, jobs: Option<usize>) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the intra-run shard count (see [`Self::shards`]).
+    pub fn with_shards(mut self, shards: Option<usize>) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -316,8 +339,11 @@ impl AveragingTimeEstimator {
         let initial_variance = initial.variance();
 
         // One task per run: a pure function of the derived per-run seed,
-        // returning (confirmed?, settling time).
-        let run_one = |run: usize| -> gossip_sim::Result<(bool, f64)> {
+        // returning (confirmed?, settling time).  Each worker recycles one
+        // `RunScratch` — its state vector and clock buffers — across all the
+        // runs it claims; the simulator rebuilds both from scratch-agnostic
+        // inputs, so recycling cannot leak state between runs.
+        let run_one = |scratch: &mut RunScratch, run: usize| -> gossip_sim::Result<(bool, f64)> {
             let seed = derive_run_seed(self.config.seed, run as u64);
             let stop = StoppingRule::variance_ratio_below(
                 self.config.threshold * self.config.confirmation_factor,
@@ -332,7 +358,23 @@ impl AveragingTimeEstimator {
             if let Some(p) = partition {
                 sim_config = sim_config.with_partition(p.clone());
             }
-            let mut simulator = AsyncSimulator::new(graph, initial.clone(), factory(), sim_config)?;
+            if let Some(shards) = self.config.shards {
+                sim_config = sim_config.with_shards(shards);
+            }
+            let run_initial = match scratch.values.take() {
+                Some(mut values) => {
+                    values.copy_from(initial);
+                    values
+                }
+                None => initial.clone(),
+            };
+            let mut simulator = AsyncSimulator::new_with_scratch(
+                graph,
+                run_initial,
+                factory(),
+                sim_config,
+                &mut scratch.clock,
+            )?;
             let confirmed = match simulator.run() {
                 Ok(outcome) => outcome.converged(),
                 // A run that exhausts its hard event budget is censored,
@@ -350,10 +392,13 @@ impl AveragingTimeEstimator {
             } else {
                 simulator.settling_time()
             };
+            let (_, values) = simulator.into_parts_with_scratch(&mut scratch.clock);
+            scratch.values = Some(values);
             Ok((confirmed, settle))
         };
         let executor = Executor::with_override(self.config.jobs);
-        let observations = executor.try_map_indexed(self.config.runs, run_one)?;
+        let observations =
+            executor.try_map_indexed_with(self.config.runs, RunScratch::default, run_one)?;
 
         let mut settling_times = Vec::with_capacity(self.config.runs);
         let mut confirmed_runs = 0usize;
@@ -554,6 +599,29 @@ mod tests {
                 .zip(parallel.settling_times.iter())
             {
                 assert_eq!(a.to_bits(), b.to_bits(), "jobs = {jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_estimates_are_byte_identical_across_shard_counts() {
+        let (g, p) = dumbbell(6).unwrap();
+        let estimate_at = |shards: usize| {
+            AveragingTimeEstimator::new(
+                EstimatorConfig::new(17)
+                    .with_runs(4)
+                    .with_max_time(2_000.0)
+                    .with_shards(Some(shards)),
+            )
+            .estimate(&g, &p, VanillaGossip::new)
+            .unwrap()
+        };
+        let one = estimate_at(1);
+        for shards in [2, 4] {
+            let sharded = estimate_at(shards);
+            assert_eq!(one, sharded, "shards = {shards}");
+            for (a, b) in one.settling_times.iter().zip(sharded.settling_times.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "shards = {shards}");
             }
         }
     }

@@ -8,14 +8,21 @@
 //! the repository's determinism gates depend on: **output is byte-identical
 //! to the serial order, regardless of thread count or scheduling.**
 //!
-//! The design is deliberately minimal (scoped `std::thread` workers, no
-//! external dependencies — the workspace is vendored-only):
+//! The design is deliberately minimal (std-only — the workspace is
+//! vendored-only):
 //!
+//! * Fan-outs run on a **persistent process-wide worker pool** (see
+//!   [`mod@pool`]): workers are spawned once and park between calls, so a
+//!   `map_indexed` call costs a mutex round-trip rather than a spawn and
+//!   join per worker.  PR-5's per-call `std::thread::scope` workers paid
+//!   ~50–100 µs of spawn/teardown each, which swallowed the entire parallel
+//!   gain on millisecond-scale runs — the measured ~1.0x "speedup" in the
+//!   old PERF tier.
 //! * Tasks are indexed `0..len`; workers pull the next index from a shared
 //!   atomic counter (dynamic load balancing, so a slow run does not stall a
 //!   whole stripe of fast ones).
 //! * Each result is written into the slot of its **input index**; after the
-//!   scope joins, slots are drained in index order.  Which thread computed a
+//!   fan-out drains, slots are read in index order.  Which thread computed a
 //!   result is therefore unobservable — ordered collection is what makes
 //!   parallel output bit-equal to serial output.
 //! * With one job (or one task) the executor runs inline on the caller's
@@ -26,16 +33,24 @@
 //!   finish), tasks below `i` — which the serial loop would have reached
 //!   first — still run, and the failure ultimately reported is the one with
 //!   the lowest index.  The caller sees exactly the error (or re-raised
-//!   panic payload, after every worker has been joined) that the serial
-//!   loop would have produced, without paying for the rest of the
-//!   workload.
+//!   panic payload, after every worker has drained) that the serial loop
+//!   would have produced, without paying for the rest of the workload.
+//! * [`Executor::try_map_indexed_with`] threads a lazily-created
+//!   **per-worker scratch arena** through consecutive claims, so a worker
+//!   that processes forty seeded runs allocates its buffers once, not forty
+//!   times.
 //!
 //! Job-count resolution follows the workspace convention: an explicit
 //! override (e.g. a `--jobs` flag) wins, then the `GOSSIP_JOBS` environment
 //! variable, then [`std::thread::available_parallelism`].
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed only inside `pool`, whose single
+// audited exception (a lifetime-erased task pointer) is what lets persistent
+// `'static` workers execute borrowed closures.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod pool;
 
 use std::panic;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -47,32 +62,62 @@ pub const JOBS_ENV_VAR: &str = "GOSSIP_JOBS";
 
 /// Resolves the effective worker count from an optional explicit override.
 ///
-/// Precedence: `explicit` (clamped to at least 1), then a parseable positive
-/// [`JOBS_ENV_VAR`], then [`std::thread::available_parallelism`] (1 if even
-/// that is unavailable).
+/// Precedence: `explicit` (clamped to at least 1), then [`JOBS_ENV_VAR`],
+/// then [`std::thread::available_parallelism`] (1 if even that is
+/// unavailable).  A `GOSSIP_JOBS` that is set but invalid — `0`, negative,
+/// or non-numeric — resolves to 1 with a one-time diagnostic on stderr; it
+/// never panics and never silently falls through to a different job count.
+/// An empty value is treated as unset.
 pub fn resolve_jobs(explicit: Option<usize>) -> usize {
+    let env = std::env::var(JOBS_ENV_VAR).ok();
+    let (jobs, complaint) = resolve_jobs_from(explicit, env.as_deref());
+    if let Some(complaint) = complaint {
+        static LOGGED: std::sync::Once = std::sync::Once::new();
+        LOGGED.call_once(|| eprintln!("gossip-exec: {complaint}"));
+    }
+    jobs
+}
+
+/// Pure core of [`resolve_jobs`]: resolves a job count from the explicit
+/// override and the raw environment value, returning the count plus an
+/// optional diagnostic describing a rejected environment value.
+///
+/// Exposed (and tested) separately so the `GOSSIP_JOBS` edge cases — `0`,
+/// non-numeric, surrounding whitespace, empty — have pinned behavior
+/// without tests mutating process-global environment state.
+pub fn resolve_jobs_from(explicit: Option<usize>, env: Option<&str>) -> (usize, Option<String>) {
     if let Some(jobs) = explicit {
-        return jobs.max(1);
+        return (jobs.max(1), None);
     }
-    if let Some(jobs) = std::env::var(JOBS_ENV_VAR)
-        .ok()
-        .and_then(|raw| raw.trim().parse::<usize>().ok())
-        .filter(|&jobs| jobs >= 1)
-    {
-        return jobs;
+    match env.map(str::trim) {
+        None | Some("") => (available_parallelism(), None),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(jobs) if jobs >= 1 => (jobs, None),
+            _ => (
+                1,
+                Some(format!(
+                    "{JOBS_ENV_VAR}={raw:?} is not a positive integer; running with 1 job"
+                )),
+            ),
+        },
     }
+}
+
+fn available_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-/// A fixed-width scoped worker pool with ordered result collection.
+/// A fixed-width view onto the persistent worker pool, with ordered result
+/// collection.
 ///
-/// The pool holds no threads between calls: each [`Executor::map_indexed`] /
-/// [`Executor::try_map_indexed`] call spawns its workers inside a
-/// [`std::thread::scope`] and joins them before returning, so borrows of the
-/// caller's stack (graphs, initial vectors, handler factories) flow into
-/// tasks without `'static` bounds or reference counting.
+/// The executor itself is a plain job count — cheap to copy, compare, and
+/// store in configs.  The threads live in the process-wide [`mod@pool`] and
+/// are shared by every executor; borrows of the caller's stack (graphs,
+/// initial vectors, handler factories) flow into tasks without `'static`
+/// bounds or reference counting because a fan-out call does not return
+/// until every participating worker has drained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Executor {
     jobs: usize,
@@ -106,14 +151,15 @@ impl Executor {
     ///
     /// `f` must be a pure function of its index for the parallel output to
     /// be byte-identical to the serial output; everything this workspace
-    /// fans out (seeded simulation runs, scenario rows) is.
+    /// fans out (seeded simulation runs, scenario rows, sharded tick lanes)
+    /// is.
     ///
     /// # Panics
     ///
     /// Re-raises the panic payload of the **lowest-index** panicking task —
     /// the one the serial loop would have hit — on the caller's thread,
-    /// after every worker has been joined.  Once a task panics, no task
-    /// above it is newly claimed.
+    /// after every worker has drained.  Once a task panics, no task above
+    /// it is newly claimed.
     pub fn map_indexed<T, F>(&self, len: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -123,7 +169,7 @@ impl Executor {
             return (0..len).map(f).collect();
         }
         let result: Result<Vec<T>, std::convert::Infallible> =
-            self.pooled(len, |index| Ok(f(index)));
+            self.pooled(len, |_scratch: &mut Option<()>, index| Ok(f(index)));
         match result {
             Ok(values) => values,
             Err(never) => match never {},
@@ -156,16 +202,55 @@ impl Executor {
         if self.jobs == 1 || len <= 1 {
             return (0..len).map(f).collect();
         }
-        self.pooled(len, f)
+        self.pooled(len, |_scratch: &mut Option<()>, index| f(index))
     }
 
-    /// The shared pool loop: ordered slots, increasing-index claiming, and
-    /// lowest-index failure tracking for both errors and panics.
-    fn pooled<T, E, F>(&self, len: usize, f: F) -> Result<Vec<T>, E>
+    /// Like [`Executor::try_map_indexed`], but threads a **per-worker
+    /// scratch arena** through the claim loop: each participating worker
+    /// calls `init` once (lazily, on its first claim) and then reuses that
+    /// scratch for every index it processes.
+    ///
+    /// This is the allocation-churn fix for hot fan-outs: a worker that
+    /// runs dozens of seeded simulations can reuse one set of value/clock
+    /// buffers instead of reallocating them per derived seed.  `f` must
+    /// leave the result *independent* of the scratch's prior contents (the
+    /// scratch is an arena, not an accumulator) — otherwise output would
+    /// depend on which worker processed which index.  Ordering, failure,
+    /// and panic semantics are identical to [`Executor::try_map_indexed`].
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-index failing task, if any.
+    pub fn try_map_indexed_with<S, T, E, I, F>(
+        &self,
+        len: usize,
+        init: I,
+        f: F,
+    ) -> Result<Vec<T>, E>
     where
         T: Send,
         E: Send,
-        F: Fn(usize) -> Result<T, E> + Sync,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> Result<T, E> + Sync,
+    {
+        if self.jobs == 1 || len <= 1 {
+            if len == 0 {
+                return Ok(Vec::new());
+            }
+            let mut scratch = init();
+            return (0..len).map(|index| f(&mut scratch, index)).collect();
+        }
+        self.pooled(len, f_with_init(init, f))
+    }
+
+    /// The shared fan-out: ordered slots, increasing-index claiming, and
+    /// lowest-index failure tracking for both errors and panics, executed
+    /// by pool workers plus the calling thread.
+    fn pooled<S, T, E, F>(&self, len: usize, f: F) -> Result<Vec<T>, E>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(&mut Option<S>, usize) -> Result<T, E> + Sync,
     {
         enum Failure<E> {
             Error(E),
@@ -188,34 +273,41 @@ impl Executor {
             }
         };
         let slots: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
-        let workers = self.jobs.min(len);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= len {
-                        break;
+        let participants = self.jobs.min(len);
+        let claim_loop = || {
+            // Per-participant scratch, created lazily inside the task
+            // closure (never before the first claim, never after a
+            // failure is already known).
+            let mut scratch: Option<S> = None;
+            loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= len {
+                    break;
+                }
+                if index > failed_at.load(Ordering::Relaxed) {
+                    continue;
+                }
+                // Tasks here are pure functions of their index whose
+                // every failure ends in an error return or a re-raised
+                // panic, so state a panic may have left behind in `f`'s
+                // captures is never observed through a normal return.
+                // (A panicking participant also never claims again: its
+                // own index becomes the skip threshold for everything
+                // above it, so a scratch the panic may have corrupted is
+                // never reused.)
+                match panic::catch_unwind(panic::AssertUnwindSafe(|| f(&mut scratch, index))) {
+                    Ok(Ok(value)) => {
+                        *slots[index].lock().expect(
+                            "result slot lock is never poisoned: each slot is \
+                             locked only around an infallible store",
+                        ) = Some(value);
                     }
-                    if index > failed_at.load(Ordering::Relaxed) {
-                        continue;
-                    }
-                    // Tasks here are pure functions of their index whose
-                    // every failure ends in an error return or a re-raised
-                    // panic, so state a panic may have left behind in `f`'s
-                    // captures is never observed through a normal return.
-                    match panic::catch_unwind(panic::AssertUnwindSafe(|| f(index))) {
-                        Ok(Ok(value)) => {
-                            *slots[index].lock().expect(
-                                "result slot lock is never poisoned: each slot is \
-                                 locked only around an infallible store",
-                            ) = Some(value);
-                        }
-                        Ok(Err(error)) => note_failure(index, Failure::Error(error)),
-                        Err(payload) => note_failure(index, Failure::Panic(payload)),
-                    }
-                });
+                    Ok(Err(error)) => note_failure(index, Failure::Error(error)),
+                    Err(payload) => note_failure(index, Failure::Panic(payload)),
+                }
             }
-        });
+        };
+        pool::run(participants - 1, &claim_loop);
         if let Some((_, failure)) = first_failure
             .into_inner()
             .expect("failure slot lock is never poisoned")
@@ -234,6 +326,19 @@ impl Executor {
             })
             .collect())
     }
+}
+
+/// Adapts a scratch-taking task to the `Option<S>`-scratch claim loop,
+/// initializing the scratch on first use.
+fn f_with_init<S, T, E, I, F>(
+    init: I,
+    f: F,
+) -> impl Fn(&mut Option<S>, usize) -> Result<T, E> + Sync
+where
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> Result<T, E> + Sync,
+{
+    move |scratch, index| f(scratch.get_or_insert_with(&init), index)
 }
 
 impl Default for Executor {
@@ -257,6 +362,31 @@ mod tests {
         assert!(Executor::from_env().jobs() >= 1);
         assert!(Executor::default().jobs() >= 1);
         assert_eq!(Executor::with_override(Some(5)).jobs(), 5);
+    }
+
+    #[test]
+    fn env_jobs_resolution_has_pinned_edge_cases() {
+        // Explicit override always wins, env untouched.
+        assert_eq!(resolve_jobs_from(Some(3), Some("0")), (3, None));
+        assert_eq!(resolve_jobs_from(Some(0), Some("8")), (1, None));
+        // Valid env values (with surrounding whitespace) are honored.
+        assert_eq!(resolve_jobs_from(None, Some("4")), (4, None));
+        assert_eq!(resolve_jobs_from(None, Some(" 2 ")), (2, None));
+        // Unset and empty fall through to available parallelism.
+        let (fallback, note) = resolve_jobs_from(None, None);
+        assert!(fallback >= 1);
+        assert!(note.is_none());
+        let (fallback, note) = resolve_jobs_from(None, Some("  "));
+        assert!(fallback >= 1);
+        assert!(note.is_none());
+        // Set-but-invalid values clamp to 1 *with a diagnostic* — never a
+        // panic, never a silent fall-through to a different width.
+        for bad in ["0", "-2", "abc", "1.5", "4x", "999999999999999999999999"] {
+            let (jobs, note) = resolve_jobs_from(None, Some(bad));
+            assert_eq!(jobs, 1, "GOSSIP_JOBS={bad:?}");
+            let note = note.expect("invalid value must produce a diagnostic");
+            assert!(note.contains(JOBS_ENV_VAR), "{note}");
+        }
     }
 
     #[test]
@@ -284,6 +414,66 @@ mod tests {
         });
         assert_eq!(calls.load(Ordering::Relaxed), 1000);
         assert_eq!(results, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn repeated_fanouts_reuse_the_pool() {
+        // Exercises the persistent pool across many consecutive calls from
+        // the same executor value; results must stay ordered and complete.
+        let executor = Executor::new(4);
+        for round in 0..32u64 {
+            let got = executor.map_indexed(64, |i| round * 1000 + i as u64);
+            let expected: Vec<u64> = (0..64).map(|i| round * 1000 + i).collect();
+            assert_eq!(got, expected, "round = {round}");
+        }
+    }
+
+    #[test]
+    fn scratch_is_reused_within_a_worker_and_results_stay_ordered() {
+        let inits = AtomicU64::new(0);
+        let result: Result<Vec<usize>, std::convert::Infallible> = Executor::new(4)
+            .try_map_indexed_with(
+                200,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    Vec::<u8>::with_capacity(1024)
+                },
+                |scratch, i| {
+                    scratch.clear();
+                    scratch.extend(std::iter::repeat_n(i as u8, 16));
+                    Ok(scratch.len() + i)
+                },
+            );
+        let values = result.unwrap();
+        assert_eq!(values, (0..200).map(|i| 16 + i).collect::<Vec<_>>());
+        // At most one scratch per participant (4 workers incl. the caller),
+        // not one per index — that is the whole point of the arena.
+        let created = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&created),
+            "expected ≤ 4 scratch arenas for 200 tasks, got {created}"
+        );
+    }
+
+    #[test]
+    fn scratch_variant_matches_serial_and_short_circuits_on_error() {
+        let serial: Result<Vec<u64>, String> =
+            Executor::new(1).try_map_indexed_with(50, || 0u64, |_s, i| Ok(i as u64 * 3));
+        let parallel: Result<Vec<u64>, String> =
+            Executor::new(4).try_map_indexed_with(50, || 0u64, |_s, i| Ok(i as u64 * 3));
+        assert_eq!(serial.unwrap(), parallel.unwrap());
+        let failing: Result<Vec<u64>, String> = Executor::new(4).try_map_indexed_with(
+            50,
+            || (),
+            |_s, i| {
+                if i >= 9 {
+                    Err(format!("task {i} failed"))
+                } else {
+                    Ok(i as u64)
+                }
+            },
+        );
+        assert_eq!(failing.unwrap_err(), "task 9 failed");
     }
 
     #[test]
@@ -379,6 +569,20 @@ mod tests {
             message.contains("deliberate failure in task 5"),
             "original payload must survive: {message:?}"
         );
+    }
+
+    #[test]
+    fn nested_fanouts_complete_with_correct_results() {
+        // A fan-out inside a fan-out (the shape of a sharded simulation
+        // inside a parallel estimator) must run inline on the outer
+        // participants without deadlocking the single-job pool.
+        let outer = Executor::new(3);
+        let got = outer.map_indexed(6, |i| {
+            let inner: Vec<usize> = Executor::new(3).map_indexed(5, |j| i * 10 + j);
+            inner.iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..6).map(|i| (0..5).map(|j| i * 10 + j).sum()).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

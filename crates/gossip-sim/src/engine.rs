@@ -4,9 +4,10 @@
 //! [`AsyncSimulator::run`] repeatedly draws the next edge tick, invokes the
 //! handler, updates the trace, and evaluates the stopping rule.
 
-use crate::clock::{EdgeClockQueue, GlobalTickProcess, TickProcess};
+use crate::clock::{ClockScratch, EdgeClockQueue, GlobalTickProcess, TickProcess};
 use crate::fault::{ContactFate, FaultInjector, FaultPlan, FaultStats};
 use crate::handler::{EdgeTickContext, EdgeTickHandler};
+use crate::shard::{BatchPlanner, SharedValues, BATCH_TICKS};
 use crate::stopping::{SimulationStatus, StopReason, StoppingRule};
 use crate::trace::{Trace, TraceConfig, TraceRecorder};
 use crate::values::NodeValues;
@@ -83,6 +84,21 @@ pub struct SimulationConfig {
     /// which [`FaultPlan::is_empty`] holds, are byte-identical to the
     /// fault-free engine.
     pub fault_plan: Option<FaultPlan>,
+    /// Intra-run sharding.  `None` (the default) runs the legacy serial
+    /// per-tick loop, byte-stable with earlier releases.  `Some(k)` switches
+    /// to the **sharded** engine: events are drawn serially (the RNG stream
+    /// is sequential by nature) but applied in conflict-free wavefront
+    /// rounds fanned out over up to `k` worker lanes, with a deterministic
+    /// (round, lane, event) merge order — so the outcome is bit-identical
+    /// for *every* shard count, `Some(1)` included, though it is a distinct
+    /// deterministic mode from `None` (stopping checks move to batch
+    /// granularity and the moment tracker sums lane partials in a different
+    /// float order).  Sharding requires a handler with a
+    /// [`pairwise_kernel`], [`VarianceMode::Incremental`], and no trace;
+    /// otherwise the engine silently falls back to the legacy loop.
+    ///
+    /// [`pairwise_kernel`]: crate::handler::EdgeTickHandler::pairwise_kernel
+    pub shards: Option<usize>,
 }
 
 impl SimulationConfig {
@@ -101,6 +117,7 @@ impl SimulationConfig {
             moment_refresh_every_ticks: DEFAULT_MOMENT_REFRESH_TICKS,
             settling_threshold: None,
             fault_plan: None,
+            shards: None,
         }
     }
 
@@ -163,6 +180,14 @@ impl SimulationConfig {
     /// Attaches a deterministic fault plan (see [`crate::fault`]).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Enables intra-run sharding with up to `shards` worker lanes (clamped
+    /// to at least 1; see [`Self::shards`] for the exact semantics and the
+    /// fallback conditions).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
         self
     }
 }
@@ -266,6 +291,31 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
         handler: H,
         config: SimulationConfig,
     ) -> Result<Self> {
+        Self::new_with_scratch(
+            graph,
+            initial,
+            handler,
+            config,
+            &mut ClockScratch::default(),
+        )
+    }
+
+    /// Like [`Self::new`], building the tick sampler from recycled buffers
+    /// (see [`ClockScratch`]); pair with [`Self::into_parts_with_scratch`]
+    /// to run many simulators with zero sampler allocation churn.  Buffer
+    /// reuse is bit-neutral: every seeded output is identical to
+    /// [`Self::new`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::new`].
+    pub fn new_with_scratch(
+        graph: &'g Graph,
+        initial: NodeValues,
+        handler: H,
+        config: SimulationConfig,
+        scratch: &mut ClockScratch,
+    ) -> Result<Self> {
         if initial.len() != graph.node_count() {
             return Err(SimError::StateSizeMismatch {
                 nodes: graph.node_count(),
@@ -278,10 +328,16 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             None => None,
         };
         let sampler = match config.clock_model {
-            ClockModel::PerEdgeQueue => Sampler::Queue(EdgeClockQueue::new(graph, config.seed)?),
-            ClockModel::GlobalUniform => {
-                Sampler::Global(GlobalTickProcess::new(graph, config.seed)?)
-            }
+            ClockModel::PerEdgeQueue => Sampler::Queue(EdgeClockQueue::new_with_scratch(
+                graph,
+                config.seed,
+                scratch,
+            )?),
+            ClockModel::GlobalUniform => Sampler::Global(GlobalTickProcess::new_with_scratch(
+                graph,
+                config.seed,
+                scratch,
+            )?),
         };
         let initial_variance = initial.variance();
         Ok(AsyncSimulator {
@@ -318,6 +374,17 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
     /// Consumes the simulator and returns the handler together with the final
     /// node values.
     pub fn into_parts(self) -> (H, NodeValues) {
+        (self.handler, self.values)
+    }
+
+    /// Like [`Self::into_parts`], additionally returning the sampler's
+    /// buffers to `scratch` so the next [`Self::new_with_scratch`] can reuse
+    /// them.
+    pub fn into_parts_with_scratch(self, scratch: &mut ClockScratch) -> (H, NodeValues) {
+        match self.sampler {
+            Sampler::Queue(queue) => queue.reclaim_scratch(scratch),
+            Sampler::Global(global) => global.reclaim_scratch(scratch),
+        }
         (self.handler, self.values)
     }
 
@@ -372,6 +439,19 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
         self.note_settling(&initial_status);
         if let Some(reason) = self.config.stopping_rule.evaluate(&initial_status) {
             return Ok(self.finish(0.0, 0, reason, recorder));
+        }
+
+        if let Some(shards) = self.config.shards {
+            // Sharding needs a pure pairwise kernel, the incremental moment
+            // tracker, and no trace; anything else falls through to the
+            // legacy loop below (`shards` is then ignored, not an error).
+            if recorder.is_none()
+                && self.config.variance_mode == VarianceMode::Incremental
+                && self.handler.pairwise_kernel().is_some()
+            {
+                let (time, ticks, reason) = self.run_sharded(shards)?;
+                return Ok(self.finish(time, ticks, reason, None));
+            }
         }
 
         let stopped = match (self.faults.is_some(), recorder.is_some()) {
@@ -526,6 +606,117 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
         }
     }
 
+    /// The sharded engine (see [`SimulationConfig::shards`]): events are
+    /// drawn and fault-classified serially in tick order — keeping both the
+    /// clock and drop RNG streams identical to the legacy loop's — then the
+    /// delivered events of each batch are applied in conflict-free wavefront
+    /// rounds fanned out over up to `shards` lanes with a deterministic
+    /// merge order ([`crate::shard`]).  Stopping, settling, recentring, and
+    /// overflow salvage run at **batch** granularity (batches are cut at
+    /// exact moment-refresh boundaries and the event cap), mirroring the
+    /// legacy per-check logic; every decision depends only on the event
+    /// sequence, so the run is bit-identical for every shard count.
+    fn run_sharded(&mut self, shards: usize) -> Result<(f64, u64, StopReason)> {
+        let kernel = self
+            .handler
+            .pairwise_kernel()
+            .expect("run() only dispatches here with a kernel present");
+        let executor = gossip_exec::Executor::new(shards);
+        let shared = SharedValues::from_values(&self.values);
+        let mut tracker = *self.values.moments();
+        let mut planner = BatchPlanner::new(self.values.len());
+        let mut snapshot: Vec<f64> = Vec::new();
+        let refresh_every = self.config.moment_refresh_every_ticks;
+        let mut time = 0.0_f64;
+        let mut ticks = 0_u64;
+        let stopped = loop {
+            if ticks >= self.config.max_events {
+                break Err(SimError::EventBudgetExhausted { events: ticks });
+            }
+            // Cut the batch at the next exact-refresh boundary and the event
+            // cap, so refreshes land on the exact same ticks as in a run
+            // with any other shard count.
+            let until_refresh = refresh_every - (ticks % refresh_every);
+            let batch = BATCH_TICKS
+                .min(until_refresh)
+                .min(self.config.max_events - ticks);
+            planner.clear();
+            for _ in 0..batch {
+                let event = self.sampler.next_tick();
+                time = event.time;
+                let edge = self.edges[event.edge.index()];
+                let delivered = match self.faults.as_mut() {
+                    Some(injector) => {
+                        injector.classify(event.edge, edge, event.global_tick_count)
+                            == ContactFate::Delivered
+                    }
+                    None => true,
+                };
+                if delivered {
+                    let (u, v) = edge.endpoints();
+                    planner.push(u.index(), v.index());
+                }
+            }
+            ticks += batch;
+            let (d_sum, d_sum_sq) = planner.apply(&executor, &shared, kernel, tracker.shift());
+            tracker.apply_delta(d_sum, d_sum_sq);
+
+            if ticks.is_multiple_of(refresh_every) {
+                shared.snapshot_into(&mut snapshot);
+                tracker.refresh(&snapshot);
+                self.moment_refreshes += 1;
+                if !tracker.is_finite() {
+                    // Same split as the legacy loop: a genuinely non-finite
+                    // value errors out; finite values whose squared
+                    // deviations overflow keep running as "not converged".
+                    check_finite_slice(&snapshot)?;
+                    self.moments_overflowed = true;
+                }
+            }
+
+            // Batch-granularity stopping check, mirroring the legacy loop's
+            // per-check recentring and one-shot overflow salvage.
+            if tracker.is_finite() {
+                self.moments_overflowed = false;
+                if tracker.needs_recenter() {
+                    shared.snapshot_into(&mut snapshot);
+                    tracker.refresh(&snapshot);
+                    self.moment_refreshes += 1;
+                }
+            } else if !self.moments_overflowed {
+                shared.snapshot_into(&mut snapshot);
+                check_finite_slice(&snapshot)?;
+                tracker.refresh(&snapshot);
+                self.moment_refreshes += 1;
+                if !tracker.is_finite() {
+                    self.moments_overflowed = true;
+                }
+            }
+            let status = SimulationStatus {
+                time,
+                ticks,
+                variance: tracker.variance(),
+                initial_variance: self.initial_variance,
+            };
+            self.note_settling(&status);
+            if let Some(reason) = self.config.stopping_rule.evaluate(&status) {
+                break Ok((time, ticks, reason));
+            }
+        };
+        // Install the evolved state back into `self.values` regardless of
+        // how the loop ended, so `values()` (and the terminal finiteness
+        // scan below) observe it just as they would after the legacy loop.
+        shared.snapshot_into(&mut snapshot);
+        self.values.overwrite_from_slice(&snapshot);
+        let (time, ticks, reason) = stopped?;
+        if self.moments_overflowed {
+            // The overflow flag suppressed per-batch finiteness scans; honor
+            // `run`'s error contract for the terminal state.
+            self.values.check_finite()?;
+        }
+        Ok((time, ticks, reason))
+    }
+
     fn finish(
         &mut self,
         time: f64,
@@ -566,6 +757,14 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
     }
 }
 
+/// `NodeValues::check_finite`, for a raw snapshot slice.
+fn check_finite_slice(values: &[f64]) -> Result<()> {
+    if let Some(node) = values.iter().position(|v| !v.is_finite()) {
+        return Err(SimError::NonFiniteValue { node });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +782,13 @@ mod tests {
 
         fn name(&self) -> &str {
             "vanilla"
+        }
+
+        fn pairwise_kernel(&self) -> Option<fn(f64, f64) -> (f64, f64)> {
+            Some(|xu, xv| {
+                let avg = 0.5 * (xu + xv);
+                (avg, avg)
+            })
         }
     }
 
@@ -781,8 +987,10 @@ mod tests {
             .with_variance_mode(VarianceMode::ExactEveryCheck)
             .with_moment_refresh_every_ticks(0)
             .with_settling_threshold(0.25)
-            .with_fault_plan(FaultPlan::new(3).with_drop_probability(0.1));
+            .with_fault_plan(FaultPlan::new(3).with_drop_probability(0.1))
+            .with_shards(0);
         assert_eq!(c.seed, 7);
+        assert_eq!(c.shards, Some(1), "with_shards clamps to at least 1");
         assert_eq!(
             c.fault_plan,
             Some(FaultPlan::new(3).with_drop_probability(0.1))
@@ -800,6 +1008,163 @@ mod tests {
         assert_eq!(d.moment_refresh_every_ticks, DEFAULT_MOMENT_REFRESH_TICKS);
         assert_eq!(d.settling_threshold, None);
         assert_eq!(d.fault_plan, None);
+        assert_eq!(d.shards, None);
+    }
+
+    #[test]
+    fn sharded_runs_are_bit_identical_across_shard_counts() {
+        // shards ∈ {1, 2, 4} must agree on everything observable — stop
+        // tick, final bits, refresh count, fault stats — under both clock
+        // models and with a fault plan in play.
+        let g = dumbbell(8).unwrap().0;
+        for model in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            let run = |shards: usize| {
+                let config = SimulationConfig::new(23)
+                    .with_clock_model(model)
+                    .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500_000))
+                    .with_moment_refresh_every_ticks(512)
+                    .with_settling_threshold(0.5)
+                    .with_fault_plan(FaultPlan::new(7).with_drop_probability(0.2))
+                    .with_shards(shards);
+                let mut sim = AsyncSimulator::new(&g, spike(16), Vanilla, config).unwrap();
+                sim.run().unwrap()
+            };
+            let one = run(1);
+            assert!(one.converged(), "{model:?}");
+            assert!(one.fault_stats.dropped > 0);
+            for shards in [2usize, 4] {
+                let many = run(shards);
+                assert_eq!(one.total_ticks, many.total_ticks, "{model:?} x{shards}");
+                assert_eq!(one.stop_reason, many.stop_reason);
+                assert_eq!(one.moment_refreshes, many.moment_refreshes);
+                assert_eq!(one.fault_stats, many.fault_stats);
+                assert_eq!(
+                    one.elapsed_time.to_bits(),
+                    many.elapsed_time.to_bits(),
+                    "{model:?} x{shards}"
+                );
+                assert_eq!(
+                    one.settling_time.unwrap().to_bits(),
+                    many.settling_time.unwrap().to_bits()
+                );
+                for (a, b) in one
+                    .final_values
+                    .as_slice()
+                    .iter()
+                    .zip(many.final_values.as_slice())
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{model:?} x{shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_run_conserves_mass_and_converges_like_serial() {
+        // The sharded mode is a different float schedule than the legacy
+        // loop, but it simulates the same process: same tick stream, same
+        // updates, sum conserved, and a genuine Definition 1 stop.
+        let g = complete(12).unwrap();
+        let initial = spike(12);
+        let mean = initial.mean();
+        let config = SimulationConfig::new(31)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(1_000_000))
+            .with_shards(4);
+        let mut sim = AsyncSimulator::new(&g, initial, Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert!(outcome.converged());
+        assert!((outcome.final_values.mean() - mean).abs() < 1e-9);
+        assert!(outcome.variance_ratio() < crate::stopping::DEFINITION1_THRESHOLD);
+    }
+
+    #[test]
+    fn sharding_without_a_kernel_falls_back_to_the_legacy_loop() {
+        // `NoOpHandler` has no pairwise kernel: `shards` must be ignored and
+        // the run must match the unsharded one byte for byte.
+        let g = complete(4).unwrap();
+        let run = |shards: Option<usize>| {
+            let mut config = SimulationConfig::new(5)
+                .with_stopping_rule(StoppingRule::definition1().or_max_time(3.0));
+            config.shards = shards;
+            let mut sim = AsyncSimulator::new(&g, spike(4), NoOpHandler, config).unwrap();
+            sim.run().unwrap()
+        };
+        let legacy = run(None);
+        let fallback = run(Some(4));
+        assert_eq!(legacy.total_ticks, fallback.total_ticks);
+        assert_eq!(
+            legacy.elapsed_time.to_bits(),
+            fallback.elapsed_time.to_bits()
+        );
+        assert_eq!(legacy.stop_reason, fallback.stop_reason);
+    }
+
+    #[test]
+    fn sharding_with_a_trace_falls_back_and_still_records() {
+        let (g, partition) = dumbbell(3).unwrap();
+        let config = SimulationConfig::new(2)
+            .with_partition(partition)
+            .with_trace(TraceConfig::every_ticks(1).with_block_statistics())
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000))
+            .with_shards(4);
+        let mut sim = AsyncSimulator::new(&g, spike(6), Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        let trace = outcome.trace.as_ref().expect("trace requested");
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn sharded_event_budget_guard_fires() {
+        let g = complete(4).unwrap();
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.0))
+            .with_max_events(10_000)
+            .with_shards(2);
+        let mut sim = AsyncSimulator::new(&g, spike(4), Vanilla, config).unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::EventBudgetExhausted { events: 10_000 })
+        ));
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_construction() {
+        let g = dumbbell(6).unwrap().0;
+        let config = SimulationConfig::new(17)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500_000));
+        let mut fresh = AsyncSimulator::new(&g, spike(12), Vanilla, config.clone()).unwrap();
+        let baseline = fresh.run().unwrap();
+
+        let mut scratch = ClockScratch::default();
+        // Dirty the scratch on an unrelated run first.
+        let small = complete(3).unwrap();
+        let sim = AsyncSimulator::new_with_scratch(
+            &small,
+            spike(3),
+            NoOpHandler,
+            SimulationConfig::new(1).with_stopping_rule(StoppingRule::max_ticks(64)),
+            &mut scratch,
+        )
+        .unwrap();
+        sim.into_parts_with_scratch(&mut scratch);
+
+        let mut recycled =
+            AsyncSimulator::new_with_scratch(&g, spike(12), Vanilla, config, &mut scratch).unwrap();
+        let outcome = recycled.run().unwrap();
+        assert_eq!(baseline.total_ticks, outcome.total_ticks);
+        assert_eq!(
+            baseline.elapsed_time.to_bits(),
+            outcome.elapsed_time.to_bits()
+        );
+        for (a, b) in baseline
+            .final_values
+            .as_slice()
+            .iter()
+            .zip(outcome.final_values.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        recycled.into_parts_with_scratch(&mut scratch);
     }
 
     #[test]

@@ -12,6 +12,12 @@
 use crate::values::NodeValues;
 use gossip_graph::{Edge, EdgeId, Graph};
 
+/// A pure endpoint update `(x_u, x_v) → (x_u', x_v')`.
+///
+/// See [`EdgeTickHandler::pairwise_kernel`] for the contract a handler takes
+/// on by exposing one.
+pub type PairwiseKernel = fn(f64, f64) -> (f64, f64);
+
 /// Everything an update rule may consult when an edge ticks.
 #[derive(Debug, Clone, Copy)]
 pub struct EdgeTickContext<'a> {
@@ -43,6 +49,21 @@ pub trait EdgeTickHandler {
     fn name(&self) -> &str {
         "unnamed"
     }
+
+    /// The update as a pure endpoint function `(x_u, x_v) → (x_u', x_v')`,
+    /// when the rule has one.
+    ///
+    /// Returning `Some` asserts the handler is **stateless and memoryless**:
+    /// the tick's effect depends only on the two incident values — not on
+    /// the context, internal handler state, or other nodes — and applying
+    /// the kernel is observably identical to calling
+    /// [`Self::on_edge_tick`].  The sharded engine
+    /// (`SimulationConfig::shards`) applies conflict-free event batches
+    /// through this kernel; handlers that return `None` (the default) make
+    /// the engine fall back to the serial per-tick loop.
+    fn pairwise_kernel(&self) -> Option<PairwiseKernel> {
+        None
+    }
 }
 
 impl<T: EdgeTickHandler + ?Sized> EdgeTickHandler for &mut T {
@@ -53,6 +74,10 @@ impl<T: EdgeTickHandler + ?Sized> EdgeTickHandler for &mut T {
     fn name(&self) -> &str {
         (**self).name()
     }
+
+    fn pairwise_kernel(&self) -> Option<PairwiseKernel> {
+        (**self).pairwise_kernel()
+    }
 }
 
 impl<T: EdgeTickHandler + ?Sized> EdgeTickHandler for Box<T> {
@@ -62,6 +87,10 @@ impl<T: EdgeTickHandler + ?Sized> EdgeTickHandler for Box<T> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn pairwise_kernel(&self) -> Option<PairwiseKernel> {
+        (**self).pairwise_kernel()
     }
 }
 

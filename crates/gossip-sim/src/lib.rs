@@ -70,14 +70,16 @@ pub mod engine;
 pub mod fault;
 pub mod handler;
 pub mod moments;
+mod shard;
 pub mod stopping;
 pub mod sync;
 pub mod trace;
 pub mod values;
 
+pub use clock::ClockScratch;
 pub use engine::{AsyncSimulator, SimulationConfig, SimulationOutcome, VarianceMode};
 pub use fault::{FaultPlan, FaultStats};
-pub use handler::{EdgeTickContext, EdgeTickHandler};
+pub use handler::{EdgeTickContext, EdgeTickHandler, PairwiseKernel};
 pub use moments::MomentTracker;
 pub use stopping::StoppingRule;
 pub use trace::{Trace, TraceConfig, TracePoint};

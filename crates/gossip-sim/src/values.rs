@@ -339,6 +339,34 @@ impl NodeValues {
         self.set(v, xv - delta);
     }
 
+    /// Overwrites this state with `source` — values *and* moment tracker —
+    /// without reallocating.  The result is bitwise identical to
+    /// `source.clone()`; the point is buffer reuse: a fan-out that replays
+    /// the same initial state across many runs (the averaging-time
+    /// estimator) copies into its per-worker buffer instead of allocating a
+    /// fresh vector per derived seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states have different lengths.
+    pub fn copy_from(&mut self, source: &NodeValues) {
+        assert_eq!(self.len(), source.len(), "copy_from requires equal lengths");
+        self.values
+            .as_mut_slice()
+            .copy_from_slice(source.values.as_slice());
+        self.moments = source.moments;
+    }
+
+    /// Crate-internal: overwrites the values from a raw slice and rebuilds
+    /// the tracker with an exact pass, **without** a finiteness check — the
+    /// sharded engine installs its (possibly poisoned) final state through
+    /// this before deciding whether to surface an error, mirroring how the
+    /// serial loop's state stays observable after a failed run.
+    pub(crate) fn overwrite_from_slice(&mut self, values: &[f64]) {
+        self.values.as_mut_slice().copy_from_slice(values);
+        self.moments = MomentTracker::from_slice(values);
+    }
+
     /// Checks that every entry is finite.
     ///
     /// # Errors

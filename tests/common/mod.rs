@@ -108,6 +108,13 @@ pub mod seeds {
     /// `parallel_determinism`: fully deterministic bench table (E9) rendered
     /// at jobs 1 vs 4.
     pub const PARALLEL_TABLE: u64 = 464;
+    /// `sharded_determinism`: scenario instantiation and clock seed of the
+    /// shards-{1,2,4} bit-identity oracle (offset by the case index).
+    pub const SHARDED_DETERMINISM: u64 = 471;
+    /// `sharded_determinism`: uniform initial vectors of the oracle runs.
+    pub const SHARDED_INITIAL: u64 = 472;
+    /// `sharded_determinism`: fault-plan stream of the faulted oracle runs.
+    pub const SHARDED_FAULT: u64 = 473;
 }
 
 /// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.

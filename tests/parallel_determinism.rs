@@ -23,6 +23,7 @@ fn strip_volatile(json: &str) -> String {
         .filter(|line| {
             ![
                 "\"jobs\":",
+                "\"shards\":",
                 "\"wall_ms",
                 "\"ticks_per_sec\":",
                 "\"speedup\":",
@@ -74,8 +75,9 @@ fn perf_report_is_byte_identical_across_job_counts() {
             quick: true,
             seed: seeds::PARALLEL_PERF,
             jobs: Some(jobs),
+            shards: None,
         };
-        let (report, _, _) = runner::run_perf_sized(&config, 256, 96, 4).expect("perf tier runs");
+        let (report, _) = runner::run_perf_sized(&config, 256, 96, 4, 256).expect("perf tier runs");
         report
     };
     let serial = report_at(1);
@@ -106,6 +108,7 @@ fn sim_scale_rows_are_byte_identical_across_job_counts() {
             quick: true,
             seed: seeds::PARALLEL_SIM_SCALE,
             jobs: Some(jobs),
+            shards: None,
         };
         runner::sim_scale_rows(&config, &suite).expect("sim-scale rows run")
     };
@@ -138,6 +141,7 @@ fn deterministic_bench_table_renders_identically_across_job_counts() {
             quick: true,
             seed: seeds::PARALLEL_TABLE,
             jobs: Some(jobs),
+            shards: None,
         };
         runner::run_e9(&config).expect("E9 runs").to_string()
     };

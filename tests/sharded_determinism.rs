@@ -1,0 +1,157 @@
+//! Sharded-engine bit-identity oracles.
+//!
+//! The sharded engine (`SimulationConfig::shards`) promises that the shard
+//! count only changes which worker applies an event lane — never the event
+//! schedule, the merge order, or a single bit of the result.  This suite
+//! pins that promise at shards 1 vs 2 vs 4 on every scale family, under
+//! both clock samplers, fault-free and under a mixed fault plan: the stop
+//! tick, the stop time, the final state vector, the fault counters, and the
+//! moment-refresh count must agree bit for bit.
+//!
+//! Seeds 471–473 (see `tests/common`).
+
+mod common;
+
+use common::seeds;
+use sparse_cut_gossip::prelude::*;
+
+/// Runs one sharded simulation and returns everything the oracle compares.
+fn run_case(
+    scenario: &Scenario,
+    case: u64,
+    clock: ClockModel,
+    fault: Option<FaultPlan>,
+    shards: usize,
+) -> (SimulationOutcome, Vec<u64>) {
+    let instance = scenario
+        .instantiate(seeds::SHARDED_DETERMINISM + case)
+        .expect("scenario instantiates");
+    let initial = match scenario {
+        Scenario::ChordalRing { .. } => InitialCondition::AdversarialCut
+            .generate(
+                instance.graph.node_count(),
+                Some(&instance.partition),
+                seeds::SHARDED_INITIAL + case,
+            )
+            .expect("initial generates"),
+        _ => InitialCondition::Uniform { lo: -1.0, hi: 1.0 }
+            .generate(
+                instance.graph.node_count(),
+                Some(&instance.partition),
+                seeds::SHARDED_INITIAL + case,
+            )
+            .expect("initial generates"),
+    };
+    let mut config = SimulationConfig::new(seeds::SHARDED_DETERMINISM + case)
+        .with_clock_model(clock)
+        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(50_000_000))
+        .with_shards(shards);
+    if let Some(plan) = fault {
+        config = config.with_fault_plan(plan);
+    }
+    let mut simulator = AsyncSimulator::new(&instance.graph, initial, VanillaGossip::new(), config)
+        .expect("simulator builds");
+    let outcome = simulator.run().expect("run succeeds");
+    let bits = outcome
+        .final_values
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    (outcome, bits)
+}
+
+/// Asserts that shards 1, 2 and 4 agree on every deterministic field.
+fn assert_shard_invariant(scenario: &Scenario, case: u64, clock: ClockModel, faulted: bool) {
+    let plan = |seed_offset: u64| {
+        faulted.then(|| {
+            FaultPlan::new(seeds::SHARDED_FAULT + case + seed_offset)
+                .with_drop_probability(0.2)
+                .with_edge_outage(EdgeId(0), 100, 5_000)
+                .with_node_pause(NodeId(1), 200, 3_000)
+        })
+    };
+    let label = format!("{scenario:?} under {clock:?} (faulted: {faulted})");
+    let (one, one_bits) = run_case(scenario, case, clock, plan(0), 1);
+    assert!(
+        one.total_ticks > 0,
+        "{label}: the oracle run must process events"
+    );
+    for shards in [2usize, 4] {
+        let (many, many_bits) = run_case(scenario, case, clock, plan(0), shards);
+        assert_eq!(
+            one.total_ticks, many.total_ticks,
+            "{label}: stop tick diverged at {shards} shards"
+        );
+        assert_eq!(
+            one.elapsed_time.to_bits(),
+            many.elapsed_time.to_bits(),
+            "{label}: stop time diverged at {shards} shards"
+        );
+        assert_eq!(
+            one.stop_reason, many.stop_reason,
+            "{label}: stop reason diverged at {shards} shards"
+        );
+        assert_eq!(
+            one.moment_refreshes, many.moment_refreshes,
+            "{label}: refresh count diverged at {shards} shards"
+        );
+        assert_eq!(
+            one.fault_stats, many.fault_stats,
+            "{label}: fault counters diverged at {shards} shards"
+        );
+        assert_eq!(
+            one_bits, many_bits,
+            "{label}: final state diverged at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn all_families_are_bit_identical_across_shard_counts_per_edge_queue() {
+    for (index, scenario) in gossip_workloads::scenarios::sim_scale_suite(128)
+        .iter()
+        .enumerate()
+    {
+        assert_shard_invariant(scenario, index as u64, ClockModel::PerEdgeQueue, false);
+    }
+}
+
+#[test]
+fn all_families_are_bit_identical_across_shard_counts_global_uniform() {
+    for (index, scenario) in gossip_workloads::scenarios::sim_scale_suite(128)
+        .iter()
+        .enumerate()
+    {
+        assert_shard_invariant(scenario, index as u64, ClockModel::GlobalUniform, false);
+    }
+}
+
+#[test]
+fn faulted_families_are_bit_identical_across_shard_counts() {
+    // The fault stream is classified serially in tick order regardless of
+    // the shard count, so churn and loss must not break the invariant —
+    // and the counters prove the faults actually engaged.
+    for (index, scenario) in gossip_workloads::scenarios::sim_scale_suite(128)
+        .iter()
+        .enumerate()
+    {
+        for clock in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            assert_shard_invariant(scenario, 100 + index as u64, clock, true);
+        }
+    }
+}
+
+#[test]
+fn faulted_oracle_runs_actually_suppress_contacts() {
+    let suite = gossip_workloads::scenarios::sim_scale_suite(128);
+    let plan = FaultPlan::new(seeds::SHARDED_FAULT)
+        .with_drop_probability(0.2)
+        .with_edge_outage(EdgeId(0), 100, 5_000)
+        .with_node_pause(NodeId(1), 200, 3_000);
+    let (outcome, _) = run_case(&suite[1], 100 + 1, ClockModel::GlobalUniform, Some(plan), 4);
+    assert!(
+        outcome.fault_stats.total_suppressed() > 0,
+        "the faulted oracle must exercise the fault path"
+    );
+}
