@@ -16,6 +16,8 @@
 //!   are dominated by a lazy `±log n` walk with negative drift.
 //! * [`concentration`] — Hoeffding/Chernoff-style tail bounds (the paper's
 //!   Theorem 3) and empirical tail frequencies to compare against them.
+//! * [`robust`] — outlier-resistant estimators (trimmed mean, MAD) and the
+//!   honest-subset drift oracles used by the adversary benchmark tier.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,11 +27,13 @@ pub mod dominance;
 pub mod histogram;
 pub mod random_walk;
 pub mod regression;
+pub mod robust;
 pub mod stats;
 
 pub use dominance::DominatingWalk;
 pub use regression::LinearFit;
-pub use stats::Summary;
+pub use robust::{honest_drift_bound, hull_drift_bound, median_absolute_deviation, trimmed_mean};
+pub use stats::{SortedSample, Summary};
 
 use std::error::Error;
 use std::fmt;

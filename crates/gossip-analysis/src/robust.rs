@@ -1,0 +1,212 @@
+//! Outlier-resistant estimators and adversary drift oracles.
+//!
+//! The estimators ([`trimmed_mean`], [`median_absolute_deviation`]) summarize
+//! samples that may contain Byzantine outliers without letting a few extreme
+//! values dominate.  The oracles bound how far an adversary can drag the
+//! **honest-subset mean** of a gossip run:
+//!
+//! * [`honest_drift_bound`] is exact for *mass-conserving* pairwise rules
+//!   (vanilla, trimmed-mean): an honest–honest contact conserves the honest
+//!   sum exactly, and a falsified contact moves the contacted honest value by
+//!   at most `|report − honest value|` (any convex combination of the two
+//!   stays that close), so the honest mean moves at most
+//!   `Σ|report − partner| / honest_count` over the whole run.  The simulator
+//!   accumulates that sum exactly as `AdversaryStats::falsification_l1`.
+//! * [`hull_drift_bound`] covers *non-conserving* rules (median-of-neighbors,
+//!   whose median step is not antisymmetric between honest pairs): every
+//!   update writes a convex combination of values already in the state and
+//!   reports injected into it, so all values — and hence the honest mean —
+//!   stay inside the convex hull of the initial values and all injected
+//!   reports.  The bound is the largest excursion that hull permits from the
+//!   clean consensus.
+
+use crate::stats::SortedSample;
+use crate::{AnalysisError, Result};
+
+/// Symmetrically trimmed mean: drop the `⌊n·trim_fraction⌋` smallest and
+/// largest values, then average the rest.
+///
+/// `trim_fraction = 0` is the plain mean; values approaching `0.5` keep only
+/// the middle of the distribution (at least one value always survives).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::EmptySample`] for an empty slice and
+/// [`AnalysisError::InvalidParameter`] if `trim_fraction ∉ [0, 0.5)` or the
+/// data contain NaN.
+pub fn trimmed_mean(sample: &[f64], trim_fraction: f64) -> Result<f64> {
+    if !(0.0..0.5).contains(&trim_fraction) {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("trim fraction must lie in [0, 0.5), got {trim_fraction}"),
+        });
+    }
+    let sorted = SortedSample::new(sample)?;
+    let n = sorted.len();
+    let cut = ((n as f64) * trim_fraction).floor() as usize;
+    let kept = &sorted.as_slice()[cut..n - cut];
+    debug_assert!(!kept.is_empty(), "cut < n/2 always leaves the middle");
+    Ok(kept.iter().sum::<f64>() / kept.len() as f64)
+}
+
+/// Median absolute deviation: `median(|x − median(x)|)`, the classic
+/// 50%-breakdown scale estimate (unscaled — multiply by 1.4826 for the
+/// normal-consistent version).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::EmptySample`] for an empty slice and
+/// [`AnalysisError::InvalidParameter`] for NaN data.
+pub fn median_absolute_deviation(sample: &[f64]) -> Result<f64> {
+    let center = SortedSample::new(sample)?.median();
+    let deviations: Vec<f64> = sample.iter().map(|x| (x - center).abs()).collect();
+    Ok(SortedSample::new(&deviations)?.median())
+}
+
+/// Drift bound for **mass-conserving** pairwise rules: the honest-subset
+/// mean moves at most `falsification_l1 / honest_count` from the clean run's
+/// honest mean, where `falsification_l1` is the run's accumulated
+/// `Σ|report − honest partner value|` (`AdversaryStats::falsification_l1`).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidParameter`] if `honest_count` is zero or
+/// `falsification_l1` is negative or non-finite.
+pub fn honest_drift_bound(falsification_l1: f64, honest_count: usize) -> Result<f64> {
+    if honest_count == 0 {
+        return Err(AnalysisError::InvalidParameter {
+            reason: "honest-subset drift needs at least one honest node".into(),
+        });
+    }
+    if !falsification_l1.is_finite() || falsification_l1 < 0.0 {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!(
+                "falsification mass must be finite and non-negative, got {falsification_l1}"
+            ),
+        });
+    }
+    Ok(falsification_l1 / honest_count as f64)
+}
+
+/// Drift bound for **hull-preserving** rules (every update writes a convex
+/// combination of current values and injected reports): the honest mean
+/// stays inside `[lo, hi]` where `lo = min(initial_min, report_min)` and
+/// `hi = max(initial_max, report_max)`, so its distance from
+/// `reference_mean` (the clean consensus) is at most the larger one-sided
+/// excursion that interval allows.
+///
+/// Runs with no injected reports pass `report_min = +∞` /
+/// `report_max = −∞` (the `AdversaryStats` defaults); the hull then
+/// degenerates to the initial range.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidParameter`] if the initial range is
+/// inverted or non-finite, if a report bound is NaN, or if `reference_mean`
+/// is non-finite or outside the hull (a reference the rule could never have
+/// produced).
+pub fn hull_drift_bound(
+    initial_min: f64,
+    initial_max: f64,
+    report_min: f64,
+    report_max: f64,
+    reference_mean: f64,
+) -> Result<f64> {
+    if !initial_min.is_finite() || !initial_max.is_finite() || initial_min > initial_max {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("invalid initial range [{initial_min}, {initial_max}]"),
+        });
+    }
+    if report_min.is_nan() || report_max.is_nan() {
+        return Err(AnalysisError::InvalidParameter {
+            reason: "report range contains NaN".into(),
+        });
+    }
+    if !reference_mean.is_finite() {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("reference mean must be finite, got {reference_mean}"),
+        });
+    }
+    let lo = initial_min.min(report_min);
+    let hi = initial_max.max(report_max);
+    if reference_mean < lo || reference_mean > hi {
+        return Err(AnalysisError::InvalidParameter {
+            reason: format!("reference mean {reference_mean} lies outside the hull [{lo}, {hi}]"),
+        });
+    }
+    Ok((hi - reference_mean).max(reference_mean - lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_drops_outliers_symmetrically() {
+        // One huge outlier among nine sane values: a 20% trim removes it
+        // (and the smallest value), recovering a sane center.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 1000.0];
+        let plain = trimmed_mean(&xs, 0.0).unwrap();
+        assert!(plain > 100.0, "untrimmed mean is dominated by the outlier");
+        let trimmed = trimmed_mean(&xs, 0.2).unwrap();
+        // floor(9 · 0.2) = 1 from each end: mean of 2..=8.
+        assert!((trimmed - 5.0).abs() < 1e-12);
+        // A heavier trim keeps only the middle.
+        assert_eq!(trimmed_mean(&[1.0, 5.0, 9.0], 0.4).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn trimmed_mean_validates_inputs() {
+        assert!(trimmed_mean(&[], 0.1).is_err());
+        assert!(trimmed_mean(&[1.0, f64::NAN], 0.1).is_err());
+        for bad in [-0.1, 0.5, 1.0, f64::NAN] {
+            assert!(trimmed_mean(&[1.0, 2.0], bad).is_err(), "fraction {bad}");
+        }
+        // fraction 0 equals the plain mean bitwise on sorted data.
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(trimmed_mean(&xs, 0.0).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn mad_is_robust_to_a_minority_of_outliers() {
+        let sane = [10.0, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9];
+        let mad_sane = median_absolute_deviation(&sane).unwrap();
+        let mut poisoned = sane.to_vec();
+        poisoned.push(1e6);
+        let mad_poisoned = median_absolute_deviation(&poisoned).unwrap();
+        // One outlier in eight barely moves the MAD, while it explodes the
+        // standard deviation.
+        assert!(mad_poisoned < 10.0 * (mad_sane + 0.1));
+        assert!(median_absolute_deviation(&[]).is_err());
+        assert_eq!(median_absolute_deviation(&[5.0, 5.0, 5.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn honest_drift_bound_is_the_per_capita_falsification_mass() {
+        assert_eq!(honest_drift_bound(12.0, 4).unwrap(), 3.0);
+        assert_eq!(honest_drift_bound(0.0, 7).unwrap(), 0.0);
+        assert!(honest_drift_bound(1.0, 0).is_err());
+        assert!(honest_drift_bound(-1.0, 3).is_err());
+        assert!(honest_drift_bound(f64::INFINITY, 3).is_err());
+        assert!(honest_drift_bound(f64::NAN, 3).is_err());
+    }
+
+    #[test]
+    fn hull_drift_bound_covers_initial_and_report_ranges() {
+        // Initial values in [0, 1], reports up to 5, consensus at 0.5: the
+        // worst one-sided excursion is toward the report ceiling.
+        assert_eq!(hull_drift_bound(0.0, 1.0, -0.5, 5.0, 0.5).unwrap(), 4.5);
+        // No reports (AdversaryStats defaults): the hull is the initial
+        // range.
+        assert_eq!(
+            hull_drift_bound(0.0, 1.0, f64::INFINITY, f64::NEG_INFINITY, 0.25).unwrap(),
+            0.75
+        );
+        assert!(hull_drift_bound(1.0, 0.0, 0.0, 0.0, 0.5).is_err());
+        assert!(hull_drift_bound(0.0, 1.0, f64::NAN, 1.0, 0.5).is_err());
+        assert!(hull_drift_bound(0.0, 1.0, 0.0, 1.0, f64::NAN).is_err());
+        assert!(
+            hull_drift_bound(0.0, 1.0, 0.0, 1.0, 2.0).is_err(),
+            "reference outside the hull"
+        );
+    }
+}

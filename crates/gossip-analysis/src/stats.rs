@@ -37,9 +37,88 @@ pub fn sample_std(sample: &[f64]) -> Result<f64> {
     Ok(sample_variance(sample)?.sqrt())
 }
 
+/// A sample validated and sorted **once**, for repeated order-statistic
+/// queries without the per-call clone-and-sort of [`quantile`].
+///
+/// Construction costs one `O(n log n)` sort; every subsequent
+/// [`Self::quantile`] is `O(1)` and bit-identical to the free function on
+/// the same data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedSample {
+    sorted: Vec<f64>,
+}
+
+impl SortedSample {
+    /// Validates and sorts a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::EmptySample`] for an empty slice and
+    /// [`AnalysisError::InvalidParameter`] if the data contain NaN.
+    pub fn new(sample: &[f64]) -> Result<Self> {
+        if sample.is_empty() {
+            return Err(AnalysisError::EmptySample);
+        }
+        if sample.iter().any(|x| x.is_nan()) {
+            return Err(AnalysisError::InvalidParameter {
+                reason: "sample contains NaN".into(),
+            });
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after the check above"));
+        Ok(SortedSample { sorted })
+    }
+
+    /// Number of data points (never zero).
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always `false` — construction rejects empty samples; provided for
+    /// clippy's `len_without_is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The data in ascending order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Empirical quantile by linear interpolation between order statistics
+    /// (`q = 0` is the minimum, `q = 1` the maximum), without re-sorting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidParameter`] if `q ∉ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(AnalysisError::InvalidParameter {
+                reason: format!("quantile must lie in [0, 1], got {q}"),
+            });
+        }
+        let position = q * (self.sorted.len() - 1) as f64;
+        let lower = position.floor() as usize;
+        let upper = position.ceil() as usize;
+        if lower == upper {
+            Ok(self.sorted[lower])
+        } else {
+            let fraction = position - lower as f64;
+            Ok(self.sorted[lower] * (1.0 - fraction) + self.sorted[upper] * fraction)
+        }
+    }
+
+    /// The median (the 0.5 quantile).
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5).expect("0.5 is a valid quantile")
+    }
+}
+
 /// Empirical quantile by linear interpolation between order statistics.
 ///
-/// `q = 0` returns the minimum, `q = 1` the maximum.
+/// `q = 0` returns the minimum, `q = 1` the maximum.  Clones and sorts the
+/// sample on every call — when querying several quantiles of one sample,
+/// build a [`SortedSample`] (or call [`quantiles`]) to sort once.
 ///
 /// # Errors
 ///
@@ -55,22 +134,18 @@ pub fn quantile(sample: &[f64], q: f64) -> Result<f64> {
             reason: format!("quantile must lie in [0, 1], got {q}"),
         });
     }
-    if sample.iter().any(|x| x.is_nan()) {
-        return Err(AnalysisError::InvalidParameter {
-            reason: "sample contains NaN".into(),
-        });
-    }
-    let mut sorted = sample.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after the check above"));
-    let position = q * (sorted.len() - 1) as f64;
-    let lower = position.floor() as usize;
-    let upper = position.ceil() as usize;
-    if lower == upper {
-        Ok(sorted[lower])
-    } else {
-        let fraction = position - lower as f64;
-        Ok(sorted[lower] * (1.0 - fraction) + sorted[upper] * fraction)
-    }
+    SortedSample::new(sample)?.quantile(q)
+}
+
+/// Several quantiles of one sample with a single sort, each value
+/// bit-identical to a standalone [`quantile`] call.
+///
+/// # Errors
+///
+/// See [`quantile`]; an invalid entry anywhere in `qs` fails the whole call.
+pub fn quantiles(sample: &[f64], qs: &[f64]) -> Result<Vec<f64>> {
+    let sorted = SortedSample::new(sample)?;
+    qs.iter().map(|&q| sorted.quantile(q)).collect()
 }
 
 /// Median (the 0.5 quantile).
@@ -151,15 +226,16 @@ impl Summary {
     /// Returns [`AnalysisError::EmptySample`] for an empty slice and
     /// [`AnalysisError::InvalidParameter`] for NaN data.
     pub fn of(sample: &[f64]) -> Result<Self> {
+        let sorted = SortedSample::new(sample)?;
         Ok(Summary {
             count: sample.len(),
             mean: mean(sample)?,
             std: sample_std(sample)?,
-            min: quantile(sample, 0.0)?,
-            q25: quantile(sample, 0.25)?,
-            median: quantile(sample, 0.5)?,
-            q75: quantile(sample, 0.75)?,
-            max: quantile(sample, 1.0)?,
+            min: sorted.quantile(0.0)?,
+            q25: sorted.quantile(0.25)?,
+            median: sorted.quantile(0.5)?,
+            q75: sorted.quantile(0.75)?,
+            max: sorted.quantile(1.0)?,
         })
     }
 }
@@ -191,6 +267,41 @@ mod tests {
         assert!(quantile(&[1.0, f64::NAN], 0.5).is_err());
         // Order does not matter.
         assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), median(&xs).unwrap());
+    }
+
+    #[test]
+    fn sorted_sample_matches_per_call_quantiles_bitwise() {
+        // Values whose interpolated quantiles are not exactly representable,
+        // so any arithmetic difference between the sort-once path and the
+        // per-call path would show up in the bits.
+        let xs = [0.3, 0.1, 0.7, 0.2, 0.9, 0.4, 0.65];
+        let sorted = SortedSample::new(&xs).unwrap();
+        assert_eq!(sorted.len(), 7);
+        assert!(!sorted.is_empty());
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.61, 0.75, 0.9, 1.0];
+        let multi = quantiles(&xs, &qs).unwrap();
+        for (&q, &got) in qs.iter().zip(multi.iter()) {
+            let reference = quantile(&xs, q).unwrap();
+            assert_eq!(got.to_bits(), reference.to_bits(), "q = {q}");
+            assert_eq!(
+                sorted.quantile(q).unwrap().to_bits(),
+                reference.to_bits(),
+                "q = {q}"
+            );
+        }
+        assert_eq!(sorted.median().to_bits(), median(&xs).unwrap().to_bits());
+        // The sorted view is ascending.
+        assert!(sorted.as_slice().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sorted_sample_and_quantiles_validate_like_quantile() {
+        assert!(SortedSample::new(&[]).is_err());
+        assert!(SortedSample::new(&[1.0, f64::NAN]).is_err());
+        assert!(SortedSample::new(&[1.0]).unwrap().quantile(1.5).is_err());
+        assert!(quantiles(&[], &[0.5]).is_err());
+        assert!(quantiles(&[1.0, 2.0], &[0.5, -0.1]).is_err());
+        assert_eq!(quantiles(&[1.0, 2.0], &[]).unwrap(), Vec::<f64>::new());
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //! cargo run -p gossip-bench --release --bin experiments -- --only SIM_SCALE
 //! cargo run -p gossip-bench --release --bin experiments -- --only ROBUSTNESS
 //! cargo run -p gossip-bench --release --bin experiments -- --only PERF --jobs 4
+//! cargo run -p gossip-bench --release --bin experiments -- --only ADVERSARY
 //! ```
+//!
+//! `--only` tokens are validated against the experiment index
+//! (`ExperimentId::cli_token`): an unknown token prints the valid set and
+//! exits with status 2 instead of silently running nothing.
 //!
 //! `--jobs <n>` bounds the deterministic run executor that fans scenario
 //! rows (and, in the PERF tier, estimator runs) out over worker threads;
@@ -34,25 +39,29 @@
 //! `BENCH_scale.json` (path overridable with `--scale-json <path>`) to seed
 //! the perf trajectory.  Likewise the SIM_SCALE experiment (asynchronous
 //! runs with O(1) per-tick Definition 1 stopping) writes
-//! `BENCH_sim_scale.json` (`--sim-scale-json <path>`), and the ROBUSTNESS
+//! `BENCH_sim_scale.json` (`--sim-scale-json <path>`), the ROBUSTNESS
 //! experiment (fault injection against fault-free baselines) writes
-//! `BENCH_robustness.json` (`--robustness-json <path>`); the robustness
-//! report carries no wall-clock fields, so CI diffs it byte-for-byte.  The
-//! PERF experiment (hot-loop throughput plus serial-vs-parallel estimator
+//! `BENCH_robustness.json` (`--robustness-json <path>`), and the ADVERSARY
+//! experiment (Byzantine attacks against vanilla and robust aggregation,
+//! with honest-subset drift oracles) writes `BENCH_adversary.json`
+//! (`--adversary-json <path>`); the robustness and adversary reports carry
+//! no wall-clock fields, so CI diffs them byte-for-byte.  The PERF
+//! experiment (hot-loop throughput plus serial-vs-parallel estimator
 //! timing with a built-in bitwise oracle) writes `BENCH_perf.json`
 //! (`--perf-json <path>`); CI diffs it across two runs at different
 //! `--jobs` after stripping the wall-clock and `jobs` fields.
 
 use gossip_bench::runner::{self, HarnessConfig};
 use gossip_bench::Table;
+use gossip_workloads::ExperimentId;
 use std::collections::BTreeSet;
 
 fn print_usage() {
     eprintln!(
         "usage: experiments [--quick] [--seed <u64>] [--jobs <n>] [--shards <k>] \
-         [--only E1 E2 ... SCALE SIM_SCALE ROBUSTNESS PERF] [--json <path>] \
+         [--only E1 E2 ... SCALE SIM_SCALE ROBUSTNESS PERF ADVERSARY] [--json <path>] \
          [--scale-json <path>] [--sim-scale-json <path>] \
-         [--robustness-json <path>] [--perf-json <path>]"
+         [--robustness-json <path>] [--perf-json <path>] [--adversary-json <path>]"
     );
 }
 
@@ -65,6 +74,11 @@ fn main() {
     let mut sim_scale_json_path = String::from("BENCH_sim_scale.json");
     let mut robustness_json_path = String::from("BENCH_robustness.json");
     let mut perf_json_path = String::from("BENCH_perf.json");
+    let mut adversary_json_path = String::from("BENCH_adversary.json");
+    let valid_tokens: BTreeSet<&'static str> = ExperimentId::all()
+        .iter()
+        .map(|id| id.cli_token())
+        .collect();
 
     let mut i = 0;
     while i < args.len() {
@@ -106,7 +120,17 @@ fn main() {
             "--only" => {
                 i += 1;
                 while i < args.len() && !args[i].starts_with("--") {
-                    only.insert(args[i].to_uppercase());
+                    let token = args[i].to_uppercase();
+                    if !valid_tokens.contains(token.as_str()) {
+                        eprintln!(
+                            "unknown experiment '{}' for --only; valid tokens: {}",
+                            args[i],
+                            valid_tokens.iter().copied().collect::<Vec<_>>().join(" ")
+                        );
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                    only.insert(token);
                     i += 1;
                 }
                 continue;
@@ -166,6 +190,17 @@ fn main() {
                     }
                 }
             }
+            "--adversary-json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => adversary_json_path = path.clone(),
+                    None => {
+                        eprintln!("--adversary-json requires a path");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print_usage();
                 return;
@@ -185,11 +220,13 @@ fn main() {
     let mut sim_scale_report: Option<runner::SimScaleReport> = None;
     let mut robustness_report: Option<runner::RobustnessReport> = None;
     let mut perf_report: Option<runner::PerfReport> = None;
+    let mut adversary_report: Option<runner::AdversaryReport> = None;
 
     let run = |scale_report: &mut Option<runner::ScaleReport>,
                sim_scale_report: &mut Option<runner::SimScaleReport>,
                robustness_report: &mut Option<runner::RobustnessReport>,
-               perf_report: &mut Option<runner::PerfReport>|
+               perf_report: &mut Option<runner::PerfReport>,
+               adversary_report: &mut Option<runner::AdversaryReport>|
      -> runner::BenchResult<Vec<Table>> {
         let mut out = Vec::new();
         if wanted("E1") || wanted("E2") || wanted("E3") {
@@ -247,6 +284,11 @@ fn main() {
             *perf_report = Some(report);
             out.extend(perf_tables);
         }
+        if wanted("ADVERSARY") {
+            let (report, table) = runner::run_adversary(&config)?;
+            *adversary_report = Some(report);
+            out.push(table);
+        }
         Ok(out)
     };
 
@@ -255,6 +297,7 @@ fn main() {
         &mut sim_scale_report,
         &mut robustness_report,
         &mut perf_report,
+        &mut adversary_report,
     ) {
         Ok(result) => tables.extend(result),
         Err(error) => {
@@ -331,6 +374,22 @@ fn main() {
             }
             Err(error) => {
                 eprintln!("failed to serialize perf report: {error}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(report) = &adversary_report {
+        match serde_json::to_string_pretty(report) {
+            Ok(json) => {
+                if let Err(error) = std::fs::write(&adversary_json_path, json) {
+                    eprintln!("failed to write {adversary_json_path}: {error}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote adversary report to {adversary_json_path}");
+            }
+            Err(error) => {
+                eprintln!("failed to serialize adversary report: {error}");
                 std::process::exit(1);
             }
         }

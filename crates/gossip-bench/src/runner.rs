@@ -1,5 +1,5 @@
-//! Experiment runners E1–E10 plus the Scale, SimScale, Robustness and Perf
-//! tiers.
+//! Experiment runners E1–E10 plus the Scale, SimScale, Robustness, Perf and
+//! Adversary tiers.
 //!
 //! Every function is deterministic given the [`HarnessConfig`] (all
 //! randomness is seeded), returns structured data plus a rendered
@@ -18,7 +18,7 @@ use crate::probes::{CutTickProbe, EpochProbe};
 use crate::table::Table;
 use gossip_analysis::dominance::DominanceReport;
 use gossip_analysis::random_walk::simple_walk_tail_frequency;
-use gossip_analysis::{concentration, regression};
+use gossip_analysis::{concentration, regression, robust};
 use gossip_core::averaging_time::{AveragingTimeEstimate, AveragingTimeEstimator, EstimatorConfig};
 use gossip_core::bounds;
 use gossip_core::convex::{RandomNeighborGossip, VanillaGossip, WeightedConvexGossip};
@@ -26,7 +26,7 @@ use gossip_core::diffusion::{FirstOrderDiffusion, SecondOrderDiffusion};
 use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoefficient};
 use gossip_core::two_time_scale::TwoTimeScaleGossip;
 use gossip_exec::Executor;
-use gossip_graph::{Graph, Partition};
+use gossip_graph::{Graph, NodeId, Partition};
 use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig, SimulationOutcome};
 use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
 use gossip_sim::sync::{RoundHandler, SyncConfig, SyncSimulator};
@@ -1471,6 +1471,294 @@ pub fn run_robustness(config: &HarnessConfig) -> BenchResult<(RobustnessReport, 
 }
 
 // ---------------------------------------------------------------------------
+// Adversary: Byzantine attacks against vanilla and robust aggregation.
+// ---------------------------------------------------------------------------
+
+/// Tick cap of the adversary tier: persistent attackers can hold the global
+/// variance above the Definition 1 threshold forever (frozen biased
+/// injectors never join the consensus), so `MaxTicks` is an expected stop
+/// reason, not a failure, and the cap bounds the tier's runtime.
+const ADVERSARY_MAX_TICKS: u64 = 20_000_000;
+
+/// One row of the adversary tier: an attacked asynchronous run against its
+/// attack-free baseline under the same aggregation rule, with the
+/// honest-subset drift oracle and the detection counters.  Deliberately
+/// contains no wall-clock fields: the report is part of the CI determinism
+/// gate and must be byte-identical across runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryRow {
+    /// Scenario name (from `Scenario::name`).
+    pub family: String,
+    /// Attack profile name (from `AdversaryProfile::name`).
+    pub attack: String,
+    /// Aggregation rule name (from `AggregationKind::name`).
+    pub aggregation: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of misbehaving nodes (0 for censor-only attacks).
+    pub adversaries: usize,
+    /// Ticks to the stop of the attack-free baseline run (same clock seed,
+    /// same aggregation rule).
+    pub clean_ticks: u64,
+    /// Ticks to the stop of the attacked run.
+    pub ticks: u64,
+    /// Why the attacked run stopped (`Converged` or — under persistent
+    /// attacks that pin the variance — `MaxTicks`).
+    pub stop_reason: String,
+    /// Final normalized variance of the attacked run (exact recompute).
+    pub variance_ratio: f64,
+    /// `|mean of honest final values − mean of honest initial values|` of
+    /// the attacked run: how far the adversary dragged the honest subset.
+    pub honest_drift: f64,
+    /// The oracle bound on `honest_drift`: the per-capita falsification
+    /// bound (`gossip_analysis::robust::honest_drift_bound`) for
+    /// mass-conserving rules, the convex-hull bound
+    /// (`gossip_analysis::robust::hull_drift_bound`) for median gossip.
+    pub drift_bound: f64,
+    /// Whether `honest_drift ≤ drift_bound + 1e-9` — must be `true` on
+    /// every row.
+    pub drift_oracle_ok: bool,
+    /// Contacts suppressed by censoring bridges.
+    pub censored_contacts: u64,
+    /// Delivered contacts with at least one falsified report.
+    pub falsified_contacts: u64,
+    /// Falsified reports (facing an honest partner) beyond the plan's
+    /// detection threshold.
+    pub flagged_reports: u64,
+}
+
+/// The adversary-tier report serialized to `BENCH_adversary.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversaryReport {
+    /// Whether the quick size grid was used.
+    pub quick: bool,
+    /// Harness seed.
+    pub seed: u64,
+    /// One row per (size, attack × aggregation) case.
+    pub rows: Vec<AdversaryRow>,
+}
+
+// Hand-written serde impls: the vendored derive is a no-op (vendor/README.md).
+impl serde::Serialize for AdversaryRow {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("family".to_string(), self.family.to_json_value()),
+            ("attack".to_string(), self.attack.to_json_value()),
+            ("aggregation".to_string(), self.aggregation.to_json_value()),
+            ("n".to_string(), self.n.to_json_value()),
+            ("edges".to_string(), self.edges.to_json_value()),
+            ("adversaries".to_string(), self.adversaries.to_json_value()),
+            ("clean_ticks".to_string(), self.clean_ticks.to_json_value()),
+            ("ticks".to_string(), self.ticks.to_json_value()),
+            ("stop_reason".to_string(), self.stop_reason.to_json_value()),
+            (
+                "variance_ratio".to_string(),
+                self.variance_ratio.to_json_value(),
+            ),
+            (
+                "honest_drift".to_string(),
+                self.honest_drift.to_json_value(),
+            ),
+            ("drift_bound".to_string(), self.drift_bound.to_json_value()),
+            (
+                "drift_oracle_ok".to_string(),
+                self.drift_oracle_ok.to_json_value(),
+            ),
+            (
+                "censored_contacts".to_string(),
+                self.censored_contacts.to_json_value(),
+            ),
+            (
+                "falsified_contacts".to_string(),
+                self.falsified_contacts.to_json_value(),
+            ),
+            (
+                "flagged_reports".to_string(),
+                self.flagged_reports.to_json_value(),
+            ),
+        ])
+    }
+}
+
+impl serde::Serialize for AdversaryReport {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("quick".to_string(), self.quick.to_json_value()),
+            ("seed".to_string(), self.seed.to_json_value()),
+            ("rows".to_string(), self.rows.to_json_value()),
+        ])
+    }
+}
+
+/// Mean of the values at the nodes **not** listed in `excluded` (the honest
+/// subset).  `excluded` must leave at least one node.
+fn honest_mean(values: &NodeValues, excluded: &[NodeId]) -> f64 {
+    let excluded: std::collections::BTreeSet<usize> = excluded.iter().map(|n| n.0).collect();
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (i, v) in values.as_slice().iter().enumerate() {
+        if !excluded.contains(&i) {
+            sum += v;
+            count += 1;
+        }
+    }
+    sum / count as f64
+}
+
+/// Runs the adversary tier: for every size in the robustness grid and every
+/// attack × aggregation case, one attack-free baseline run and one attacked
+/// run (same clock seed, adversarial cut-aligned start, global uniform
+/// clock, Definition 1 stop with the [`ADVERSARY_MAX_TICKS`] cap), checking
+/// the honest-subset drift oracle on every attacked run.  The report
+/// carries no wall-clock fields, so two runs at the same seed are
+/// byte-identical — CI diffs the JSON.
+///
+/// # Errors
+///
+/// Propagates graph-construction, adversary-plan and simulation errors, and
+/// fails outright if any row violates its drift oracle.
+pub fn run_adversary(config: &HarnessConfig) -> BenchResult<(AdversaryReport, Table)> {
+    let sweep = sweep::adversary_sweep(config.quick);
+    let rows =
+        config
+            .executor()
+            .try_map_indexed(sweep.len(), |index| -> BenchResult<AdversaryRow> {
+                let case = &sweep.values[index];
+                let instance = case
+                    .scenario
+                    .instantiate(config.seed.wrapping_add(2700 + index as u64))?;
+                instance.validate_notation1()?;
+                let graph = &instance.graph;
+                let n = graph.node_count();
+                let plan = case
+                    .attack
+                    .compile(&instance, config.seed.wrapping_add(2800 + index as u64));
+                let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
+                let base_config = config.sharded(
+                    SimulationConfig::new(config.seed.wrapping_add(2900 + index as u64))
+                        .with_clock_model(ClockModel::GlobalUniform)
+                        .with_stopping_rule(
+                            StoppingRule::definition1().or_max_ticks(ADVERSARY_MAX_TICKS),
+                        ),
+                );
+
+                let mut clean_sim = AsyncSimulator::new(
+                    graph,
+                    initial.clone(),
+                    case.aggregation.build(n),
+                    base_config.clone(),
+                )?;
+                let clean = clean_sim.run()?;
+
+                let adversarial_nodes = plan.adversarial_nodes();
+                let honest_initial_mean = honest_mean(&initial, &adversarial_nodes);
+                let (initial_min, initial_max) = initial
+                    .as_slice()
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                        (lo.min(v), hi.max(v))
+                    });
+
+                let mut attacked_sim = AsyncSimulator::new(
+                    graph,
+                    initial,
+                    case.aggregation.build(n),
+                    base_config.with_adversary_plan(plan.clone()),
+                )?;
+                let attacked = attacked_sim.run()?;
+                let stats = attacked.adversary_stats;
+
+                let honest_drift = (honest_mean(&attacked.final_values, &adversarial_nodes)
+                    - honest_initial_mean)
+                    .abs();
+                let drift_bound = if case.aggregation.is_mass_conserving() {
+                    robust::honest_drift_bound(stats.falsification_l1, n - adversarial_nodes.len())?
+                } else {
+                    robust::hull_drift_bound(
+                        initial_min,
+                        initial_max,
+                        stats.report_min,
+                        stats.report_max,
+                        honest_initial_mean,
+                    )?
+                };
+                let drift_oracle_ok = honest_drift <= drift_bound + 1e-9;
+                if !drift_oracle_ok {
+                    return Err(format!(
+                        "honest-subset drift oracle violated on {}: drift {honest_drift} > bound \
+                     {drift_bound}",
+                        case.name()
+                    )
+                    .into());
+                }
+
+                Ok(AdversaryRow {
+                    family: instance.name.clone(),
+                    attack: case.attack.name(),
+                    aggregation: case.aggregation.name().to_string(),
+                    n,
+                    edges: graph.edge_count(),
+                    adversaries: adversarial_nodes.len(),
+                    clean_ticks: clean.total_ticks,
+                    ticks: attacked.total_ticks,
+                    stop_reason: format!("{:?}", attacked.stop_reason),
+                    variance_ratio: attacked.variance_ratio(),
+                    honest_drift,
+                    drift_bound,
+                    drift_oracle_ok,
+                    censored_contacts: stats.censored_contacts,
+                    falsified_contacts: stats.falsified_contacts,
+                    flagged_reports: stats.flagged_reports,
+                })
+            })?;
+    let report = AdversaryReport {
+        quick: config.quick,
+        seed: config.seed,
+        rows,
+    };
+
+    let descriptor = ExperimentId::Adversary.descriptor();
+    let mut table = Table::new(
+        format!("{}: {}", descriptor.id, descriptor.title),
+        &[
+            "family",
+            "attack",
+            "aggregation",
+            "n",
+            "adv",
+            "clean ticks",
+            "ticks",
+            "stop",
+            "drift",
+            "bound",
+            "oracle",
+            "censored",
+            "flagged",
+        ],
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.family.clone(),
+            row.attack.clone(),
+            row.aggregation.clone(),
+            row.n.to_string(),
+            row.adversaries.to_string(),
+            row.clean_ticks.to_string(),
+            row.ticks.to_string(),
+            row.stop_reason.clone(),
+            fmt(row.honest_drift),
+            fmt(row.drift_bound),
+            if row.drift_oracle_ok { "ok" } else { "FAIL" }.to_string(),
+            row.censored_contacts.to_string(),
+            row.flagged_reports.to_string(),
+        ]);
+    }
+    Ok((report, table))
+}
+
+// ---------------------------------------------------------------------------
 // Perf: hot-loop throughput and parallel-estimator speedup.
 // ---------------------------------------------------------------------------
 
@@ -2124,6 +2412,7 @@ pub fn run_all(config: &HarnessConfig) -> BenchResult<Vec<Table>> {
     tables.push(run_scale(config)?.1);
     tables.push(run_sim_scale(config)?.1);
     tables.push(run_robustness(config)?.1);
+    tables.push(run_adversary(config)?.1);
     let (_, perf_tables) = run_perf(config)?;
     tables.extend(perf_tables);
     Ok(tables)

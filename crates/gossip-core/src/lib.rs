@@ -18,6 +18,11 @@
 //!   `⌈C(T_van(G₁)+T_van(G₂))·ln n⌉`-th tick of `e_c` performs a large
 //!   non-convex mass transfer across the cut.  Theorem 2 upper-bounds its
 //!   averaging time by `O(log n · (T_van(G₁)+T_van(G₂)))`.
+//! * [`robust`] — outlier-resistant aggregation for Byzantine environments:
+//!   [`robust::TrimmedMeanGossip`] (clamped innovations, mass-conserving,
+//!   sharded-kernel at the default radius) and
+//!   [`robust::MedianNeighborGossip`] (median-of-three with one-contact
+//!   memory), benchmarked against the adversaries of `gossip_sim::adversary`.
 //! * [`diffusion`] — synchronous first- and second-order diffusive load
 //!   balancing (Muthukrishnan–Ghosh–Schultz), the non-convex prior art cited
 //!   by the introduction.
@@ -68,11 +73,13 @@ pub mod bounds;
 pub mod boyd;
 pub mod convex;
 pub mod diffusion;
+pub mod robust;
 pub mod sparse_cut;
 pub mod two_time_scale;
 
 pub use averaging_time::{AveragingTimeEstimate, AveragingTimeEstimator, EstimatorConfig};
 pub use convex::{RandomNeighborGossip, VanillaGossip, WeightedConvexGossip};
+pub use robust::{MedianNeighborGossip, TrimmedMeanGossip};
 pub use sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoefficient};
 
 use std::error::Error;

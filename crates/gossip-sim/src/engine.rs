@@ -4,6 +4,7 @@
 //! [`AsyncSimulator::run`] repeatedly draws the next edge tick, invokes the
 //! handler, updates the trace, and evaluates the stopping rule.
 
+use crate::adversary::{AdversaryAction, AdversaryInjector, AdversaryPlan, AdversaryStats};
 use crate::clock::{ClockScratch, EdgeClockQueue, GlobalTickProcess, TickProcess};
 use crate::fault::{ContactFate, FaultInjector, FaultPlan, FaultStats};
 use crate::handler::{EdgeTickContext, EdgeTickHandler};
@@ -84,6 +85,12 @@ pub struct SimulationConfig {
     /// which [`FaultPlan::is_empty`] holds, are byte-identical to the
     /// fault-free engine.
     pub fault_plan: Option<FaultPlan>,
+    /// Optional deterministic Byzantine environment (biased/extreme/stale
+    /// reporters, censoring bridges — see [`crate::adversary`]), classified
+    /// after fault delivery and before the pairwise update.  `None`, and a
+    /// `Some` plan for which [`AdversaryPlan::is_empty`] holds, are
+    /// byte-identical to the adversary-free engine.
+    pub adversary_plan: Option<AdversaryPlan>,
     /// Intra-run sharding.  `None` (the default) runs the legacy serial
     /// per-tick loop, byte-stable with earlier releases.  `Some(k)` switches
     /// to the **sharded** engine: events are drawn serially (the RNG stream
@@ -117,6 +124,7 @@ impl SimulationConfig {
             moment_refresh_every_ticks: DEFAULT_MOMENT_REFRESH_TICKS,
             settling_threshold: None,
             fault_plan: None,
+            adversary_plan: None,
             shards: None,
         }
     }
@@ -183,6 +191,12 @@ impl SimulationConfig {
         self
     }
 
+    /// Attaches a deterministic adversary plan (see [`crate::adversary`]).
+    pub fn with_adversary_plan(mut self, plan: AdversaryPlan) -> Self {
+        self.adversary_plan = Some(plan);
+        self
+    }
+
     /// Enables intra-run sharding with up to `shards` worker lanes (clamped
     /// to at least 1; see [`Self::shards`] for the exact semantics and the
     /// fallback conditions).
@@ -219,6 +233,9 @@ pub struct SimulationOutcome {
     /// What the fault injector did during the run; all zeros when no fault
     /// plan was configured.
     pub fault_stats: FaultStats,
+    /// What the adversary did during the run; all zeros (with an empty
+    /// report range) when no adversary plan was configured.
+    pub adversary_stats: AdversaryStats,
 }
 
 impl SimulationOutcome {
@@ -275,6 +292,8 @@ pub struct AsyncSimulator<'g, H> {
     moments_overflowed: bool,
     /// Compiled fault plan, if one was configured.
     faults: Option<FaultInjector>,
+    /// Compiled adversary plan, if one was configured.
+    adversary: Option<AdversaryInjector>,
 }
 
 impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
@@ -327,6 +346,10 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             Some(plan) => Some(FaultInjector::new(plan, graph)?),
             None => None,
         };
+        let adversary = match &config.adversary_plan {
+            Some(plan) => Some(AdversaryInjector::new(plan, graph)?),
+            None => None,
+        };
         let sampler = match config.clock_model {
             ClockModel::PerEdgeQueue => Sampler::Queue(EdgeClockQueue::new_with_scratch(
                 graph,
@@ -352,6 +375,7 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             moment_refreshes: 0,
             moments_overflowed: false,
             faults,
+            adversary,
         })
     }
 
@@ -454,11 +478,19 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             }
         }
 
-        let stopped = match (self.faults.is_some(), recorder.is_some()) {
-            (false, false) => self.run_loop::<false, false>(&mut recorder),
-            (false, true) => self.run_loop::<false, true>(&mut recorder),
-            (true, false) => self.run_loop::<true, false>(&mut recorder),
-            (true, true) => self.run_loop::<true, true>(&mut recorder),
+        let stopped = match (
+            self.faults.is_some(),
+            self.adversary.is_some(),
+            recorder.is_some(),
+        ) {
+            (false, false, false) => self.run_loop::<false, false, false>(&mut recorder),
+            (false, false, true) => self.run_loop::<false, false, true>(&mut recorder),
+            (false, true, false) => self.run_loop::<false, true, false>(&mut recorder),
+            (false, true, true) => self.run_loop::<false, true, true>(&mut recorder),
+            (true, false, false) => self.run_loop::<true, false, false>(&mut recorder),
+            (true, false, true) => self.run_loop::<true, false, true>(&mut recorder),
+            (true, true, false) => self.run_loop::<true, true, false>(&mut recorder),
+            (true, true, true) => self.run_loop::<true, true, true>(&mut recorder),
         };
         let (time, ticks, reason) = match stopped {
             Ok(stopped) => stopped,
@@ -476,12 +508,13 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
         Ok(self.finish(time, ticks, reason, recorder))
     }
 
-    /// The per-tick loop, compiled once per `(FAULTS, TRACE)` combination so
-    /// the fault-free path has no injector branch and the untraced path no
-    /// recorder check.  The const parameters mirror `self.faults.is_some()`
-    /// and `recorder.is_some()` — [`Self::run`] is the only caller and keeps
-    /// them in sync.
-    fn run_loop<const FAULTS: bool, const TRACE: bool>(
+    /// The per-tick loop, compiled once per `(FAULTS, ADVERSARY, TRACE)`
+    /// combination so the fault-free path has no injector branch, the
+    /// honest path no adversary classification, and the untraced path no
+    /// recorder check.  The const parameters mirror `self.faults.is_some()`,
+    /// `self.adversary.is_some()`, and `recorder.is_some()` — [`Self::run`]
+    /// is the only caller and keeps them in sync.
+    fn run_loop<const FAULTS: bool, const ADVERSARY: bool, const TRACE: bool>(
         &mut self,
         recorder: &mut Option<TraceRecorder>,
     ) -> Result<(f64, u64, StopReason)> {
@@ -518,7 +551,52 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             } else {
                 true
             };
-            if delivered {
+            if ADVERSARY {
+                // Adversary classification runs only on fault-delivered
+                // contacts (a dropped message cannot be falsified), and
+                // before the pairwise update, so honest-subset mass
+                // accounting is exact: a censored contact skips the handler
+                // atomically, and a falsified contact substitutes the
+                // adversary's report into the state for the duration of the
+                // handler call, restoring frozen-state behaviors afterwards.
+                if delivered {
+                    let (u, v) = edge.endpoints();
+                    let injector = self
+                        .adversary
+                        .as_mut()
+                        .expect("ADVERSARY is only instantiated with an injector present");
+                    let action = injector.classify(
+                        event.edge,
+                        edge,
+                        event.global_tick_count,
+                        self.values.get(u),
+                        self.values.get(v),
+                    );
+                    match action {
+                        AdversaryAction::Honest => {
+                            self.handler.on_edge_tick(&mut self.values, &ctx);
+                        }
+                        AdversaryAction::Censored => {}
+                        AdversaryAction::Falsified(contact) => {
+                            let before_u = self.values.get(u);
+                            let before_v = self.values.get(v);
+                            if let Some(report) = contact.u {
+                                self.values.set(u, report.value);
+                            }
+                            if let Some(report) = contact.v {
+                                self.values.set(v, report.value);
+                            }
+                            self.handler.on_edge_tick(&mut self.values, &ctx);
+                            if contact.u.is_some_and(|r| r.restore) {
+                                self.values.set(u, before_u);
+                            }
+                            if contact.v.is_some_and(|r| r.restore) {
+                                self.values.set(v, before_v);
+                            }
+                        }
+                    }
+                }
+            } else if delivered {
                 self.handler.on_edge_tick(&mut self.values, &ctx);
             }
 
@@ -611,7 +689,10 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
     /// clock and drop RNG streams identical to the legacy loop's — then the
     /// delivered events of each batch are applied in conflict-free wavefront
     /// rounds fanned out over up to `shards` lanes with a deterministic
-    /// merge order ([`crate::shard`]).  Stopping, settling, recentring, and
+    /// merge order ([`crate::shard`]).  Adversary-involved contacts flush
+    /// the pending parallel batch and run serially against the
+    /// fully-applied state, so classification reads and falsified updates
+    /// are shard-count-invariant.  Stopping, settling, recentring, and
     /// overflow salvage run at **batch** granularity (batches are cut at
     /// exact moment-refresh boundaries and the event cap), mirroring the
     /// legacy per-check logic; every decision depends only on the event
@@ -652,9 +733,74 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                     }
                     None => true,
                 };
-                if delivered {
-                    let (u, v) = edge.endpoints();
+                if !delivered {
+                    continue;
+                }
+                let (u, v) = edge.endpoints();
+                let adversarial = match self.adversary.as_mut() {
+                    None => false,
+                    Some(injector) => {
+                        if injector.touches(event.edge, edge) {
+                            true
+                        } else {
+                            injector.note_honest();
+                            false
+                        }
+                    }
+                };
+                if !adversarial {
                     planner.push(u.index(), v.index());
+                    continue;
+                }
+                // Adversary-involved contact: flush the pending parallel
+                // batch first, so the classification (which may read the
+                // endpoints' values) and the serial application below both
+                // observe the fully-applied state.  Every flush point and
+                // every value read depends only on the event sequence, so
+                // the run stays bit-identical for every shard count.
+                let (d_sum, d_sum_sq) = planner.apply(&executor, &shared, kernel, tracker.shift());
+                tracker.apply_delta(d_sum, d_sum_sq);
+                planner.clear();
+                let injector = self
+                    .adversary
+                    .as_mut()
+                    .expect("adversarial contacts only arise with an injector present");
+                let value_u = shared.get(u.index());
+                let value_v = shared.get(v.index());
+                let action =
+                    injector.classify(event.edge, edge, event.global_tick_count, value_u, value_v);
+                match action {
+                    AdversaryAction::Honest => planner.push(u.index(), v.index()),
+                    AdversaryAction::Censored => {}
+                    AdversaryAction::Falsified(contact) => {
+                        // Substitute-run-restore collapsed to its net effect,
+                        // applied with the same kernel and the same per-entry
+                        // moment arithmetic as a parallel lane.
+                        let in_u = contact.u.map_or(value_u, |r| r.value);
+                        let in_v = contact.v.map_or(value_v, |r| r.value);
+                        let (out_u, out_v) = kernel(in_u, in_v);
+                        let new_u = if contact.u.is_some_and(|r| r.restore) {
+                            value_u
+                        } else {
+                            out_u
+                        };
+                        let new_v = if contact.v.is_some_and(|r| r.restore) {
+                            value_v
+                        } else {
+                            out_v
+                        };
+                        shared.set(u.index(), new_u);
+                        shared.set(v.index(), new_v);
+                        let shift = tracker.shift();
+                        let (mut d_sum, mut d_sum_sq) = (0.0, 0.0);
+                        for (old, new) in [(value_u, new_u), (value_v, new_v)] {
+                            let d_old = old - shift;
+                            let d_new = new - shift;
+                            d_sum += d_new - d_old;
+                            d_sum_sq += d_new * d_new - d_old * d_old;
+                        }
+                        tracker.apply_delta(d_sum, d_sum_sq);
+                    }
                 }
             }
             ticks += batch;
@@ -745,6 +891,7 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             settling_time: self.config.settling_threshold.map(|_| self.last_settle),
             moment_refreshes: self.moment_refreshes,
             fault_stats: self.fault_stats(),
+            adversary_stats: self.adversary_stats(),
         }
     }
 
@@ -754,6 +901,16 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
     /// how much of a censored run was suppressed.
     pub fn fault_stats(&self) -> FaultStats {
         self.faults.as_ref().map(|i| i.stats()).unwrap_or_default()
+    }
+
+    /// The adversary counters accumulated so far (all zeros when no
+    /// adversary plan is configured); readable after errors like
+    /// [`Self::fault_stats`].
+    pub fn adversary_stats(&self) -> AdversaryStats {
+        self.adversary
+            .as_ref()
+            .map(|i| i.stats())
+            .unwrap_or_default()
     }
 }
 
@@ -988,12 +1145,17 @@ mod tests {
             .with_moment_refresh_every_ticks(0)
             .with_settling_threshold(0.25)
             .with_fault_plan(FaultPlan::new(3).with_drop_probability(0.1))
+            .with_adversary_plan(AdversaryPlan::new(4).with_biased_injector(NodeId(0), 1.0))
             .with_shards(0);
         assert_eq!(c.seed, 7);
         assert_eq!(c.shards, Some(1), "with_shards clamps to at least 1");
         assert_eq!(
             c.fault_plan,
             Some(FaultPlan::new(3).with_drop_probability(0.1))
+        );
+        assert_eq!(
+            c.adversary_plan,
+            Some(AdversaryPlan::new(4).with_biased_injector(NodeId(0), 1.0))
         );
         assert_eq!(c.clock_model, ClockModel::GlobalUniform);
         assert_eq!(c.max_events, 123);
@@ -1008,6 +1170,7 @@ mod tests {
         assert_eq!(d.moment_refresh_every_ticks, DEFAULT_MOMENT_REFRESH_TICKS);
         assert_eq!(d.settling_threshold, None);
         assert_eq!(d.fault_plan, None);
+        assert_eq!(d.adversary_plan, None);
         assert_eq!(d.shards, None);
     }
 
@@ -1423,6 +1586,193 @@ mod tests {
             AsyncSimulator::new(&g, spike(3), Vanilla, config),
             Err(SimError::Graph(_))
         ));
+    }
+
+    #[test]
+    fn noop_adversary_plan_is_byte_identical_to_no_plan() {
+        let g = dumbbell(5).unwrap().0;
+        let run = |plan: Option<AdversaryPlan>| {
+            let mut config = SimulationConfig::new(21)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500_000));
+            config.adversary_plan = plan;
+            let mut sim = AsyncSimulator::new(&g, spike(10), Vanilla, config).unwrap();
+            sim.run().unwrap()
+        };
+        let baseline = run(None);
+        let noop = run(Some(AdversaryPlan::none()));
+        assert_eq!(baseline.total_ticks, noop.total_ticks);
+        assert_eq!(baseline.stop_reason, noop.stop_reason);
+        assert_eq!(baseline.moment_refreshes, noop.moment_refreshes);
+        for (a, b) in baseline
+            .final_values
+            .as_slice()
+            .iter()
+            .zip(noop.final_values.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(noop.adversary_stats.honest_contacts, noop.total_ticks);
+        assert_eq!(noop.adversary_stats.falsified_contacts, 0);
+        assert_eq!(noop.adversary_stats.censored_contacts, 0);
+        assert_eq!(baseline.adversary_stats, AdversaryStats::default());
+    }
+
+    #[test]
+    fn biased_injector_drags_vanilla_toward_its_target() {
+        // One frozen biased node reporting `initial + bias`: vanilla gossip
+        // pulls every honest node toward that target, so the honest mean
+        // drifts away from the clean consensus while staying within the
+        // exact falsification budget `l1 / honest_count`.
+        let g = complete(8).unwrap();
+        let initial = spike(8);
+        let clean_mean = initial.mean();
+        let bias = 4.0;
+        let config = SimulationConfig::new(13)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000))
+            .with_adversary_plan(AdversaryPlan::new(3).with_biased_injector(NodeId(1), bias));
+        let mut sim = AsyncSimulator::new(&g, initial, Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        let stats = outcome.adversary_stats;
+        assert!(stats.falsified_contacts > 0);
+        assert_eq!(stats.biased_reports, stats.total_reports());
+        assert_eq!(
+            stats.total_classified(),
+            outcome.total_ticks,
+            "every delivered tick is classified exactly once"
+        );
+        // Honest mean (all nodes but node 1) moved measurably off the clean
+        // consensus, but never past the accumulated falsification budget.
+        let honest: Vec<f64> = outcome
+            .final_values
+            .as_slice()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, v)| *v)
+            .collect();
+        let honest_mean = honest.iter().sum::<f64>() / honest.len() as f64;
+        let drift = (honest_mean - clean_mean).abs();
+        assert!(drift > 1e-3, "bias had no effect (drift {drift})");
+        assert!(
+            drift <= stats.falsification_l1 / honest.len() as f64 + 1e-9,
+            "drift {drift} exceeds the l1 oracle bound"
+        );
+        // The frozen liar's own value never changed.
+        assert_eq!(outcome.final_values.get(NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn censoring_every_edge_censors_at_the_guard_like_full_pauses() {
+        let g = complete(4).unwrap();
+        let all_edges: Vec<gossip_graph::EdgeId> =
+            (0..g.edge_count()).map(gossip_graph::EdgeId).collect();
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500))
+            .with_adversary_plan(AdversaryPlan::new(2).with_censoring_bridge(all_edges, 1.0));
+        let mut sim = AsyncSimulator::new(&g, spike(4), Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        assert_eq!(outcome.stop_reason, StopReason::TickLimit);
+        assert!((outcome.variance_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(
+            outcome.adversary_stats.censored_contacts,
+            outcome.total_ticks
+        );
+        assert_eq!(sim.adversary_stats(), outcome.adversary_stats);
+    }
+
+    #[test]
+    fn invalid_adversary_plans_are_rejected_at_construction() {
+        let g = complete(3).unwrap();
+        let config = SimulationConfig::new(1)
+            .with_adversary_plan(AdversaryPlan::new(0).with_biased_injector(NodeId(0), f64::NAN));
+        assert!(matches!(
+            AsyncSimulator::new(&g, spike(3), Vanilla, config),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        let config = SimulationConfig::new(1)
+            .with_adversary_plan(AdversaryPlan::new(0).with_stale_replay_node(NodeId(9), 5));
+        assert!(matches!(
+            AsyncSimulator::new(&g, spike(3), Vanilla, config),
+            Err(SimError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn sharded_adversary_runs_are_bit_identical_across_shard_counts() {
+        // The full gauntlet — faults, a mixed adversary plan (frozen liar,
+        // extreme outliers, stale replay, censored edge), both clock models
+        // — must agree bit-for-bit at every shard count.
+        let g = dumbbell(8).unwrap().0;
+        for model in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            let run = |shards: usize| {
+                let plan = AdversaryPlan::new(41)
+                    .with_biased_injector(NodeId(2), 3.0)
+                    .with_extreme_value_node(NodeId(11), 25.0)
+                    .with_stale_replay_node(NodeId(5), 200)
+                    .with_censoring_bridge(vec![gossip_graph::EdgeId(0)], 0.5)
+                    .with_detection_threshold(5.0);
+                let config = SimulationConfig::new(23)
+                    .with_clock_model(model)
+                    .with_stopping_rule(StoppingRule::max_ticks(60_000))
+                    .with_moment_refresh_every_ticks(512)
+                    .with_fault_plan(FaultPlan::new(7).with_drop_probability(0.2))
+                    .with_adversary_plan(plan)
+                    .with_shards(shards);
+                let mut sim = AsyncSimulator::new(&g, spike(16), Vanilla, config).unwrap();
+                sim.run().unwrap()
+            };
+            let one = run(1);
+            assert!(one.adversary_stats.falsified_contacts > 0, "{model:?}");
+            assert!(one.adversary_stats.censored_contacts > 0, "{model:?}");
+            for shards in [2usize, 4] {
+                let many = run(shards);
+                assert_eq!(one.total_ticks, many.total_ticks, "{model:?} x{shards}");
+                assert_eq!(one.stop_reason, many.stop_reason);
+                assert_eq!(one.moment_refreshes, many.moment_refreshes);
+                assert_eq!(one.fault_stats, many.fault_stats);
+                assert_eq!(one.adversary_stats, many.adversary_stats);
+                assert_eq!(
+                    one.elapsed_time.to_bits(),
+                    many.elapsed_time.to_bits(),
+                    "{model:?} x{shards}"
+                );
+                for (a, b) in one
+                    .final_values
+                    .as_slice()
+                    .iter()
+                    .zip(many.final_values.as_slice())
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{model:?} x{shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_noop_adversary_plan_is_bit_identical_to_no_plan() {
+        let g = dumbbell(8).unwrap().0;
+        let run = |plan: Option<AdversaryPlan>| {
+            let mut config = SimulationConfig::new(23)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500_000))
+                .with_shards(4);
+            config.adversary_plan = plan;
+            let mut sim = AsyncSimulator::new(&g, spike(16), Vanilla, config).unwrap();
+            sim.run().unwrap()
+        };
+        let baseline = run(None);
+        let noop = run(Some(AdversaryPlan::none()));
+        assert_eq!(baseline.total_ticks, noop.total_ticks);
+        assert_eq!(baseline.stop_reason, noop.stop_reason);
+        assert_eq!(baseline.moment_refreshes, noop.moment_refreshes);
+        for (a, b) in baseline
+            .final_values
+            .as_slice()
+            .iter()
+            .zip(noop.final_values.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(noop.adversary_stats.honest_contacts, noop.total_ticks);
     }
 
     #[test]

@@ -196,7 +196,9 @@ impl FaultPlan {
     /// Returns [`SimError::InvalidConfig`] for a bad drop probability and
     /// [`SimError::Graph`] for out-of-range identifiers.
     pub fn validate(&self, graph: &Graph) -> Result<()> {
-        if !(0.0..=1.0).contains(&self.drop_probability) || !self.drop_probability.is_finite() {
+        // `RangeInclusive::contains` is already false for NaN and ±∞, so a
+        // separate finiteness check would be unreachable.
+        if !(0.0..=1.0).contains(&self.drop_probability) {
             return Err(SimError::InvalidConfig {
                 reason: format!(
                     "drop probability must be in [0, 1], got {}",
@@ -386,10 +388,17 @@ mod tests {
             .with_drop_probability(-0.1)
             .validate(&g)
             .is_err());
-        assert!(FaultPlan::new(0)
-            .with_drop_probability(f64::NAN)
-            .validate(&g)
-            .is_err());
+        // The range check alone must reject every non-finite probability:
+        // `contains` is false for NaN, and ±∞ fall outside [0, 1].
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(
+                FaultPlan::new(0)
+                    .with_drop_probability(bad)
+                    .validate(&g)
+                    .is_err(),
+                "drop probability {bad} must be rejected"
+            );
+        }
         assert!(FaultPlan::new(0)
             .with_edge_outage(EdgeId(2), 0, 1)
             .validate(&g)

@@ -8,7 +8,7 @@
 //! `T` is continuous; the number of ticks of any edge by time `T` is Poisson
 //! with mean `T`.
 //!
-//! The crate separates five concerns:
+//! The crate separates six concerns:
 //!
 //! * [`values::NodeValues`] — the state vector `x(t)` with the variance /
 //!   mean / per-block accounting the paper's Definition 1 is phrased in,
@@ -24,6 +24,10 @@
 //!   up/down schedules, node pauses, per-contact message drops) injected
 //!   ahead of the handler, so churn and loss scenarios stay bit-exactly
 //!   reproducible.
+//! * [`adversary::AdversaryPlan`] — deterministic Byzantine environments
+//!   (biased/extreme/stale reporters, censoring bridges) classified before
+//!   each pairwise update on their own RNG stream, with exact
+//!   honest-subset falsification accounting for the drift oracles.
 //! * [`engine::AsyncSimulator`] and [`sync::SyncSimulator`] — drivers that
 //!   advance the clocks, invoke the handler, record [`trace::Trace`]s and
 //!   evaluate [`stopping::StoppingRule`]s.
@@ -65,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod clock;
 pub mod engine;
 pub mod fault;
@@ -76,6 +81,7 @@ pub mod sync;
 pub mod trace;
 pub mod values;
 
+pub use adversary::{AdversaryBehavior, AdversaryPlan, AdversaryStats, CensoringBridge};
 pub use clock::ClockScratch;
 pub use engine::{AsyncSimulator, SimulationConfig, SimulationOutcome, VarianceMode};
 pub use fault::{FaultPlan, FaultStats};

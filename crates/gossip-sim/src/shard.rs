@@ -68,13 +68,16 @@ impl SharedValues {
         }
     }
 
+    /// Reads one node.  `pub(crate)` so the engine can classify and apply
+    /// adversary-involved contacts serially between parallel batches.
     #[inline]
-    fn get(&self, node: usize) -> f64 {
+    pub(crate) fn get(&self, node: usize) -> f64 {
         f64::from_bits(self.bits[node].load(Ordering::Relaxed))
     }
 
+    /// Writes one node (see [`Self::get`] for the `pub(crate)` rationale).
     #[inline]
-    fn set(&self, node: usize, value: f64) {
+    pub(crate) fn set(&self, node: usize, value: f64) {
         self.bits[node].store(value.to_bits(), Ordering::Relaxed);
     }
 

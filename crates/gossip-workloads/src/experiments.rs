@@ -39,11 +39,16 @@ pub enum ExperimentId {
     /// serial-vs-parallel byte-identity oracle), reported as
     /// `BENCH_perf.json`.
     Perf,
+    /// The adversary tier (Byzantine attacks — biased minority, extreme
+    /// outliers, stale replay, cut censorship — against vanilla and robust
+    /// aggregation, with honest-subset drift oracles), reported as
+    /// `BENCH_adversary.json`.
+    Adversary,
 }
 
 impl ExperimentId {
     /// All experiments, in canonical order.
-    pub fn all() -> [ExperimentId; 14] {
+    pub fn all() -> [ExperimentId; 15] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -59,7 +64,31 @@ impl ExperimentId {
             ExperimentId::SimScale,
             ExperimentId::Robustness,
             ExperimentId::Perf,
+            ExperimentId::Adversary,
         ]
+    }
+
+    /// The token the `experiments` binary accepts for this experiment in
+    /// `--only` (upper-case with underscores, e.g. `SIM_SCALE` — unlike
+    /// [`fmt::Display`], which follows the Rust variant name).
+    pub fn cli_token(self) -> &'static str {
+        match self {
+            ExperimentId::E1 => "E1",
+            ExperimentId::E2 => "E2",
+            ExperimentId::E3 => "E3",
+            ExperimentId::E4 => "E4",
+            ExperimentId::E5 => "E5",
+            ExperimentId::E6 => "E6",
+            ExperimentId::E7 => "E7",
+            ExperimentId::E8 => "E8",
+            ExperimentId::E9 => "E9",
+            ExperimentId::E10 => "E10",
+            ExperimentId::Scale => "SCALE",
+            ExperimentId::SimScale => "SIM_SCALE",
+            ExperimentId::Robustness => "ROBUSTNESS",
+            ExperimentId::Perf => "PERF",
+            ExperimentId::Adversary => "ADVERSARY",
+        }
     }
 
     /// The descriptor for this experiment.
@@ -209,6 +238,21 @@ impl ExperimentId {
                            1 job and at N jobs with bitwise comparison of the two estimates.",
                 bench_target: "gossip-bench runner::run_perf + BENCH_perf.json",
             },
+            ExperimentId::Adversary => ExperimentDescriptor {
+                id: self,
+                title: "Adversary tier: Byzantine attacks vs robust aggregation",
+                claim: "Against a biased minority, extreme-value outliers, stale replay and \
+                        cut censorship, vanilla gossip's honest-subset mean drifts (within \
+                        the per-capita falsification bound), while trimmed-mean and \
+                        median-of-neighbors gossip bound the drag; every run's drift \
+                        satisfies its oracle and an empty adversary plan is byte-identical \
+                        to the unmodified engine.",
+                workload: "Adversary suite (chordal ring + biased minority, expander \
+                           dumbbell + extreme outliers, expander barbell + stale replay, \
+                           ring of cliques + censored cut) × {vanilla, trimmed, median} at \
+                           n ∈ {96, 192, 768} (quick: {96, 192}), global uniform clock.",
+                bench_target: "gossip-bench runner::run_adversary + BENCH_adversary.json",
+            },
         }
     }
 }
@@ -242,7 +286,7 @@ mod tests {
     #[test]
     fn all_experiments_have_distinct_nonempty_descriptors() {
         let all = ExperimentId::all();
-        assert_eq!(all.len(), 14);
+        assert_eq!(all.len(), 15);
         let mut titles = BTreeSet::new();
         for id in all {
             let d = id.descriptor();
@@ -255,6 +299,18 @@ mod tests {
             assert!(!id.to_string().is_empty());
         }
         assert_eq!(titles.len(), all.len());
+    }
+
+    #[test]
+    fn cli_tokens_are_distinct_uppercase_and_stable() {
+        let mut tokens = BTreeSet::new();
+        for id in ExperimentId::all() {
+            let token = id.cli_token();
+            assert_eq!(token, token.to_uppercase());
+            assert!(tokens.insert(token), "duplicate CLI token {token}");
+        }
+        assert_eq!(ExperimentId::SimScale.cli_token(), "SIM_SCALE");
+        assert_eq!(ExperimentId::Adversary.cli_token(), "ADVERSARY");
     }
 
     #[test]

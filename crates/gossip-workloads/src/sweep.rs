@@ -148,6 +148,17 @@ pub fn robustness_sweep(quick: bool) -> Sweep<crate::churn::ChurnCase> {
     Sweep::new("churn case", values)
 }
 
+/// The adversary-tier sweep: for each size in [`robustness_sizes`] (the
+/// attack runs share the robustness tier's size budget), the twelve
+/// attack × aggregation cases of [`crate::adversary::adversary_suite`].
+pub fn adversary_sweep(quick: bool) -> Sweep<crate::adversary::AdversaryCase> {
+    let mut values = Vec::new();
+    for &n in robustness_sizes(quick).iter() {
+        values.extend(crate::adversary::adversary_suite(n));
+    }
+    Sweep::new("adversary case", values)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +241,17 @@ mod tests {
             assert!(!case.name().is_empty());
         }
         assert_eq!(robustness_sweep(false).len(), 3 * 4);
+    }
+
+    #[test]
+    fn adversary_sweep_covers_all_cases_per_size() {
+        let s = adversary_sweep(true);
+        assert_eq!(s.len(), 2 * 12);
+        assert_eq!(s.parameter, "adversary case");
+        for case in s.iter() {
+            assert!(!case.name().is_empty());
+        }
+        assert_eq!(adversary_sweep(false).len(), 3 * 12);
     }
 
     #[test]

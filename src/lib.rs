@@ -52,6 +52,7 @@ pub mod prelude {
     pub use gossip_core::bounds::{theorem1_lower_bound, theorem2_upper_bound, BoundsSummary};
     pub use gossip_core::convex::{RandomNeighborGossip, VanillaGossip, WeightedConvexGossip};
     pub use gossip_core::diffusion::{FirstOrderDiffusion, SecondOrderDiffusion};
+    pub use gossip_core::robust::{MedianNeighborGossip, TrimmedMeanGossip};
     pub use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoefficient};
     pub use gossip_core::two_time_scale::TwoTimeScaleGossip;
     pub use gossip_exec::Executor;
@@ -63,6 +64,7 @@ pub mod prelude {
     pub use gossip_graph::spectral::{SpectralProfile, SPARSE_DISPATCH_THRESHOLD};
     pub use gossip_graph::{Edge, EdgeId, Graph, GraphBuilder, NodeId, Partition};
     pub use gossip_linalg::{CsrMatrix, Lanczos, LinearOperator, Matrix, Vector};
+    pub use gossip_sim::adversary::{AdversaryPlan, AdversaryStats};
     pub use gossip_sim::engine::{
         AsyncSimulator, ClockModel, SimulationConfig, SimulationOutcome, VarianceMode,
         DEFAULT_MOMENT_REFRESH_TICKS,
@@ -74,6 +76,9 @@ pub mod prelude {
     pub use gossip_sim::sync::{RoundHandler, SyncConfig, SyncSimulator};
     pub use gossip_sim::trace::{Trace, TraceConfig};
     pub use gossip_sim::values::NodeValues;
+    pub use gossip_workloads::adversary::{
+        adversary_suite, AdversaryCase, AdversaryProfile, AggregationKind,
+    };
     pub use gossip_workloads::churn::{churn_suite, ChurnCase, FaultProfile};
     pub use gossip_workloads::{ExperimentId, InitialCondition, Scenario};
 }

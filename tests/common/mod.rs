@@ -115,6 +115,23 @@ pub mod seeds {
     pub const SHARDED_INITIAL: u64 = 472;
     /// `sharded_determinism`: fault-plan stream of the faulted oracle runs.
     pub const SHARDED_FAULT: u64 = 473;
+    /// `adversary_differential`: clock seed of the no-op-adversary-plan
+    /// bit-identity oracle (offset by the family index).
+    pub const ADVERSARY_DIFFERENTIAL: u64 = 481;
+    /// `adversary_differential`: scenario instantiation of the oracle
+    /// families.
+    pub const ADVERSARY_SCENARIO: u64 = 482;
+    /// `adversary_differential`: adversary stream of the attacked runs.
+    pub const ADVERSARY_PLAN: u64 = 483;
+    /// `adversary_differential`: crash-fault stream of the mixed
+    /// adversary + fault conservation run.
+    pub const ADVERSARY_FAULT: u64 = 484;
+    /// `adversary_differential`: clock seed of the vanilla-vs-robust
+    /// aggregation comparison.
+    pub const ADVERSARY_ROBUST: u64 = 485;
+    /// `adversary_differential`: clock seed of the sharded bit-identity
+    /// oracle (shards 1 vs 2 vs 4 under a mixed adversary plan).
+    pub const ADVERSARY_SHARDED: u64 = 486;
 }
 
 /// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.
