@@ -1,7 +1,8 @@
 //! Experiment harness binary.
 //!
 //! Regenerates every experiment table of the reproduction (E1–E10, see
-//! `DESIGN.md` §5 and `EXPERIMENTS.md`).
+//! `DESIGN.md` §5 and `EXPERIMENTS.md`) plus the SCALE, SIM_SCALE,
+//! ROBUSTNESS, PERF and ADVERSARY tiers.
 //!
 //! Usage:
 //!
@@ -10,56 +11,220 @@
 //! cargo run -p gossip-bench --release --bin experiments -- --quick  # reduced sizes
 //! cargo run -p gossip-bench --release --bin experiments -- --only E1 E3
 //! cargo run -p gossip-bench --release --bin experiments -- --json results.json
-//! cargo run -p gossip-bench --release --bin experiments -- --only SCALE
-//! cargo run -p gossip-bench --release --bin experiments -- --only SIM_SCALE
-//! cargo run -p gossip-bench --release --bin experiments -- --only ROBUSTNESS
 //! cargo run -p gossip-bench --release --bin experiments -- --only PERF --jobs 4
-//! cargo run -p gossip-bench --release --bin experiments -- --only ADVERSARY
+//! cargo run -p gossip-bench --release --bin experiments -- \
+//!     --only SIM_SCALE --store-dir runs/quick --resume
+//! cargo run -p gossip-bench --release --bin experiments -- \
+//!     --store-dir runs/quick --store-summary
 //! ```
 //!
-//! `--only` tokens are validated against the experiment index
-//! (`ExperimentId::cli_token`): an unknown token prints the valid set and
-//! exits with status 2 instead of silently running nothing.
+//! Every tier is one row of the [`TIERS`] registry: its `--only` token, its
+//! report flag (`--scale-json`, `--perf-json`, …) and its default report
+//! path all come from that one table, so adding a tier means adding a row
+//! and a match arm — not another hand-rolled flag parser.  `--only` tokens
+//! are validated against the experiment index (`ExperimentId::cli_token`):
+//! an unknown token prints the valid set and exits with status 2 instead of
+//! silently running nothing.
 //!
-//! `--jobs <n>` bounds the deterministic run executor that fans scenario
-//! rows (and, in the PERF tier, estimator runs) out over worker threads;
-//! the default honors `GOSSIP_JOBS`, then the machine's available
-//! parallelism.  Every table and report is byte-identical at any `--jobs`
-//! value — only wall-clock columns vary — and `--jobs 1` reproduces the
-//! historical serial execution exactly.
+//! `--jobs <n>` bounds the deterministic run executor that fans trials out
+//! over worker threads; every table and report is byte-identical at any
+//! `--jobs` value (wall-clock columns aside).  `--shards <k>` opts every
+//! kernel-capable simulation into the sharded engine — a *different
+//! deterministic mode* from the default legacy loop, with bit-identical
+//! outputs at every shard count.
 //!
-//! `--shards <k>` turns on intra-run sharding: every kernel-capable
-//! simulation the tiers build applies conflict-free event batches over `k`
-//! workers.  Sharded outputs are bit-identical at every `--shards` value
-//! (CI diffs `--shards 1` against `--shards 4`) but are a *different
-//! deterministic mode* from the default legacy loop, so the flag is opt-in.
+//! `--store-dir <dir>` journals every computed trial into an append-only
+//! run store (`<dir>/<tier>.jsonl`, one record per committed trial; see
+//! `gossip-store`).  Without `--resume` the run is *fresh*: each tier's
+//! journal is reset the first time the tier commits.  With `--resume` the
+//! store is loaded first and every already-committed trial is **skipped**
+//! — its row replays bit-identically from the journal — so an interrupted
+//! sweep continues where it stopped and renders the same bytes an
+//! uninterrupted run would have (wall-clock fields replay as committed).
+//! A truncated final record (a crash mid-append) is detected and dropped
+//! on load; the trial is simply recomputed.  Per-tier `replayed/computed`
+//! counts and the grouped store summary print to stderr after the run.
+//! `--store-summary` loads the store, prints the per-tier/per-family
+//! analysis view, and exits without running anything.
 //!
-//! Whenever the SCALE experiment runs, its report (spectral quantities plus
-//! wall-clock timings of the sparse pipeline) is additionally written to
-//! `BENCH_scale.json` (path overridable with `--scale-json <path>`) to seed
-//! the perf trajectory.  Likewise the SIM_SCALE experiment (asynchronous
-//! runs with O(1) per-tick Definition 1 stopping) writes
-//! `BENCH_sim_scale.json` (`--sim-scale-json <path>`), the ROBUSTNESS
-//! experiment (fault injection against fault-free baselines) writes
-//! `BENCH_robustness.json` (`--robustness-json <path>`), and the ADVERSARY
-//! experiment (Byzantine attacks against vanilla and robust aggregation,
-//! with honest-subset drift oracles) writes `BENCH_adversary.json`
-//! (`--adversary-json <path>`); the robustness and adversary reports carry
-//! no wall-clock fields, so CI diffs them byte-for-byte.  The PERF
-//! experiment (hot-loop throughput plus serial-vs-parallel estimator
-//! timing with a built-in bitwise oracle) writes `BENCH_perf.json`
-//! (`--perf-json <path>`); CI diffs it across two runs at different
-//! `--jobs` after stripping the wall-clock and `jobs` fields.
+//! The SCALE, SIM_SCALE, ROBUSTNESS, PERF and ADVERSARY tiers additionally
+//! write their structured reports to `BENCH_*.json` (paths overridable via
+//! the registry's flags).  Every report carries a `schema_version` field —
+//! the shared `gossip_store::SCHEMA_VERSION` constant that also stamps
+//! every journal record.  The robustness and adversary reports carry no
+//! wall-clock fields, so CI diffs them byte-for-byte; the perf report is
+//! diffed after stripping the wall-clock and `jobs` fields.
 
-use gossip_bench::runner::{self, HarnessConfig};
+use gossip_bench::runner::{self, BenchResult, HarnessConfig};
 use gossip_bench::Table;
+use gossip_store::{NullSink, RunStore, StoreSink, StoreSummary, TrialSink};
 use gossip_workloads::ExperimentId;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One bench tier as the CLI sees it: the `--only` token, the report-path
+/// override flag (if the tier writes a `BENCH_*.json` report), and the
+/// default report path.
+struct TierSpec {
+    token: &'static str,
+    json_flag: Option<&'static str>,
+    default_json: Option<&'static str>,
+}
+
+/// The tier registry, in execution order.  One row per [`ExperimentId`]
+/// (covered exactly — see the registry test).
+const TIERS: &[TierSpec] = &[
+    TierSpec {
+        token: "E1",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E2",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E3",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E4",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E5",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E6",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E7",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E8",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E9",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "E10",
+        json_flag: None,
+        default_json: None,
+    },
+    TierSpec {
+        token: "SCALE",
+        json_flag: Some("--scale-json"),
+        default_json: Some("BENCH_scale.json"),
+    },
+    TierSpec {
+        token: "SIM_SCALE",
+        json_flag: Some("--sim-scale-json"),
+        default_json: Some("BENCH_sim_scale.json"),
+    },
+    TierSpec {
+        token: "ROBUSTNESS",
+        json_flag: Some("--robustness-json"),
+        default_json: Some("BENCH_robustness.json"),
+    },
+    TierSpec {
+        token: "PERF",
+        json_flag: Some("--perf-json"),
+        default_json: Some("BENCH_perf.json"),
+    },
+    TierSpec {
+        token: "ADVERSARY",
+        json_flag: Some("--adversary-json"),
+        default_json: Some("BENCH_adversary.json"),
+    },
+];
+
+/// One harness run: the dumbbell sweep backing E1–E3 is computed once and
+/// shared, so `--only E1 E2 E3` costs one sweep, not three.
+struct Session<'a> {
+    config: &'a HarnessConfig,
+    sink: &'a dyn TrialSink,
+    dumbbell: Option<runner::DumbbellSweep>,
+}
+
+impl<'a> Session<'a> {
+    fn new(config: &'a HarnessConfig, sink: &'a dyn TrialSink) -> Self {
+        Session {
+            config,
+            sink,
+            dumbbell: None,
+        }
+    }
+
+    fn dumbbell(&mut self) -> BenchResult<&runner::DumbbellSweep> {
+        if self.dumbbell.is_none() {
+            self.dumbbell = Some(runner::run_dumbbell_sweep(self.config, self.sink)?);
+        }
+        Ok(self.dumbbell.as_ref().expect("sweep memoized above"))
+    }
+
+    /// Runs one tier, returning its tables and (for report-bearing tiers)
+    /// the pretty-printed JSON report.
+    fn run(&mut self, token: &str) -> BenchResult<(Vec<Table>, Option<String>)> {
+        fn pretty<T: serde::Serialize>(token: &str, report: &T) -> BenchResult<String> {
+            serde_json::to_string_pretty(report)
+                .map_err(|error| format!("failed to serialize {token} report: {error}").into())
+        }
+        Ok(match token {
+            "E1" => (vec![runner::table_e1(self.dumbbell()?)], None),
+            "E2" => (vec![runner::table_e2(self.dumbbell()?)], None),
+            "E3" => (vec![runner::table_e3(self.dumbbell()?)], None),
+            "E4" => (vec![runner::run_e4(self.config, self.sink)?.1], None),
+            "E5" => (vec![runner::run_e5(self.config, self.sink)?.1], None),
+            "E6" => {
+                let (cut_table, c_table) = runner::run_e6(self.config, self.sink)?;
+                (vec![cut_table, c_table], None)
+            }
+            "E7" => (vec![runner::run_e7(self.config, self.sink)?], None),
+            "E8" => (vec![runner::run_e8(self.config, self.sink)?], None),
+            "E9" => (vec![runner::run_e9(self.config, self.sink)?], None),
+            "E10" => (vec![runner::run_e10(self.config, self.sink)?.1], None),
+            "SCALE" => {
+                let (report, table) = runner::run_scale(self.config, self.sink)?;
+                (vec![table], Some(pretty(token, &report)?))
+            }
+            "SIM_SCALE" => {
+                let (report, table) = runner::run_sim_scale(self.config, self.sink)?;
+                (vec![table], Some(pretty(token, &report)?))
+            }
+            "ROBUSTNESS" => {
+                let (report, table) = runner::run_robustness(self.config, self.sink)?;
+                (vec![table], Some(pretty(token, &report)?))
+            }
+            "PERF" => {
+                let (report, tables) = runner::run_perf(self.config, self.sink)?;
+                (tables, Some(pretty(token, &report)?))
+            }
+            "ADVERSARY" => {
+                let (report, table) = runner::run_adversary(self.config, self.sink)?;
+                (vec![table], Some(pretty(token, &report)?))
+            }
+            other => return Err(format!("tier {other} is not in the registry").into()),
+        })
+    }
+}
 
 fn print_usage() {
     eprintln!(
         "usage: experiments [--quick] [--seed <u64>] [--jobs <n>] [--shards <k>] \
          [--only E1 E2 ... SCALE SIM_SCALE ROBUSTNESS PERF ADVERSARY] [--json <path>] \
+         [--store-dir <dir>] [--resume] [--store-summary] \
          [--scale-json <path>] [--sim-scale-json <path>] \
          [--robustness-json <path>] [--perf-json <path>] [--adversary-json <path>]"
     );
@@ -70,11 +235,13 @@ fn main() {
     let mut config = HarnessConfig::full();
     let mut only: BTreeSet<String> = BTreeSet::new();
     let mut json_path: Option<String> = None;
-    let mut scale_json_path = String::from("BENCH_scale.json");
-    let mut sim_scale_json_path = String::from("BENCH_sim_scale.json");
-    let mut robustness_json_path = String::from("BENCH_robustness.json");
-    let mut perf_json_path = String::from("BENCH_perf.json");
-    let mut adversary_json_path = String::from("BENCH_adversary.json");
+    let mut store_dir: Option<String> = None;
+    let mut resume = false;
+    let mut store_summary = false;
+    let mut report_paths: BTreeMap<&'static str, String> = TIERS
+        .iter()
+        .filter_map(|tier| Some((tier.token, tier.default_json?.to_string())))
+        .collect();
     let valid_tokens: BTreeSet<&'static str> = ExperimentId::all()
         .iter()
         .map(|id| id.cli_token())
@@ -82,8 +249,27 @@ fn main() {
 
     let mut i = 0;
     while i < args.len() {
-        match args[i].as_str() {
+        let arg = args[i].as_str();
+        // Report-path flags come straight from the registry.
+        if let Some(tier) = TIERS.iter().find(|tier| tier.json_flag == Some(arg)) {
+            i += 1;
+            match args.get(i) {
+                Some(path) => {
+                    report_paths.insert(tier.token, path.clone());
+                }
+                None => {
+                    eprintln!("{arg} requires a path");
+                    print_usage();
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+            continue;
+        }
+        match arg {
             "--quick" => config.quick = true,
+            "--resume" => resume = true,
+            "--store-summary" => store_summary = true,
             "--seed" => {
                 i += 1;
                 match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
@@ -146,56 +332,12 @@ fn main() {
                     }
                 }
             }
-            "--scale-json" => {
+            "--store-dir" => {
                 i += 1;
                 match args.get(i) {
-                    Some(path) => scale_json_path = path.clone(),
+                    Some(dir) => store_dir = Some(dir.clone()),
                     None => {
-                        eprintln!("--scale-json requires a path");
-                        print_usage();
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--sim-scale-json" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => sim_scale_json_path = path.clone(),
-                    None => {
-                        eprintln!("--sim-scale-json requires a path");
-                        print_usage();
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--robustness-json" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => robustness_json_path = path.clone(),
-                    None => {
-                        eprintln!("--robustness-json requires a path");
-                        print_usage();
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--perf-json" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => perf_json_path = path.clone(),
-                    None => {
-                        eprintln!("--perf-json requires a path");
-                        print_usage();
-                        std::process::exit(2);
-                    }
-                }
-            }
-            "--adversary-json" => {
-                i += 1;
-                match args.get(i) {
-                    Some(path) => adversary_json_path = path.clone(),
-                    None => {
-                        eprintln!("--adversary-json requires a path");
+                        eprintln!("--store-dir requires a directory path");
                         print_usage();
                         std::process::exit(2);
                     }
@@ -214,95 +356,63 @@ fn main() {
         i += 1;
     }
 
-    let wanted = |id: &str| only.is_empty() || only.contains(id);
-    let mut tables: Vec<Table> = Vec::new();
-    let mut scale_report: Option<runner::ScaleReport> = None;
-    let mut sim_scale_report: Option<runner::SimScaleReport> = None;
-    let mut robustness_report: Option<runner::RobustnessReport> = None;
-    let mut perf_report: Option<runner::PerfReport> = None;
-    let mut adversary_report: Option<runner::AdversaryReport> = None;
+    if (resume || store_summary) && store_dir.is_none() {
+        eprintln!("--resume and --store-summary require --store-dir");
+        print_usage();
+        std::process::exit(2);
+    }
 
-    let run = |scale_report: &mut Option<runner::ScaleReport>,
-               sim_scale_report: &mut Option<runner::SimScaleReport>,
-               robustness_report: &mut Option<runner::RobustnessReport>,
-               perf_report: &mut Option<runner::PerfReport>,
-               adversary_report: &mut Option<runner::AdversaryReport>|
-     -> runner::BenchResult<Vec<Table>> {
-        let mut out = Vec::new();
-        if wanted("E1") || wanted("E2") || wanted("E3") {
-            let sweep = runner::run_dumbbell_sweep(&config)?;
-            if wanted("E1") {
-                out.push(runner::table_e1(&sweep));
+    // Open the run store (resume mode also for --store-summary: a summary
+    // must never reset journals).
+    let store_sink: Option<StoreSink> = match &store_dir {
+        Some(dir) => match RunStore::open(std::path::Path::new(dir), resume || store_summary) {
+            Ok(store) => {
+                for note in store.notes() {
+                    eprintln!("run store: {note}");
+                }
+                Some(StoreSink::new(store))
             }
-            if wanted("E2") {
-                out.push(runner::table_e2(&sweep));
+            Err(error) => {
+                eprintln!("failed to open run store at {dir}: {error}");
+                std::process::exit(1);
             }
-            if wanted("E3") {
-                out.push(runner::table_e3(&sweep));
-            }
-        }
-        if wanted("E4") {
-            out.push(runner::run_e4(&config)?.1);
-        }
-        if wanted("E5") {
-            out.push(runner::run_e5(&config)?.1);
-        }
-        if wanted("E6") {
-            let (cut, c) = runner::run_e6(&config)?;
-            out.push(cut);
-            out.push(c);
-        }
-        if wanted("E7") {
-            out.push(runner::run_e7(&config)?);
-        }
-        if wanted("E8") {
-            out.push(runner::run_e8(&config)?);
-        }
-        if wanted("E9") {
-            out.push(runner::run_e9(&config)?);
-        }
-        if wanted("E10") {
-            out.push(runner::run_e10(&config)?.1);
-        }
-        if wanted("SCALE") {
-            let (report, table) = runner::run_scale(&config)?;
-            *scale_report = Some(report);
-            out.push(table);
-        }
-        if wanted("SIM_SCALE") {
-            let (report, table) = runner::run_sim_scale(&config)?;
-            *sim_scale_report = Some(report);
-            out.push(table);
-        }
-        if wanted("ROBUSTNESS") {
-            let (report, table) = runner::run_robustness(&config)?;
-            *robustness_report = Some(report);
-            out.push(table);
-        }
-        if wanted("PERF") {
-            let (report, perf_tables) = runner::run_perf(&config)?;
-            *perf_report = Some(report);
-            out.extend(perf_tables);
-        }
-        if wanted("ADVERSARY") {
-            let (report, table) = runner::run_adversary(&config)?;
-            *adversary_report = Some(report);
-            out.push(table);
-        }
-        Ok(out)
+        },
+        None => None,
     };
 
-    match run(
-        &mut scale_report,
-        &mut sim_scale_report,
-        &mut robustness_report,
-        &mut perf_report,
-        &mut adversary_report,
-    ) {
-        Ok(result) => tables.extend(result),
-        Err(error) => {
-            eprintln!("experiment harness failed: {error}");
-            std::process::exit(1);
+    if store_summary {
+        let sink = store_sink.expect("checked above");
+        let store = sink.into_store();
+        for line in StoreSummary::from_store(&store).render_lines() {
+            println!("{line}");
+        }
+        return;
+    }
+
+    let sink: &dyn TrialSink = match &store_sink {
+        Some(sink) => sink,
+        None => &NullSink,
+    };
+    let wanted = |token: &str| only.is_empty() || only.contains(token);
+    let mut session = Session::new(&config, sink);
+    let mut tables: Vec<Table> = Vec::new();
+    let mut reports: Vec<(&'static str, String)> = Vec::new();
+
+    for tier in TIERS {
+        if !wanted(tier.token) {
+            continue;
+        }
+        match session.run(tier.token) {
+            Ok((tier_tables, report)) => {
+                tables.extend(tier_tables);
+                if let Some(report) = report {
+                    reports.push((tier.token, report));
+                }
+            }
+            Err(error) => {
+                eprintln!("experiment harness failed: {error}");
+                std::process::exit(1);
+            }
         }
     }
 
@@ -315,84 +425,13 @@ fn main() {
         println!("{table}");
     }
 
-    if let Some(report) = &scale_report {
-        match serde_json::to_string_pretty(report) {
-            Ok(json) => {
-                if let Err(error) = std::fs::write(&scale_json_path, json) {
-                    eprintln!("failed to write {scale_json_path}: {error}");
-                    std::process::exit(1);
-                }
-                eprintln!("wrote scale report to {scale_json_path}");
-            }
-            Err(error) => {
-                eprintln!("failed to serialize scale report: {error}");
-                std::process::exit(1);
-            }
+    for (token, report) in &reports {
+        let path = &report_paths[token];
+        if let Err(error) = std::fs::write(path, report) {
+            eprintln!("failed to write {path}: {error}");
+            std::process::exit(1);
         }
-    }
-
-    if let Some(report) = &sim_scale_report {
-        match serde_json::to_string_pretty(report) {
-            Ok(json) => {
-                if let Err(error) = std::fs::write(&sim_scale_json_path, json) {
-                    eprintln!("failed to write {sim_scale_json_path}: {error}");
-                    std::process::exit(1);
-                }
-                eprintln!("wrote sim-scale report to {sim_scale_json_path}");
-            }
-            Err(error) => {
-                eprintln!("failed to serialize sim-scale report: {error}");
-                std::process::exit(1);
-            }
-        }
-    }
-
-    if let Some(report) = &robustness_report {
-        match serde_json::to_string_pretty(report) {
-            Ok(json) => {
-                if let Err(error) = std::fs::write(&robustness_json_path, json) {
-                    eprintln!("failed to write {robustness_json_path}: {error}");
-                    std::process::exit(1);
-                }
-                eprintln!("wrote robustness report to {robustness_json_path}");
-            }
-            Err(error) => {
-                eprintln!("failed to serialize robustness report: {error}");
-                std::process::exit(1);
-            }
-        }
-    }
-
-    if let Some(report) = &perf_report {
-        match serde_json::to_string_pretty(report) {
-            Ok(json) => {
-                if let Err(error) = std::fs::write(&perf_json_path, json) {
-                    eprintln!("failed to write {perf_json_path}: {error}");
-                    std::process::exit(1);
-                }
-                eprintln!("wrote perf report to {perf_json_path}");
-            }
-            Err(error) => {
-                eprintln!("failed to serialize perf report: {error}");
-                std::process::exit(1);
-            }
-        }
-    }
-
-    if let Some(report) = &adversary_report {
-        match serde_json::to_string_pretty(report) {
-            Ok(json) => {
-                if let Err(error) = std::fs::write(&adversary_json_path, json) {
-                    eprintln!("failed to write {adversary_json_path}: {error}");
-                    std::process::exit(1);
-                }
-                eprintln!("wrote adversary report to {adversary_json_path}");
-            }
-            Err(error) => {
-                eprintln!("failed to serialize adversary report: {error}");
-                std::process::exit(1);
-            }
-        }
+        eprintln!("wrote {} report to {path}", token.to_lowercase());
     }
 
     if let Some(path) = json_path {
@@ -407,6 +446,51 @@ fn main() {
             Err(error) => {
                 eprintln!("failed to serialize results: {error}");
                 std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(sink) = store_sink {
+        for line in sink.summary_lines() {
+            eprintln!("{line}");
+        }
+        let store = sink.into_store();
+        for line in StoreSummary::from_store(&store).render_lines() {
+            eprintln!("store: {line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_experiment_exactly_once() {
+        let registry: Vec<&str> = TIERS.iter().map(|tier| tier.token).collect();
+        let mut deduped = registry.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), registry.len(), "duplicate registry row");
+        let index: BTreeSet<&str> = ExperimentId::all()
+            .iter()
+            .map(|id| id.cli_token())
+            .collect();
+        let registry: BTreeSet<&str> = registry.into_iter().collect();
+        assert_eq!(registry, index);
+    }
+
+    #[test]
+    fn report_bearing_tiers_have_both_flag_and_default() {
+        for tier in TIERS {
+            assert_eq!(
+                tier.json_flag.is_some(),
+                tier.default_json.is_some(),
+                "{} must have a flag iff it has a default path",
+                tier.token
+            );
+            if let Some(flag) = tier.json_flag {
+                assert!(flag.starts_with("--") && flag.ends_with("-json"));
             }
         }
     }

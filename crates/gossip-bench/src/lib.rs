@@ -18,6 +18,7 @@
 pub mod probes;
 pub mod runner;
 pub mod table;
+pub mod trial;
 
 pub use runner::HarnessConfig;
 pub use table::Table;

@@ -16,6 +16,7 @@
 
 use crate::probes::{CutTickProbe, EpochProbe};
 use crate::table::Table;
+use crate::trial::{run_trials, TrialRow};
 use gossip_analysis::dominance::DominanceReport;
 use gossip_analysis::random_walk::simple_walk_tail_frequency;
 use gossip_analysis::{concentration, regression, robust};
@@ -31,9 +32,11 @@ use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig, Simulatio
 use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
 use gossip_sim::sync::{RoundHandler, SyncConfig, SyncSimulator};
 use gossip_sim::values::NodeValues;
+use gossip_store::{TrialSink, ValueExt};
 use gossip_workloads::scenarios::robustness_suite;
 use gossip_workloads::sweep;
 use gossip_workloads::{ExperimentId, InitialCondition, Scenario};
+use serde::json::Value;
 use serde::{Deserialize, Serialize};
 
 /// Convenience error type of the harness (it aggregates errors from every
@@ -179,15 +182,54 @@ pub struct DumbbellSweep {
     pub rows: Vec<DumbbellSweepRow>,
 }
 
-/// Runs the dumbbell sweep shared by experiments E1, E2 and E3.
+impl TrialRow for DumbbellSweepRow {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("n".to_string(), Value::Number(self.n as f64)),
+            ("lower_bound".to_string(), Value::Number(self.lower_bound)),
+            ("upper_bound".to_string(), Value::Number(self.upper_bound)),
+            ("vanilla".to_string(), Value::Number(self.vanilla)),
+            ("weighted".to_string(), Value::Number(self.weighted)),
+            (
+                "random_neighbor".to_string(),
+                Value::Number(self.random_neighbor),
+            ),
+            ("algorithm_a".to_string(), Value::Number(self.algorithm_a)),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(DumbbellSweepRow {
+            n: value.field_usize("n")?,
+            lower_bound: value.field_f64("lower_bound")?,
+            upper_bound: value.field_f64("upper_bound")?,
+            vanilla: value.field_f64("vanilla")?,
+            weighted: value.field_f64("weighted")?,
+            random_neighbor: value.field_f64("random_neighbor")?,
+            algorithm_a: value.field_f64("algorithm_a")?,
+        })
+    }
+}
+
+/// Runs the dumbbell sweep shared by experiments E1, E2 and E3 (journaled
+/// under the single `DUMBBELL` token, since the three tables render the
+/// same trials).
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
-pub fn run_dumbbell_sweep(config: &HarnessConfig) -> BenchResult<DumbbellSweep> {
+/// Propagates graph-construction, simulation and journal errors.
+pub fn run_dumbbell_sweep(
+    config: &HarnessConfig,
+    sink: &dyn TrialSink,
+) -> BenchResult<DumbbellSweep> {
     let sizes = sweep::dumbbell_size_sweep(16, config.max_dumbbell_n());
-    let rows = config.executor().try_map_indexed(
-        sizes.len(),
+    let fingerprints: Vec<String> = sizes.values.iter().map(Scenario::fingerprint).collect();
+    let rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "DUMBBELL",
+        &fingerprints,
         |index| -> BenchResult<DumbbellSweepRow> {
             let scenario = &sizes.values[index];
             let instance = scenario.instantiate(config.seed)?;
@@ -333,39 +375,96 @@ pub struct E4Result {
     pub variance_lower_bound: f64,
 }
 
+impl TrialRow for E4Result {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("n".to_string(), Value::Number(self.n as f64)),
+            (
+                "per_tick_bound".to_string(),
+                Value::Number(self.per_tick_bound),
+            ),
+            (
+                "max_observed_delta".to_string(),
+                Value::Number(self.max_observed_delta),
+            ),
+            (
+                "observed_cut_ticks".to_string(),
+                Value::Number(self.observed_cut_ticks as f64),
+            ),
+            (
+                "expected_cut_ticks".to_string(),
+                Value::Number(self.expected_cut_ticks),
+            ),
+            ("horizon".to_string(), Value::Number(self.horizon)),
+            (
+                "final_variance".to_string(),
+                Value::Number(self.final_variance),
+            ),
+            (
+                "variance_lower_bound".to_string(),
+                Value::Number(self.variance_lower_bound),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(E4Result {
+            n: value.field_usize("n")?,
+            per_tick_bound: value.field_f64("per_tick_bound")?,
+            max_observed_delta: value.field_f64("max_observed_delta")?,
+            observed_cut_ticks: value.field_usize("observed_cut_ticks")?,
+            expected_cut_ticks: value.field_f64("expected_cut_ticks")?,
+            horizon: value.field_f64("horizon")?,
+            final_variance: value.field_f64("final_variance")?,
+            variance_lower_bound: value.field_f64("variance_lower_bound")?,
+        })
+    }
+}
+
 /// Runs experiment E4 and renders its table.
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
-pub fn run_e4(config: &HarnessConfig) -> BenchResult<(E4Result, Table)> {
+/// Propagates graph-construction, simulation and journal errors.
+pub fn run_e4(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<(E4Result, Table)> {
     let half = if config.quick { 32 } else { 64 };
-    let (graph, partition) = gossip_graph::generators::dumbbell(half)?;
-    let n1 = partition.smaller_block_size() as f64;
     let horizon = if config.quick { 20.0 } else { 40.0 };
-    let initial = AveragingTimeEstimator::adversarial_initial(&partition);
-    let probe = CutTickProbe::new(VanillaGossip::new(), partition.clone());
-    let sim_config = config.sharded(
-        SimulationConfig::new(config.seed.wrapping_add(4))
-            .with_stopping_rule(StoppingRule::max_time(horizon)),
-    );
-    let mut simulator = AsyncSimulator::new(&graph, initial, probe, sim_config)?;
-    let outcome = simulator.run()?;
-    let probe = simulator.handler();
+    let fingerprints = vec![format!("dumbbell(half={half})+horizon={horizon}")];
+    let mut rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "E4",
+        &fingerprints,
+        |_| -> BenchResult<E4Result> {
+            let (graph, partition) = gossip_graph::generators::dumbbell(half)?;
+            let n1 = partition.smaller_block_size() as f64;
+            let initial = AveragingTimeEstimator::adversarial_initial(&partition);
+            let probe = CutTickProbe::new(VanillaGossip::new(), partition.clone());
+            let sim_config = config.sharded(
+                SimulationConfig::new(config.seed.wrapping_add(4))
+                    .with_stopping_rule(StoppingRule::max_time(horizon)),
+            );
+            let mut simulator = AsyncSimulator::new(&graph, initial, probe, sim_config)?;
+            let outcome = simulator.run()?;
+            let probe = simulator.handler();
 
-    let y = outcome
-        .final_values
-        .block_mean(&partition, gossip_graph::partition::Block::One);
-    let result = E4Result {
-        n: graph.node_count(),
-        per_tick_bound: 2.0 / n1,
-        max_observed_delta: probe.max_delta(),
-        observed_cut_ticks: probe.cut_tick_count(),
-        expected_cut_ticks: horizon * partition.cut_edge_count() as f64,
-        horizon,
-        final_variance: outcome.final_variance,
-        variance_lower_bound: n1 * y * y / graph.node_count() as f64,
-    };
+            let y = outcome
+                .final_values
+                .block_mean(&partition, gossip_graph::partition::Block::One);
+            Ok(E4Result {
+                n: graph.node_count(),
+                per_tick_bound: 2.0 / n1,
+                max_observed_delta: probe.max_delta(),
+                observed_cut_ticks: probe.cut_tick_count(),
+                expected_cut_ticks: horizon * partition.cut_edge_count() as f64,
+                horizon,
+                final_variance: outcome.final_variance,
+                variance_lower_bound: n1 * y * y / graph.node_count() as f64,
+            })
+        },
+    )?;
+    let result = rows.pop().expect("E4 runs exactly one trial");
 
     let descriptor = ExperimentId::E4.descriptor();
     let mut table = Table::new(
@@ -414,65 +513,110 @@ pub struct E5Row {
     pub final_dominating: f64,
 }
 
+impl TrialRow for E5Row {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("n".to_string(), Value::Number(self.n as f64)),
+            ("epochs".to_string(), Value::Number(self.epochs as f64)),
+            (
+                "contraction_fraction".to_string(),
+                Value::Number(self.contraction_fraction),
+            ),
+            (
+                "ceiling_violation_fraction".to_string(),
+                Value::Number(self.ceiling_violation_fraction),
+            ),
+            ("dominated".to_string(), Value::Bool(self.dominated)),
+            (
+                "final_observed_drop".to_string(),
+                Value::Number(self.final_observed_drop),
+            ),
+            (
+                "final_dominating".to_string(),
+                Value::Number(self.final_dominating),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(E5Row {
+            n: value.field_usize("n")?,
+            epochs: value.field_usize("epochs")?,
+            contraction_fraction: value.field_f64("contraction_fraction")?,
+            ceiling_violation_fraction: value.field_f64("ceiling_violation_fraction")?,
+            dominated: value.field_bool("dominated")?,
+            final_observed_drop: value.field_f64("final_observed_drop")?,
+            final_dominating: value.field_f64("final_dominating")?,
+        })
+    }
+}
+
 /// Runs experiment E5 and renders its table.
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
-pub fn run_e5(config: &HarnessConfig) -> BenchResult<(Vec<E5Row>, Table)> {
+/// Propagates graph-construction, simulation and journal errors.
+pub fn run_e5(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<(Vec<E5Row>, Table)> {
     let halves: Vec<usize> = if config.quick {
         vec![16, 32]
     } else {
         vec![16, 32, 64]
     };
-    let maybe_rows =
-        config
-            .executor()
-            .try_map_indexed(halves.len(), |index| -> BenchResult<Option<E5Row>> {
-                let half = halves[index];
-                let (graph, partition) = gossip_graph::generators::dumbbell(half)?;
-                // Start from a within-block-noisy vector so that several epochs are
-                // needed (the clean adversarial vector converges after one transfer).
-                let initial = gossip_workloads::InitialCondition::Uniform { lo: -1.0, hi: 1.0 }
-                    .generate(graph.node_count(), Some(&partition), config.seed ^ 0x55)?;
-                let algorithm = SparseCutAlgorithm::from_partition(
-                    &graph,
-                    &partition,
-                    SparseCutConfig::new().with_epoch_constant(2.0),
-                )?;
-                let designated = algorithm.designated_edge();
-                let epoch_ticks = algorithm.epoch_ticks();
-                // Renormalize at every epoch boundary so that an arbitrary number of
-                // per-epoch contraction factors can be observed without the variance
-                // hitting the floating-point floor; stop after a fixed horizon of
-                // epochs rather than on convergence.
-                let target_epochs: f64 = if config.quick { 12.0 } else { 25.0 };
-                let probe =
-                    EpochProbe::new(algorithm, designated, epoch_ticks).with_renormalization();
-                let sim_config = config.sharded(
-                    SimulationConfig::new(config.seed.wrapping_add(50 + index as u64))
-                        .with_stopping_rule(StoppingRule::max_time(
-                            (target_epochs + 2.0) * epoch_ticks as f64,
-                        )),
-                );
-                let mut simulator = AsyncSimulator::new(&graph, initial, probe, sim_config)?;
-                let _ = simulator.run()?;
-                let probe = simulator.handler();
-                let increments = probe.log_variance_increments();
-                if increments.is_empty() {
-                    return Ok(None);
-                }
-                let report = DominanceReport::from_increments(&increments, graph.node_count())?;
-                Ok(Some(E5Row {
-                    n: graph.node_count(),
-                    epochs: report.epochs,
-                    contraction_fraction: report.contraction_fraction,
-                    ceiling_violation_fraction: report.ceiling_violation_fraction,
-                    dominated: report.dominated_pointwise,
-                    final_observed_drop: report.final_observed,
-                    final_dominating: report.final_dominating,
-                }))
-            })?;
+    let fingerprints: Vec<String> = halves
+        .iter()
+        .map(|half| format!("dumbbell(half={half})"))
+        .collect();
+    let maybe_rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "E5",
+        &fingerprints,
+        |index| -> BenchResult<Option<E5Row>> {
+            let half = halves[index];
+            let (graph, partition) = gossip_graph::generators::dumbbell(half)?;
+            // Start from a within-block-noisy vector so that several epochs are
+            // needed (the clean adversarial vector converges after one transfer).
+            let initial = gossip_workloads::InitialCondition::Uniform { lo: -1.0, hi: 1.0 }
+                .generate(graph.node_count(), Some(&partition), config.seed ^ 0x55)?;
+            let algorithm = SparseCutAlgorithm::from_partition(
+                &graph,
+                &partition,
+                SparseCutConfig::new().with_epoch_constant(2.0),
+            )?;
+            let designated = algorithm.designated_edge();
+            let epoch_ticks = algorithm.epoch_ticks();
+            // Renormalize at every epoch boundary so that an arbitrary number of
+            // per-epoch contraction factors can be observed without the variance
+            // hitting the floating-point floor; stop after a fixed horizon of
+            // epochs rather than on convergence.
+            let target_epochs: f64 = if config.quick { 12.0 } else { 25.0 };
+            let probe = EpochProbe::new(algorithm, designated, epoch_ticks).with_renormalization();
+            let sim_config = config.sharded(
+                SimulationConfig::new(config.seed.wrapping_add(50 + index as u64))
+                    .with_stopping_rule(StoppingRule::max_time(
+                        (target_epochs + 2.0) * epoch_ticks as f64,
+                    )),
+            );
+            let mut simulator = AsyncSimulator::new(&graph, initial, probe, sim_config)?;
+            let _ = simulator.run()?;
+            let probe = simulator.handler();
+            let increments = probe.log_variance_increments();
+            if increments.is_empty() {
+                return Ok(None);
+            }
+            let report = DominanceReport::from_increments(&increments, graph.node_count())?;
+            Ok(Some(E5Row {
+                n: graph.node_count(),
+                epochs: report.epochs,
+                contraction_fraction: report.contraction_fraction,
+                ceiling_violation_fraction: report.ceiling_violation_fraction,
+                dominated: report.dominated_pointwise,
+                final_observed_drop: report.final_observed,
+                final_dominating: report.final_dominating,
+            }))
+        },
+    )?;
     let rows: Vec<E5Row> = maybe_rows.into_iter().flatten().collect();
 
     let descriptor = ExperimentId::E5.descriptor();
@@ -507,12 +651,14 @@ pub fn run_e5(config: &HarnessConfig) -> BenchResult<(Vec<E5Row>, Table)> {
 // ---------------------------------------------------------------------------
 
 /// Runs experiment E6 (cut-width and epoch-constant sensitivity) and renders
-/// its two tables.
+/// its two tables.  Both sweeps journal under the `E6` token; the cut rows
+/// carry a `+part=cut` fingerprint suffix and the epoch-constant rows a
+/// `+C=<c>` suffix, so the two groups never collide.
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
-pub fn run_e6(config: &HarnessConfig) -> BenchResult<(Table, Table)> {
+/// Propagates graph-construction, simulation and journal errors.
+pub fn run_e6(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<(Table, Table)> {
     let descriptor = ExperimentId::E6.descriptor();
     // Part 1: cut width.
     let cluster = if config.quick { 16 } else { 24 };
@@ -521,8 +667,17 @@ pub fn run_e6(config: &HarnessConfig) -> BenchResult<(Table, Table)> {
         format!("{}: {} — cut width", descriptor.id, descriptor.title),
         &["|E12|", "Thm1 bound", "vanilla T_av", "Algorithm A T_av"],
     );
-    let cut_rows = config.executor().try_map_indexed(
-        cut_sweep.len(),
+    let cut_fingerprints: Vec<String> = cut_sweep
+        .values
+        .iter()
+        .map(|scenario| format!("{}+part=cut", scenario.fingerprint()))
+        .collect();
+    let cut_rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "E6",
+        &cut_fingerprints,
         |index| -> BenchResult<Vec<String>> {
             let scenario = &cut_sweep.values[index];
             let instance = scenario.instantiate(config.seed.wrapping_add(600 + index as u64))?;
@@ -556,8 +711,17 @@ pub fn run_e6(config: &HarnessConfig) -> BenchResult<(Table, Table)> {
         format!("{}: {} — epoch constant C", descriptor.id, descriptor.title),
         &["C", "epoch ticks", "Algorithm A T_av"],
     );
-    let c_rows = config.executor().try_map_indexed(
-        constants.len(),
+    let c_fingerprints: Vec<String> = constants
+        .values
+        .iter()
+        .map(|c| format!("dumbbell(half={half})+C={c}"))
+        .collect();
+    let c_rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "E6",
+        &c_fingerprints,
         |index| -> BenchResult<Vec<String>> {
             let c = constants.values[index];
             let estimator = config.estimator(800 + index as u64, 4000.0);
@@ -601,8 +765,8 @@ fn sync_settling_time<H: RoundHandler>(
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
-pub fn run_e7(config: &HarnessConfig) -> BenchResult<Table> {
+/// Propagates graph-construction, simulation and journal errors.
+pub fn run_e7(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<Table> {
     let descriptor = ExperimentId::E7.descriptor();
     let mut table = Table::new(
         format!("{}: {}", descriptor.id, descriptor.title),
@@ -619,40 +783,43 @@ pub fn run_e7(config: &HarnessConfig) -> BenchResult<Table> {
     } else {
         vec![16, 32, 64, 128]
     };
-    let rows =
-        config
-            .executor()
-            .try_map_indexed(sizes.len(), |index| -> BenchResult<Vec<String>> {
-                let n = sizes[index];
-                let (graph, partition) = gossip_graph::generators::dumbbell(n / 2)?;
-                let initial = AveragingTimeEstimator::adversarial_initial(&partition);
+    let fingerprints: Vec<String> = sizes
+        .iter()
+        .map(|n| format!("dumbbell(half={})", n / 2))
+        .collect();
+    let rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "E7",
+        &fingerprints,
+        |index| -> BenchResult<Vec<String>> {
+            let n = sizes[index];
+            let (graph, partition) = gossip_graph::generators::dumbbell(n / 2)?;
+            let initial = AveragingTimeEstimator::adversarial_initial(&partition);
 
-                let fos = sync_settling_time(&graph, initial.clone(), FirstOrderDiffusion::new())?;
-                let sos =
-                    sync_settling_time(&graph, initial.clone(), SecondOrderDiffusion::new(1.8)?)?;
+            let fos = sync_settling_time(&graph, initial.clone(), FirstOrderDiffusion::new())?;
+            let sos = sync_settling_time(&graph, initial.clone(), SecondOrderDiffusion::new(1.8)?)?;
 
-                let lower = bounds::theorem1_lower_bound(&partition);
-                let estimator = config.estimator(900 + index as u64, 80.0 * lower + 400.0);
-                let momentum = estimator.estimate(&graph, &partition, || {
-                    TwoTimeScaleGossip::for_graph(&graph, 0.7).expect("valid momentum")
-                })?;
-                let algo = estimator.estimate(&graph, &partition, || {
-                    SparseCutAlgorithm::from_partition(
-                        &graph,
-                        &partition,
-                        SparseCutConfig::default(),
-                    )
-                    .expect("valid partition")
-                })?;
-
-                Ok(vec![
-                    n.to_string(),
-                    fmt(fos),
-                    fmt(sos),
-                    fmt(momentum.averaging_time),
-                    fmt(algo.averaging_time),
-                ])
+            let lower = bounds::theorem1_lower_bound(&partition);
+            let estimator = config.estimator(900 + index as u64, 80.0 * lower + 400.0);
+            let momentum = estimator.estimate(&graph, &partition, || {
+                TwoTimeScaleGossip::for_graph(&graph, 0.7).expect("valid momentum")
             })?;
+            let algo = estimator.estimate(&graph, &partition, || {
+                SparseCutAlgorithm::from_partition(&graph, &partition, SparseCutConfig::default())
+                    .expect("valid partition")
+            })?;
+
+            Ok(vec![
+                n.to_string(),
+                fmt(fos),
+                fmt(sos),
+                fmt(momentum.averaging_time),
+                fmt(algo.averaging_time),
+            ])
+        },
+    )?;
     for row in rows {
         table.push_row(row);
     }
@@ -667,8 +834,8 @@ pub fn run_e7(config: &HarnessConfig) -> BenchResult<Table> {
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
-pub fn run_e8(config: &HarnessConfig) -> BenchResult<Table> {
+/// Propagates graph-construction, simulation and journal errors.
+pub fn run_e8(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<Table> {
     let descriptor = ExperimentId::E8.descriptor();
     let mut table = Table::new(
         format!("{}: {}", descriptor.id, descriptor.title),
@@ -684,33 +851,37 @@ pub fn run_e8(config: &HarnessConfig) -> BenchResult<Table> {
     );
     let total = if config.quick { 32 } else { 96 };
     let suite = robustness_suite(total);
-    let rows =
-        config
-            .executor()
-            .try_map_indexed(suite.len(), |index| -> BenchResult<Vec<String>> {
-                let scenario = &suite[index];
-                let instance =
-                    scenario.instantiate(config.seed.wrapping_add(100 + index as u64))?;
-                instance.validate_notation1()?;
-                let graph = &instance.graph;
-                let partition = &instance.partition;
-                let lower = bounds::theorem1_lower_bound(partition);
-                let estimator = config.estimator(1000 + index as u64, 80.0 * lower + 400.0);
-                let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
-                let algo = estimator.estimate(graph, partition, || {
-                    SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
-                        .expect("valid partition")
-                })?;
-                Ok(vec![
-                    instance.name.clone(),
-                    graph.node_count().to_string(),
-                    partition.cut_edge_count().to_string(),
-                    fmt(lower),
-                    fmt(vanilla.averaging_time),
-                    fmt(algo.averaging_time),
-                    fmt(vanilla.averaging_time / algo.averaging_time.max(1e-9)),
-                ])
+    let fingerprints: Vec<String> = suite.iter().map(Scenario::fingerprint).collect();
+    let rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "E8",
+        &fingerprints,
+        |index| -> BenchResult<Vec<String>> {
+            let scenario = &suite[index];
+            let instance = scenario.instantiate(config.seed.wrapping_add(100 + index as u64))?;
+            instance.validate_notation1()?;
+            let graph = &instance.graph;
+            let partition = &instance.partition;
+            let lower = bounds::theorem1_lower_bound(partition);
+            let estimator = config.estimator(1000 + index as u64, 80.0 * lower + 400.0);
+            let vanilla = estimator.estimate(graph, partition, VanillaGossip::new)?;
+            let algo = estimator.estimate(graph, partition, || {
+                SparseCutAlgorithm::from_partition(graph, partition, SparseCutConfig::default())
+                    .expect("valid partition")
             })?;
+            Ok(vec![
+                instance.name.clone(),
+                graph.node_count().to_string(),
+                partition.cut_edge_count().to_string(),
+                fmt(lower),
+                fmt(vanilla.averaging_time),
+                fmt(algo.averaging_time),
+                fmt(vanilla.averaging_time / algo.averaging_time.max(1e-9)),
+            ])
+        },
+    )?;
     for row in rows {
         table.push_row(row);
     }
@@ -725,8 +896,8 @@ pub fn run_e8(config: &HarnessConfig) -> BenchResult<Table> {
 ///
 /// # Errors
 ///
-/// Propagates analysis errors (none expected for the fixed parameters).
-pub fn run_e9(config: &HarnessConfig) -> BenchResult<Table> {
+/// Propagates analysis and journal errors.
+pub fn run_e9(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<Table> {
     let descriptor = ExperimentId::E9.descriptor();
     let mut table = Table::new(
         format!("{}: {}", descriptor.id, descriptor.title),
@@ -735,8 +906,16 @@ pub fn run_e9(config: &HarnessConfig) -> BenchResult<Table> {
     let k = 64;
     let trials = if config.quick { 4_000 } else { 20_000 };
     let thresholds = [0.5, 1.0, 1.5, 2.0, 2.5];
-    let rows = config.executor().try_map_indexed(
-        thresholds.len(),
+    let fingerprints: Vec<String> = thresholds
+        .iter()
+        .map(|s| format!("walk(k={k},s={s},trials={trials})"))
+        .collect();
+    let rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "E9",
+        &fingerprints,
         |index| -> BenchResult<Vec<String>> {
             let s = thresholds[index];
             let empirical = simple_walk_tail_frequency(k, s, trials, config.seed.wrapping_add(9));
@@ -767,12 +946,41 @@ pub struct E10Row {
     pub censored_runs: usize,
 }
 
+impl TrialRow for E10Row {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            (
+                "coefficient".to_string(),
+                Value::String(self.coefficient.clone()),
+            ),
+            ("gamma".to_string(), Value::Number(self.gamma)),
+            (
+                "averaging_time".to_string(),
+                Value::Number(self.averaging_time),
+            ),
+            (
+                "censored_runs".to_string(),
+                Value::Number(self.censored_runs as f64),
+            ),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(E10Row {
+            coefficient: value.field_str("coefficient")?.to_string(),
+            gamma: value.field_f64("gamma")?,
+            averaging_time: value.field_f64("averaging_time")?,
+            censored_runs: value.field_usize("censored_runs")?,
+        })
+    }
+}
+
 /// Runs experiment E10 (transfer-coefficient ablation) and renders its table.
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
-pub fn run_e10(config: &HarnessConfig) -> BenchResult<(Vec<E10Row>, Table)> {
+/// Propagates graph-construction, simulation and journal errors.
+pub fn run_e10(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<(Vec<E10Row>, Table)> {
     let half = if config.quick { 16 } else { 32 };
     let (graph, partition) = gossip_graph::generators::dumbbell(half)?;
     let n1 = partition.smaller_block_size();
@@ -798,28 +1006,35 @@ pub fn run_e10(config: &HarnessConfig) -> BenchResult<(Vec<E10Row>, Table)> {
             TransferCoefficient::Custom(0.5),
         ),
     ];
-    let rows =
-        config
-            .executor()
-            .try_map_indexed(choices.len(), |index| -> BenchResult<E10Row> {
-                let (name, coefficient) = &choices[index];
-                let coefficient = *coefficient;
-                let estimate: AveragingTimeEstimate =
-                    estimator.estimate(&graph, &partition, || {
-                        SparseCutAlgorithm::from_partition(
-                            &graph,
-                            &partition,
-                            SparseCutConfig::new().with_transfer_coefficient(coefficient),
-                        )
-                        .expect("valid partition")
-                    })?;
-                Ok(E10Row {
-                    coefficient: name.clone(),
-                    gamma: coefficient.resolve(n1, n2),
-                    averaging_time: estimate.averaging_time,
-                    censored_runs: estimate.censored_runs,
-                })
+    let fingerprints: Vec<String> = choices
+        .iter()
+        .map(|(_, coefficient)| format!("dumbbell(half={half})+coeff={coefficient:?}"))
+        .collect();
+    let rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "E10",
+        &fingerprints,
+        |index| -> BenchResult<E10Row> {
+            let (name, coefficient) = &choices[index];
+            let coefficient = *coefficient;
+            let estimate: AveragingTimeEstimate = estimator.estimate(&graph, &partition, || {
+                SparseCutAlgorithm::from_partition(
+                    &graph,
+                    &partition,
+                    SparseCutConfig::new().with_transfer_coefficient(coefficient),
+                )
+                .expect("valid partition")
             })?;
+            Ok(E10Row {
+                coefficient: name.clone(),
+                gamma: coefficient.resolve(n1, n2),
+                averaging_time: estimate.averaging_time,
+                censored_runs: estimate.censored_runs,
+            })
+        },
+    )?;
 
     let descriptor = ExperimentId::E10.descriptor();
     let mut table = Table::new(
@@ -926,9 +1141,34 @@ impl serde::Serialize for ScaleRow {
     }
 }
 
+impl TrialRow for ScaleRow {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(ScaleRow {
+            family: value.field_str("family")?.to_string(),
+            n: value.field_usize("n")?,
+            edges: value.field_usize("edges")?,
+            cut_edges: value.field_usize("cut_edges")?,
+            algebraic_connectivity: value.field_f64("algebraic_connectivity")?,
+            laplacian_lambda_max: value.field_f64("laplacian_lambda_max")?,
+            gossip_spectral_gap: value.field_f64("gossip_spectral_gap")?,
+            t_van_estimate: value.field_f64("t_van_estimate")?,
+            build_ms: value.field_f64("build_ms")?,
+            spectral_ms: value.field_f64("spectral_ms")?,
+        })
+    }
+}
+
 impl serde::Serialize for ScaleReport {
     fn to_json_value(&self) -> serde::json::Value {
         serde::json::Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                gossip_store::SCHEMA_VERSION.to_json_value(),
+            ),
             ("quick".to_string(), self.quick.to_json_value()),
             ("seed".to_string(), self.seed.to_json_value()),
             (
@@ -948,40 +1188,52 @@ impl serde::Serialize for ScaleReport {
 /// every bounded-degree family, pushes a `SpectralProfile` + `T_van`
 /// estimate through the sparse CSR/Lanczos path and records timings.
 ///
+/// On a resumed run, `largest_dense_dimension` only reflects the trials
+/// computed *this* process: fully replayed rows allocate nothing, so the
+/// tracker legitimately reads 0 — the sparse-path claim was already proven
+/// when the rows were first committed.
+///
 /// # Errors
 ///
-/// Propagates graph-construction and eigensolver errors.
-pub fn run_scale(config: &HarnessConfig) -> BenchResult<(ScaleReport, Table)> {
+/// Propagates graph-construction, eigensolver and journal errors.
+pub fn run_scale(
+    config: &HarnessConfig,
+    sink: &dyn TrialSink,
+) -> BenchResult<(ScaleReport, Table)> {
     gossip_linalg::matrix::reset_largest_dense_dimension();
     let sweep = sweep::scale_sweep(config.quick);
+    let fingerprints: Vec<String> = sweep.values.iter().map(Scenario::fingerprint).collect();
     // The dense-dimension tracker is a process-global atomic (fetch_max), so
     // concurrent rows feed it exactly like serial rows do.
-    let rows =
-        config
-            .executor()
-            .try_map_indexed(sweep.len(), |index| -> BenchResult<ScaleRow> {
-                let scenario = &sweep.values[index];
-                let build_start = std::time::Instant::now();
-                let instance =
-                    scenario.instantiate(config.seed.wrapping_add(1200 + index as u64))?;
-                let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
-                let spectral_start = std::time::Instant::now();
-                let profile = gossip_graph::spectral::SpectralProfile::compute(&instance.graph)?;
-                let t_van = profile.vanilla_averaging_time_estimate();
-                let spectral_ms = spectral_start.elapsed().as_secs_f64() * 1e3;
-                Ok(ScaleRow {
-                    family: instance.name.clone(),
-                    n: instance.graph.node_count(),
-                    edges: instance.graph.edge_count(),
-                    cut_edges: instance.partition.cut_edge_count(),
-                    algebraic_connectivity: profile.algebraic_connectivity,
-                    laplacian_lambda_max: profile.laplacian_lambda_max,
-                    gossip_spectral_gap: profile.gossip_spectral_gap,
-                    t_van_estimate: t_van,
-                    build_ms,
-                    spectral_ms,
-                })
-            })?;
+    let rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "SCALE",
+        &fingerprints,
+        |index| -> BenchResult<ScaleRow> {
+            let scenario = &sweep.values[index];
+            let build_start = std::time::Instant::now();
+            let instance = scenario.instantiate(config.seed.wrapping_add(1200 + index as u64))?;
+            let build_ms = build_start.elapsed().as_secs_f64() * 1e3;
+            let spectral_start = std::time::Instant::now();
+            let profile = gossip_graph::spectral::SpectralProfile::compute(&instance.graph)?;
+            let t_van = profile.vanilla_averaging_time_estimate();
+            let spectral_ms = spectral_start.elapsed().as_secs_f64() * 1e3;
+            Ok(ScaleRow {
+                family: instance.name.clone(),
+                n: instance.graph.node_count(),
+                edges: instance.graph.edge_count(),
+                cut_edges: instance.partition.cut_edge_count(),
+                algebraic_connectivity: profile.algebraic_connectivity,
+                laplacian_lambda_max: profile.laplacian_lambda_max,
+                gossip_spectral_gap: profile.gossip_spectral_gap,
+                t_van_estimate: t_van,
+                build_ms,
+                spectral_ms,
+            })
+        },
+    )?;
     let report = ScaleReport {
         quick: config.quick,
         seed: config.seed,
@@ -1101,9 +1353,35 @@ impl serde::Serialize for SimScaleRow {
     }
 }
 
+impl TrialRow for SimScaleRow {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(SimScaleRow {
+            family: value.field_str("family")?.to_string(),
+            n: value.field_usize("n")?,
+            edges: value.field_usize("edges")?,
+            initial: value.field_str("initial")?.to_string(),
+            ticks: value.field_u64("ticks")?,
+            stop_time: value.field_f64("stop_time")?,
+            stop_reason: value.field_str("stop_reason")?.to_string(),
+            variance_ratio: value.field_f64("variance_ratio")?,
+            moment_refreshes: value.field_u64("moment_refreshes")?,
+            wall_ms: value.field_f64("wall_ms")?,
+            ticks_per_sec: value.field_f64("ticks_per_sec")?,
+        })
+    }
+}
+
 impl serde::Serialize for SimScaleReport {
     fn to_json_value(&self) -> serde::json::Value {
         serde::json::Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                gossip_store::SCHEMA_VERSION.to_json_value(),
+            ),
             ("quick".to_string(), self.quick.to_json_value()),
             ("seed".to_string(), self.seed.to_json_value()),
             (
@@ -1122,18 +1400,26 @@ impl serde::Serialize for SimScaleReport {
 /// This is the row machinery of [`run_sim_scale`], exposed separately so the
 /// parallel-determinism suite can drive the real code path on a small
 /// scenario list.  All deterministic fields (everything except `wall_ms` and
-/// `ticks_per_sec`) are byte-identical at any job count.
+/// `ticks_per_sec`) are byte-identical at any job count.  Replayed rows
+/// return their wall-clock fields *as committed* — the timing of the run
+/// that originally paid for the trial.
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
+/// Propagates graph-construction, simulation and journal errors.
 pub fn sim_scale_rows(
     config: &HarnessConfig,
+    sink: &dyn TrialSink,
     scenarios: &[Scenario],
 ) -> BenchResult<Vec<SimScaleRow>> {
-    config
-        .executor()
-        .try_map_indexed(scenarios.len(), |index| -> BenchResult<SimScaleRow> {
+    let fingerprints: Vec<String> = scenarios.iter().map(Scenario::fingerprint).collect();
+    run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "SIM_SCALE",
+        &fingerprints,
+        |index| -> BenchResult<SimScaleRow> {
             let scenario = &scenarios[index];
             let instance = scenario.instantiate(config.seed.wrapping_add(1300 + index as u64))?;
             let graph = &instance.graph;
@@ -1178,7 +1464,8 @@ pub fn sim_scale_rows(
                 wall_ms,
                 ticks_per_sec: outcome.total_ticks as f64 / (wall_ms / 1e3).max(1e-9),
             })
-        })
+        },
+    )
 }
 
 /// Runs the simulation scaling-tier experiment: for every size in the scale
@@ -1193,11 +1480,14 @@ pub fn sim_scale_rows(
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors.
-pub fn run_sim_scale(config: &HarnessConfig) -> BenchResult<(SimScaleReport, Table)> {
+/// Propagates graph-construction, simulation and journal errors.
+pub fn run_sim_scale(
+    config: &HarnessConfig,
+    sink: &dyn TrialSink,
+) -> BenchResult<(SimScaleReport, Table)> {
     let sweep = sweep::sim_scale_sweep(config.quick);
     let refresh = gossip_sim::engine::DEFAULT_MOMENT_REFRESH_TICKS;
-    let rows = sim_scale_rows(config, &sweep.values)?;
+    let rows = sim_scale_rows(config, sink, &sweep.values)?;
     let report = SimScaleReport {
         quick: config.quick,
         seed: config.seed,
@@ -1338,9 +1628,39 @@ impl serde::Serialize for RobustnessRow {
     }
 }
 
+impl TrialRow for RobustnessRow {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(RobustnessRow {
+            family: value.field_str("family")?.to_string(),
+            fault: value.field_str("fault")?.to_string(),
+            n: value.field_usize("n")?,
+            edges: value.field_usize("edges")?,
+            drop_probability: value.field_f64("drop_probability")?,
+            baseline_ticks: value.field_u64("baseline_ticks")?,
+            ticks: value.field_u64("ticks")?,
+            stop_reason: value.field_str("stop_reason")?.to_string(),
+            variance_ratio: value.field_f64("variance_ratio")?,
+            mean_drift: value.field_f64("mean_drift")?,
+            delivered: value.field_u64("delivered")?,
+            dropped: value.field_u64("dropped")?,
+            edge_down_skips: value.field_u64("edge_down_skips")?,
+            node_pause_skips: value.field_u64("node_pause_skips")?,
+            worst_surviving_lambda2: value.field_f64("worst_surviving_lambda2")?,
+        })
+    }
+}
+
 impl serde::Serialize for RobustnessReport {
     fn to_json_value(&self) -> serde::json::Value {
         serde::json::Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                gossip_store::SCHEMA_VERSION.to_json_value(),
+            ),
             ("quick".to_string(), self.quick.to_json_value()),
             ("seed".to_string(), self.seed.to_json_value()),
             ("rows".to_string(), self.rows.to_json_value()),
@@ -1357,75 +1677,83 @@ impl serde::Serialize for RobustnessReport {
 ///
 /// # Errors
 ///
-/// Propagates graph-construction, fault-plan and simulation errors.
-pub fn run_robustness(config: &HarnessConfig) -> BenchResult<(RobustnessReport, Table)> {
+/// Propagates graph-construction, fault-plan, simulation and journal errors.
+pub fn run_robustness(
+    config: &HarnessConfig,
+    sink: &dyn TrialSink,
+) -> BenchResult<(RobustnessReport, Table)> {
     let sweep = sweep::robustness_sweep(config.quick);
-    let rows =
-        config
-            .executor()
-            .try_map_indexed(sweep.len(), |index| -> BenchResult<RobustnessRow> {
-                let case = &sweep.values[index];
-                let instance = case
-                    .scenario
-                    .instantiate(config.seed.wrapping_add(1600 + index as u64))?;
-                instance.validate_notation1()?;
-                let graph = &instance.graph;
-                let plan = case
-                    .fault
-                    .compile(&instance, config.seed.wrapping_add(1700 + index as u64));
-                let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
-                let base_config = config.sharded(
-                    SimulationConfig::new(config.seed.wrapping_add(1800 + index as u64))
-                        .with_clock_model(ClockModel::GlobalUniform)
-                        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000_000)),
-                );
+    let fingerprints: Vec<String> = sweep.values.iter().map(|case| case.fingerprint()).collect();
+    let rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "ROBUSTNESS",
+        &fingerprints,
+        |index| -> BenchResult<RobustnessRow> {
+            let case = &sweep.values[index];
+            let instance = case
+                .scenario
+                .instantiate(config.seed.wrapping_add(1600 + index as u64))?;
+            instance.validate_notation1()?;
+            let graph = &instance.graph;
+            let plan = case
+                .fault
+                .compile(&instance, config.seed.wrapping_add(1700 + index as u64));
+            let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
+            let base_config = config.sharded(
+                SimulationConfig::new(config.seed.wrapping_add(1800 + index as u64))
+                    .with_clock_model(ClockModel::GlobalUniform)
+                    .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000_000)),
+            );
 
-                let mut baseline_sim = AsyncSimulator::new(
-                    graph,
-                    initial.clone(),
-                    VanillaGossip::new(),
-                    base_config.clone(),
-                )?;
-                let baseline = baseline_sim.run()?;
+            let mut baseline_sim = AsyncSimulator::new(
+                graph,
+                initial.clone(),
+                VanillaGossip::new(),
+                base_config.clone(),
+            )?;
+            let baseline = baseline_sim.run()?;
 
-                let initial_mean = initial.mean();
-                let mut faulted_sim = AsyncSimulator::new(
-                    graph,
-                    initial,
-                    VanillaGossip::new(),
-                    base_config.with_fault_plan(plan.clone()),
-                )?;
-                let faulted = faulted_sim.run()?;
+            let initial_mean = initial.mean();
+            let mut faulted_sim = AsyncSimulator::new(
+                graph,
+                initial,
+                VanillaGossip::new(),
+                base_config.with_fault_plan(plan.clone()),
+            )?;
+            let faulted = faulted_sim.run()?;
 
-                // Worst surviving subgraph: remove everything the plan ever takes
-                // down and probe the weakest remaining island.
-                let mut view = gossip_graph::dynamic::DynamicGraphView::new(graph);
-                for edge in plan.edges_ever_down() {
-                    view.kill_edge(edge)?;
-                }
-                for node in plan.nodes_ever_paused() {
-                    view.kill_node(node)?;
-                }
-                let worst_lambda2 = view.worst_surviving_connectivity()?.unwrap_or(0.0);
+            // Worst surviving subgraph: remove everything the plan ever takes
+            // down and probe the weakest remaining island.
+            let mut view = gossip_graph::dynamic::DynamicGraphView::new(graph);
+            for edge in plan.edges_ever_down() {
+                view.kill_edge(edge)?;
+            }
+            for node in plan.nodes_ever_paused() {
+                view.kill_node(node)?;
+            }
+            let worst_lambda2 = view.worst_surviving_connectivity()?.unwrap_or(0.0);
 
-                Ok(RobustnessRow {
-                    family: instance.name.clone(),
-                    fault: case.fault.name(),
-                    n: graph.node_count(),
-                    edges: graph.edge_count(),
-                    drop_probability: case.fault.drop_probability(),
-                    baseline_ticks: baseline.total_ticks,
-                    ticks: faulted.total_ticks,
-                    stop_reason: format!("{:?}", faulted.stop_reason),
-                    variance_ratio: faulted.variance_ratio(),
-                    mean_drift: (faulted.final_values.mean() - initial_mean).abs(),
-                    delivered: faulted.fault_stats.delivered,
-                    dropped: faulted.fault_stats.dropped,
-                    edge_down_skips: faulted.fault_stats.edge_down_skips,
-                    node_pause_skips: faulted.fault_stats.node_pause_skips,
-                    worst_surviving_lambda2: worst_lambda2,
-                })
-            })?;
+            Ok(RobustnessRow {
+                family: instance.name.clone(),
+                fault: case.fault.name(),
+                n: graph.node_count(),
+                edges: graph.edge_count(),
+                drop_probability: case.fault.drop_probability(),
+                baseline_ticks: baseline.total_ticks,
+                ticks: faulted.total_ticks,
+                stop_reason: format!("{:?}", faulted.stop_reason),
+                variance_ratio: faulted.variance_ratio(),
+                mean_drift: (faulted.final_values.mean() - initial_mean).abs(),
+                delivered: faulted.fault_stats.delivered,
+                dropped: faulted.fault_stats.dropped,
+                edge_down_skips: faulted.fault_stats.edge_down_skips,
+                node_pause_skips: faulted.fault_stats.node_pause_skips,
+                worst_surviving_lambda2: worst_lambda2,
+            })
+        },
+    )?;
     let report = RobustnessReport {
         quick: config.quick,
         seed: config.seed,
@@ -1582,9 +1910,40 @@ impl serde::Serialize for AdversaryRow {
     }
 }
 
+impl TrialRow for AdversaryRow {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(AdversaryRow {
+            family: value.field_str("family")?.to_string(),
+            attack: value.field_str("attack")?.to_string(),
+            aggregation: value.field_str("aggregation")?.to_string(),
+            n: value.field_usize("n")?,
+            edges: value.field_usize("edges")?,
+            adversaries: value.field_usize("adversaries")?,
+            clean_ticks: value.field_u64("clean_ticks")?,
+            ticks: value.field_u64("ticks")?,
+            stop_reason: value.field_str("stop_reason")?.to_string(),
+            variance_ratio: value.field_f64("variance_ratio")?,
+            honest_drift: value.field_f64("honest_drift")?,
+            drift_bound: value.field_f64("drift_bound")?,
+            drift_oracle_ok: value.field_bool("drift_oracle_ok")?,
+            censored_contacts: value.field_u64("censored_contacts")?,
+            falsified_contacts: value.field_u64("falsified_contacts")?,
+            flagged_reports: value.field_u64("flagged_reports")?,
+        })
+    }
+}
+
 impl serde::Serialize for AdversaryReport {
     fn to_json_value(&self) -> serde::json::Value {
         serde::json::Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                gossip_store::SCHEMA_VERSION.to_json_value(),
+            ),
             ("quick".to_string(), self.quick.to_json_value()),
             ("seed".to_string(), self.seed.to_json_value()),
             ("rows".to_string(), self.rows.to_json_value()),
@@ -1617,102 +1976,111 @@ fn honest_mean(values: &NodeValues, excluded: &[NodeId]) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates graph-construction, adversary-plan and simulation errors, and
-/// fails outright if any row violates its drift oracle.
-pub fn run_adversary(config: &HarnessConfig) -> BenchResult<(AdversaryReport, Table)> {
+/// Propagates graph-construction, adversary-plan, simulation and journal
+/// errors, and fails outright if any row violates its drift oracle (a
+/// violated oracle is an `Err`, so the row never reaches the journal).
+pub fn run_adversary(
+    config: &HarnessConfig,
+    sink: &dyn TrialSink,
+) -> BenchResult<(AdversaryReport, Table)> {
     let sweep = sweep::adversary_sweep(config.quick);
-    let rows =
-        config
-            .executor()
-            .try_map_indexed(sweep.len(), |index| -> BenchResult<AdversaryRow> {
-                let case = &sweep.values[index];
-                let instance = case
-                    .scenario
-                    .instantiate(config.seed.wrapping_add(2700 + index as u64))?;
-                instance.validate_notation1()?;
-                let graph = &instance.graph;
-                let n = graph.node_count();
-                let plan = case
-                    .attack
-                    .compile(&instance, config.seed.wrapping_add(2800 + index as u64));
-                let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
-                let base_config = config.sharded(
-                    SimulationConfig::new(config.seed.wrapping_add(2900 + index as u64))
-                        .with_clock_model(ClockModel::GlobalUniform)
-                        .with_stopping_rule(
-                            StoppingRule::definition1().or_max_ticks(ADVERSARY_MAX_TICKS),
-                        ),
-                );
+    let fingerprints: Vec<String> = sweep.values.iter().map(|case| case.fingerprint()).collect();
+    let rows = run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "ADVERSARY",
+        &fingerprints,
+        |index| -> BenchResult<AdversaryRow> {
+            let case = &sweep.values[index];
+            let instance = case
+                .scenario
+                .instantiate(config.seed.wrapping_add(2700 + index as u64))?;
+            instance.validate_notation1()?;
+            let graph = &instance.graph;
+            let n = graph.node_count();
+            let plan = case
+                .attack
+                .compile(&instance, config.seed.wrapping_add(2800 + index as u64));
+            let initial = AveragingTimeEstimator::adversarial_initial(&instance.partition);
+            let base_config = config.sharded(
+                SimulationConfig::new(config.seed.wrapping_add(2900 + index as u64))
+                    .with_clock_model(ClockModel::GlobalUniform)
+                    .with_stopping_rule(
+                        StoppingRule::definition1().or_max_ticks(ADVERSARY_MAX_TICKS),
+                    ),
+            );
 
-                let mut clean_sim = AsyncSimulator::new(
-                    graph,
-                    initial.clone(),
-                    case.aggregation.build(n),
-                    base_config.clone(),
-                )?;
-                let clean = clean_sim.run()?;
+            let mut clean_sim = AsyncSimulator::new(
+                graph,
+                initial.clone(),
+                case.aggregation.build(n),
+                base_config.clone(),
+            )?;
+            let clean = clean_sim.run()?;
 
-                let adversarial_nodes = plan.adversarial_nodes();
-                let honest_initial_mean = honest_mean(&initial, &adversarial_nodes);
-                let (initial_min, initial_max) = initial
-                    .as_slice()
-                    .iter()
-                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                        (lo.min(v), hi.max(v))
-                    });
+            let adversarial_nodes = plan.adversarial_nodes();
+            let honest_initial_mean = honest_mean(&initial, &adversarial_nodes);
+            let (initial_min, initial_max) = initial
+                .as_slice()
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                    (lo.min(v), hi.max(v))
+                });
 
-                let mut attacked_sim = AsyncSimulator::new(
-                    graph,
-                    initial,
-                    case.aggregation.build(n),
-                    base_config.with_adversary_plan(plan.clone()),
-                )?;
-                let attacked = attacked_sim.run()?;
-                let stats = attacked.adversary_stats;
+            let mut attacked_sim = AsyncSimulator::new(
+                graph,
+                initial,
+                case.aggregation.build(n),
+                base_config.with_adversary_plan(plan.clone()),
+            )?;
+            let attacked = attacked_sim.run()?;
+            let stats = attacked.adversary_stats;
 
-                let honest_drift = (honest_mean(&attacked.final_values, &adversarial_nodes)
-                    - honest_initial_mean)
-                    .abs();
-                let drift_bound = if case.aggregation.is_mass_conserving() {
-                    robust::honest_drift_bound(stats.falsification_l1, n - adversarial_nodes.len())?
-                } else {
-                    robust::hull_drift_bound(
-                        initial_min,
-                        initial_max,
-                        stats.report_min,
-                        stats.report_max,
-                        honest_initial_mean,
-                    )?
-                };
-                let drift_oracle_ok = honest_drift <= drift_bound + 1e-9;
-                if !drift_oracle_ok {
-                    return Err(format!(
-                        "honest-subset drift oracle violated on {}: drift {honest_drift} > bound \
+            let honest_drift = (honest_mean(&attacked.final_values, &adversarial_nodes)
+                - honest_initial_mean)
+                .abs();
+            let drift_bound = if case.aggregation.is_mass_conserving() {
+                robust::honest_drift_bound(stats.falsification_l1, n - adversarial_nodes.len())?
+            } else {
+                robust::hull_drift_bound(
+                    initial_min,
+                    initial_max,
+                    stats.report_min,
+                    stats.report_max,
+                    honest_initial_mean,
+                )?
+            };
+            let drift_oracle_ok = honest_drift <= drift_bound + 1e-9;
+            if !drift_oracle_ok {
+                return Err(format!(
+                    "honest-subset drift oracle violated on {}: drift {honest_drift} > bound \
                      {drift_bound}",
-                        case.name()
-                    )
-                    .into());
-                }
+                    case.name()
+                )
+                .into());
+            }
 
-                Ok(AdversaryRow {
-                    family: instance.name.clone(),
-                    attack: case.attack.name(),
-                    aggregation: case.aggregation.name().to_string(),
-                    n,
-                    edges: graph.edge_count(),
-                    adversaries: adversarial_nodes.len(),
-                    clean_ticks: clean.total_ticks,
-                    ticks: attacked.total_ticks,
-                    stop_reason: format!("{:?}", attacked.stop_reason),
-                    variance_ratio: attacked.variance_ratio(),
-                    honest_drift,
-                    drift_bound,
-                    drift_oracle_ok,
-                    censored_contacts: stats.censored_contacts,
-                    falsified_contacts: stats.falsified_contacts,
-                    flagged_reports: stats.flagged_reports,
-                })
-            })?;
+            Ok(AdversaryRow {
+                family: instance.name.clone(),
+                attack: case.attack.name(),
+                aggregation: case.aggregation.name().to_string(),
+                n,
+                edges: graph.edge_count(),
+                adversaries: adversarial_nodes.len(),
+                clean_ticks: clean.total_ticks,
+                ticks: attacked.total_ticks,
+                stop_reason: format!("{:?}", attacked.stop_reason),
+                variance_ratio: attacked.variance_ratio(),
+                honest_drift,
+                drift_bound,
+                drift_oracle_ok,
+                censored_contacts: stats.censored_contacts,
+                falsified_contacts: stats.falsified_contacts,
+                flagged_reports: stats.flagged_reports,
+            })
+        },
+    )?;
     let report = AdversaryReport {
         quick: config.quick,
         seed: config.seed,
@@ -1983,9 +2351,94 @@ impl serde::Serialize for PerfShardRow {
     }
 }
 
+impl TrialRow for PerfThroughputRow {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(PerfThroughputRow {
+            family: value.field_str("family")?.to_string(),
+            n: value.field_usize("n")?,
+            edges: value.field_usize("edges")?,
+            ticks: value.field_u64("ticks")?,
+            stop_reason: value.field_str("stop_reason")?.to_string(),
+            variance_ratio: value.field_f64("variance_ratio")?,
+            wall_ms: value.field_f64("wall_ms")?,
+            ticks_per_sec: value.field_f64("ticks_per_sec")?,
+        })
+    }
+}
+
+impl TrialRow for PerfJobTiming {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(PerfJobTiming {
+            jobs: value.field_usize("jobs")?,
+            wall_ms: value.field_f64("wall_ms")?,
+            speedup: value.field_f64("speedup")?,
+        })
+    }
+}
+
+impl TrialRow for PerfEstimatorRow {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        let timings = value
+            .get("timings")?
+            .as_array()?
+            .iter()
+            .map(PerfJobTiming::from_value)
+            .collect::<Option<Vec<_>>>()?;
+        Some(PerfEstimatorRow {
+            family: value.field_str("family")?.to_string(),
+            n: value.field_usize("n")?,
+            runs: value.field_usize("runs")?,
+            averaging_time: value.field_f64("averaging_time")?,
+            mean_settling_time: value.field_f64("mean_settling_time")?,
+            confirmed_runs: value.field_usize("confirmed_runs")?,
+            wall_ms_serial: value.field_f64("wall_ms_serial")?,
+            wall_ms_parallel: value.field_f64("wall_ms_parallel")?,
+            speedup: value.field_f64("speedup")?,
+            timings,
+        })
+    }
+}
+
+impl TrialRow for PerfShardRow {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(PerfShardRow {
+            family: value.field_str("family")?.to_string(),
+            n: value.field_usize("n")?,
+            edges: value.field_usize("edges")?,
+            shards: value.field_usize("shards")?,
+            ticks: value.field_u64("ticks")?,
+            stop_reason: value.field_str("stop_reason")?.to_string(),
+            variance_ratio: value.field_f64("variance_ratio")?,
+            wall_ms_serial: value.field_f64("wall_ms_serial")?,
+            wall_ms_sharded: value.field_f64("wall_ms_sharded")?,
+            speedup: value.field_f64("speedup")?,
+        })
+    }
+}
+
 impl serde::Serialize for PerfReport {
     fn to_json_value(&self) -> serde::json::Value {
         serde::json::Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                gossip_store::SCHEMA_VERSION.to_json_value(),
+            ),
             ("quick".to_string(), self.quick.to_json_value()),
             ("seed".to_string(), self.seed.to_json_value()),
             ("jobs".to_string(), self.jobs.to_json_value()),
@@ -2044,26 +2497,37 @@ fn perf_estimator_suite(est_n: usize) -> Vec<Scenario> {
 ///
 /// # Errors
 ///
-/// Propagates graph-construction and simulation errors, and reports any
-/// parallel or sharded result that diverges from its serial twin as an
-/// error.
+/// Propagates graph-construction, simulation and journal errors, and
+/// reports any parallel or sharded result that diverges from its serial
+/// twin as an error.
 pub fn run_perf_sized(
     config: &HarnessConfig,
+    sink: &dyn TrialSink,
     sim_n: usize,
     est_n: usize,
     est_runs: usize,
     shard_n: usize,
 ) -> BenchResult<(PerfReport, Vec<Table>)> {
     let jobs = config.executor().jobs();
+    // ticks/s is this tier's headline metric, so every timed section runs
+    // strictly one trial at a time (a single-job executor) no matter what
+    // the harness job count is: concurrent siblings would contend for cache
+    // and memory bandwidth and deflate every row.  A handful of serial rows
+    // cost seconds; polluted throughput numbers poison the perf trajectory.
+    // Replayed trials return their wall-clock fields as committed.
+    let serial = Executor::new(1);
 
     let suite = gossip_workloads::scenarios::sim_scale_suite(sim_n);
-    // ticks/s is this tier's headline metric, so the timed relaxations run
-    // strictly one at a time (a single-job executor) no matter what the
-    // harness job count is: concurrent siblings would contend for cache and
-    // memory bandwidth and deflate every row.  Four serial rows cost
-    // seconds; polluted throughput numbers poison the perf trajectory.
-    let throughput = Executor::new(1).try_map_indexed(
-        suite.len(),
+    let throughput_fingerprints: Vec<String> = suite
+        .iter()
+        .map(|scenario| format!("{}+section=throughput", scenario.fingerprint()))
+        .collect();
+    let throughput = run_trials(
+        config,
+        &serial,
+        sink,
+        "PERF",
+        &throughput_fingerprints,
         |index| -> BenchResult<PerfThroughputRow> {
             let scenario = &suite[index];
             let instance = scenario.instantiate(config.seed.wrapping_add(1900 + index as u64))?;
@@ -2109,74 +2573,90 @@ pub fn run_perf_sized(
     let max_jobs = *job_grid.last().expect("grid is non-empty");
 
     let est_suite = perf_estimator_suite(est_n);
-    let mut estimator_rows = Vec::with_capacity(est_suite.len());
-    for (index, scenario) in est_suite.iter().enumerate() {
-        let instance = scenario.instantiate(config.seed.wrapping_add(2200 + index as u64))?;
-        let lower = bounds::theorem1_lower_bound(&instance.partition);
-        let base = EstimatorConfig::new(config.seed.wrapping_add(2300 + index as u64))
-            .with_runs(est_runs)
-            .with_max_time(60.0 * lower + 500.0)
-            .with_shards(config.shards);
+    let estimator_fingerprints: Vec<String> = est_suite
+        .iter()
+        .map(|scenario| {
+            format!(
+                "{}+section=estimator,runs={est_runs}",
+                scenario.fingerprint()
+            )
+        })
+        .collect();
+    let estimator_rows = run_trials(
+        config,
+        &serial,
+        sink,
+        "PERF",
+        &estimator_fingerprints,
+        |index| -> BenchResult<PerfEstimatorRow> {
+            let scenario = &est_suite[index];
+            let instance = scenario.instantiate(config.seed.wrapping_add(2200 + index as u64))?;
+            let lower = bounds::theorem1_lower_bound(&instance.partition);
+            let base = EstimatorConfig::new(config.seed.wrapping_add(2300 + index as u64))
+                .with_runs(est_runs)
+                .with_max_time(60.0 * lower + 500.0)
+                .with_shards(config.shards);
 
-        // Untimed warmup: spawns (and parks) the pool workers, faults the
-        // instance's pages in, and fills the per-worker scratch arenas, so
-        // the first timed pass doesn't pay one-time setup costs.
-        AveragingTimeEstimator::new(
-            base.clone()
-                .with_runs(est_runs.min(2))
-                .with_jobs(Some(max_jobs)),
-        )
-        .estimate(&instance.graph, &instance.partition, VanillaGossip::new)?;
+            // Untimed warmup: spawns (and parks) the pool workers, faults the
+            // instance's pages in, and fills the per-worker scratch arenas, so
+            // the first timed pass doesn't pay one-time setup costs.
+            AveragingTimeEstimator::new(
+                base.clone()
+                    .with_runs(est_runs.min(2))
+                    .with_jobs(Some(max_jobs)),
+            )
+            .estimate(&instance.graph, &instance.partition, VanillaGossip::new)?;
 
-        let mut baseline: Option<AveragingTimeEstimate> = None;
-        let mut timings: Vec<PerfJobTiming> = Vec::with_capacity(job_grid.len());
-        for &grid_jobs in &job_grid {
-            let start = std::time::Instant::now();
-            let estimate = AveragingTimeEstimator::new(base.clone().with_jobs(Some(grid_jobs)))
-                .estimate(&instance.graph, &instance.partition, VanillaGossip::new)?;
-            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            match &baseline {
-                None => baseline = Some(estimate),
-                Some(serial) => {
-                    let bitwise_equal = *serial == estimate
-                        && serial
-                            .settling_times
-                            .iter()
-                            .zip(estimate.settling_times.iter())
-                            .all(|(a, b)| a.to_bits() == b.to_bits());
-                    if !bitwise_equal {
-                        return Err(format!(
-                            "parallel estimate diverged from serial on {} at {} jobs: \
+            let mut baseline: Option<AveragingTimeEstimate> = None;
+            let mut timings: Vec<PerfJobTiming> = Vec::with_capacity(job_grid.len());
+            for &grid_jobs in &job_grid {
+                let start = std::time::Instant::now();
+                let estimate = AveragingTimeEstimator::new(base.clone().with_jobs(Some(grid_jobs)))
+                    .estimate(&instance.graph, &instance.partition, VanillaGossip::new)?;
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                match &baseline {
+                    None => baseline = Some(estimate),
+                    Some(serial) => {
+                        let bitwise_equal = *serial == estimate
+                            && serial
+                                .settling_times
+                                .iter()
+                                .zip(estimate.settling_times.iter())
+                                .all(|(a, b)| a.to_bits() == b.to_bits());
+                        if !bitwise_equal {
+                            return Err(format!(
+                                "parallel estimate diverged from serial on {} at {} jobs: \
                              {:?} vs {:?}",
-                            instance.name, grid_jobs, estimate, serial
-                        )
-                        .into());
+                                instance.name, grid_jobs, estimate, serial
+                            )
+                            .into());
+                        }
                     }
                 }
+                let serial_wall = timings.first().map_or(wall_ms, |t| t.wall_ms);
+                timings.push(PerfJobTiming {
+                    jobs: grid_jobs,
+                    wall_ms,
+                    speedup: serial_wall / wall_ms.max(1e-9),
+                });
             }
-            let serial_wall = timings.first().map_or(wall_ms, |t| t.wall_ms);
-            timings.push(PerfJobTiming {
-                jobs: grid_jobs,
-                wall_ms,
-                speedup: serial_wall / wall_ms.max(1e-9),
-            });
-        }
 
-        let serial = baseline.expect("the grid starts at one job");
-        let top = timings.last().expect("the grid is non-empty").clone();
-        estimator_rows.push(PerfEstimatorRow {
-            family: instance.name.clone(),
-            n: instance.graph.node_count(),
-            runs: est_runs,
-            averaging_time: serial.averaging_time,
-            mean_settling_time: serial.mean_settling_time,
-            confirmed_runs: serial.confirmed_runs,
-            wall_ms_serial: timings[0].wall_ms,
-            wall_ms_parallel: top.wall_ms,
-            speedup: top.speedup,
-            timings,
-        });
-    }
+            let serial_estimate = baseline.expect("the grid starts at one job");
+            let top = timings.last().expect("the grid is non-empty").clone();
+            Ok(PerfEstimatorRow {
+                family: instance.name.clone(),
+                n: instance.graph.node_count(),
+                runs: est_runs,
+                averaging_time: serial_estimate.averaging_time,
+                mean_settling_time: serial_estimate.mean_settling_time,
+                confirmed_runs: serial_estimate.confirmed_runs,
+                wall_ms_serial: timings[0].wall_ms,
+                wall_ms_parallel: top.wall_ms,
+                speedup: top.speedup,
+                timings,
+            })
+        },
+    )?;
 
     // Sharded relaxations: the same schedule at one shard versus the
     // configured width must agree bit for bit (the merge-order invariant),
@@ -2189,71 +2669,87 @@ pub fn run_perf_sized(
             half: (shard_n / 2).max(3),
         },
     ];
-    let mut sharded_rows = Vec::with_capacity(shard_suite.len());
-    for (index, scenario) in shard_suite.iter().enumerate() {
-        let instance = scenario.instantiate(config.seed.wrapping_add(2400 + index as u64))?;
-        let graph = &instance.graph;
-        let n = graph.node_count();
-        let initial = match scenario {
-            Scenario::ChordalRing { .. } => {
-                AveragingTimeEstimator::adversarial_initial(&instance.partition)
-            }
-            _ => InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
-                n,
-                Some(&instance.partition),
-                config.seed.wrapping_add(2500 + index as u64),
-            )?,
-        };
-        let base = SimulationConfig::new(config.seed.wrapping_add(2600 + index as u64))
-            .with_clock_model(ClockModel::GlobalUniform)
-            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
-            .with_max_events(4_000_000_000);
-        let run_at = |shards: usize| -> BenchResult<(SimulationOutcome, f64)> {
-            let start = std::time::Instant::now();
-            let mut simulator = AsyncSimulator::new(
-                graph,
-                initial.clone(),
-                VanillaGossip::new(),
-                base.clone().with_shards(shards),
-            )?;
-            let outcome = simulator.run()?;
-            Ok((outcome, start.elapsed().as_secs_f64() * 1e3))
-        };
-        let (serial_outcome, wall_ms_serial) = run_at(1)?;
-        let (sharded_outcome, wall_ms_sharded) = run_at(shard_width)?;
-
-        let bitwise_equal = serial_outcome.total_ticks == sharded_outcome.total_ticks
-            && serial_outcome.stop_reason == sharded_outcome.stop_reason
-            && serial_outcome.moment_refreshes == sharded_outcome.moment_refreshes
-            && serial_outcome.fault_stats == sharded_outcome.fault_stats
-            && serial_outcome.elapsed_time.to_bits() == sharded_outcome.elapsed_time.to_bits()
-            && serial_outcome
-                .final_values
-                .as_slice()
-                .iter()
-                .zip(sharded_outcome.final_values.as_slice().iter())
-                .all(|(a, b)| a.to_bits() == b.to_bits());
-        if !bitwise_equal {
-            return Err(format!(
-                "sharded relaxation diverged from its one-shard twin on {} at {} shards",
-                instance.name, shard_width
+    let sharded_fingerprints: Vec<String> = shard_suite
+        .iter()
+        .map(|scenario| {
+            format!(
+                "{}+section=sharded,width={shard_width}",
+                scenario.fingerprint()
             )
-            .into());
-        }
+        })
+        .collect();
+    let sharded_rows = run_trials(
+        config,
+        &serial,
+        sink,
+        "PERF",
+        &sharded_fingerprints,
+        |index| -> BenchResult<PerfShardRow> {
+            let scenario = &shard_suite[index];
+            let instance = scenario.instantiate(config.seed.wrapping_add(2400 + index as u64))?;
+            let graph = &instance.graph;
+            let n = graph.node_count();
+            let initial = match scenario {
+                Scenario::ChordalRing { .. } => {
+                    AveragingTimeEstimator::adversarial_initial(&instance.partition)
+                }
+                _ => InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
+                    n,
+                    Some(&instance.partition),
+                    config.seed.wrapping_add(2500 + index as u64),
+                )?,
+            };
+            let base = SimulationConfig::new(config.seed.wrapping_add(2600 + index as u64))
+                .with_clock_model(ClockModel::GlobalUniform)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
+                .with_max_events(4_000_000_000);
+            let run_at = |shards: usize| -> BenchResult<(SimulationOutcome, f64)> {
+                let start = std::time::Instant::now();
+                let mut simulator = AsyncSimulator::new(
+                    graph,
+                    initial.clone(),
+                    VanillaGossip::new(),
+                    base.clone().with_shards(shards),
+                )?;
+                let outcome = simulator.run()?;
+                Ok((outcome, start.elapsed().as_secs_f64() * 1e3))
+            };
+            let (serial_outcome, wall_ms_serial) = run_at(1)?;
+            let (sharded_outcome, wall_ms_sharded) = run_at(shard_width)?;
 
-        sharded_rows.push(PerfShardRow {
-            family: instance.name.clone(),
-            n,
-            edges: graph.edge_count(),
-            shards: shard_width,
-            ticks: serial_outcome.total_ticks,
-            stop_reason: format!("{:?}", serial_outcome.stop_reason),
-            variance_ratio: serial_outcome.variance_ratio(),
-            wall_ms_serial,
-            wall_ms_sharded,
-            speedup: wall_ms_serial / wall_ms_sharded.max(1e-9),
-        });
-    }
+            let bitwise_equal = serial_outcome.total_ticks == sharded_outcome.total_ticks
+                && serial_outcome.stop_reason == sharded_outcome.stop_reason
+                && serial_outcome.moment_refreshes == sharded_outcome.moment_refreshes
+                && serial_outcome.fault_stats == sharded_outcome.fault_stats
+                && serial_outcome.elapsed_time.to_bits() == sharded_outcome.elapsed_time.to_bits()
+                && serial_outcome
+                    .final_values
+                    .as_slice()
+                    .iter()
+                    .zip(sharded_outcome.final_values.as_slice().iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            if !bitwise_equal {
+                return Err(format!(
+                    "sharded relaxation diverged from its one-shard twin on {} at {} shards",
+                    instance.name, shard_width
+                )
+                .into());
+            }
+
+            Ok(PerfShardRow {
+                family: instance.name.clone(),
+                n,
+                edges: graph.edge_count(),
+                shards: shard_width,
+                ticks: serial_outcome.total_ticks,
+                stop_reason: format!("{:?}", serial_outcome.stop_reason),
+                variance_ratio: serial_outcome.variance_ratio(),
+                wall_ms_serial,
+                wall_ms_sharded,
+                speedup: wall_ms_serial / wall_ms_sharded.max(1e-9),
+            })
+        },
+    )?;
 
     let report = PerfReport {
         quick: config.quick,
@@ -2377,11 +2873,14 @@ pub fn run_perf_sized(
 /// # Errors
 ///
 /// See [`run_perf_sized`].
-pub fn run_perf(config: &HarnessConfig) -> BenchResult<(PerfReport, Vec<Table>)> {
+pub fn run_perf(
+    config: &HarnessConfig,
+    sink: &dyn TrialSink,
+) -> BenchResult<(PerfReport, Vec<Table>)> {
     if config.quick {
-        run_perf_sized(config, 2048, 256, 6, 2048)
+        run_perf_sized(config, sink, 2048, 256, 6, 2048)
     } else {
-        run_perf_sized(config, 16384, 512, 12, 50_000)
+        run_perf_sized(config, sink, 16384, 512, 12, 50_000)
     }
 }
 
@@ -2389,31 +2888,32 @@ pub fn run_perf(config: &HarnessConfig) -> BenchResult<(PerfReport, Vec<Table>)>
 // Convenience wrappers.
 // ---------------------------------------------------------------------------
 
-/// Runs every experiment and returns the rendered tables in order.
+/// Runs every experiment through `sink` and returns the rendered tables in
+/// order.
 ///
 /// # Errors
 ///
 /// Propagates the first failure of any experiment.
-pub fn run_all(config: &HarnessConfig) -> BenchResult<Vec<Table>> {
+pub fn run_all(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<Vec<Table>> {
     let mut tables = Vec::new();
-    let sweep = run_dumbbell_sweep(config)?;
+    let sweep = run_dumbbell_sweep(config, sink)?;
     tables.push(table_e1(&sweep));
     tables.push(table_e2(&sweep));
     tables.push(table_e3(&sweep));
-    tables.push(run_e4(config)?.1);
-    tables.push(run_e5(config)?.1);
-    let (cut_table, c_table) = run_e6(config)?;
+    tables.push(run_e4(config, sink)?.1);
+    tables.push(run_e5(config, sink)?.1);
+    let (cut_table, c_table) = run_e6(config, sink)?;
     tables.push(cut_table);
     tables.push(c_table);
-    tables.push(run_e7(config)?);
-    tables.push(run_e8(config)?);
-    tables.push(run_e9(config)?);
-    tables.push(run_e10(config)?.1);
-    tables.push(run_scale(config)?.1);
-    tables.push(run_sim_scale(config)?.1);
-    tables.push(run_robustness(config)?.1);
-    tables.push(run_adversary(config)?.1);
-    let (_, perf_tables) = run_perf(config)?;
+    tables.push(run_e7(config, sink)?);
+    tables.push(run_e8(config, sink)?);
+    tables.push(run_e9(config, sink)?);
+    tables.push(run_e10(config, sink)?.1);
+    tables.push(run_scale(config, sink)?.1);
+    tables.push(run_sim_scale(config, sink)?.1);
+    tables.push(run_robustness(config, sink)?.1);
+    tables.push(run_adversary(config, sink)?.1);
+    let (_, perf_tables) = run_perf(config, sink)?;
     tables.extend(perf_tables);
     Ok(tables)
 }
@@ -2456,6 +2956,7 @@ pub fn bench_scenarios() -> Vec<Scenario> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gossip_store::NullSink;
 
     #[test]
     fn harness_config_modes() {
@@ -2470,7 +2971,7 @@ mod tests {
 
     #[test]
     fn e9_table_has_expected_shape() {
-        let table = run_e9(&HarnessConfig::quick()).unwrap();
+        let table = run_e9(&HarnessConfig::quick(), &NullSink).unwrap();
         assert_eq!(table.row_count(), 5);
         assert!(table.to_string().contains("Theorem 3"));
     }
@@ -2479,7 +2980,7 @@ mod tests {
     fn e4_runs_and_claim_holds_on_tiny_instance() {
         let mut config = HarnessConfig::quick();
         config.seed = 42;
-        let (result, table) = run_e4(&config).unwrap();
+        let (result, table) = run_e4(&config, &NullSink).unwrap();
         assert!(e4_claim_holds(&result), "E4 claim failed: {result:?}");
         assert_eq!(table.row_count(), 3);
         assert!(result.observed_cut_ticks > 0);
@@ -2567,7 +3068,7 @@ mod tests {
 
     #[test]
     fn e10_ablation_shows_exact_balance_best() {
-        let (rows, table) = run_e10(&HarnessConfig::quick()).unwrap();
+        let (rows, table) = run_e10(&HarnessConfig::quick(), &NullSink).unwrap();
         assert_eq!(rows.len(), 4);
         assert_eq!(table.row_count(), 4);
         let exact = &rows[0];

@@ -1,0 +1,313 @@
+//! Per-trial plumbing between the tier runners and the run store.
+//!
+//! Every bench tier decomposes into *trials*: independent seeded
+//! computations, one per scenario fingerprint, whose results are the rows
+//! the tier's tables and `BENCH_*.json` reports render.  [`run_trials`] is
+//! the one fan-out path they all share:
+//!
+//! 1. derive each trial's journal key from `(experiment token, fingerprint,
+//!    base seed, engine fingerprint)`;
+//! 2. replay every trial the [`TrialSink`] has already committed (decoding
+//!    the journaled row back into the tier's row struct — a row that fails
+//!    to decode is recomputed, never trusted);
+//! 3. fan the harness executor out over the *missing* trials only, passing
+//!    each compute closure its original index (tier seed offsets are
+//!    index-derived, so replayed and computed rows mix bit-identically);
+//! 4. commit each freshly computed row from inside the worker, after the
+//!    tier's oracles passed (oracle failures are `Err`s, so they never
+//!    reach the journal);
+//! 5. merge replayed and computed rows back in input order.
+//!
+//! The engine fingerprint folds in everything that changes trial *outputs*:
+//! quick/full mode and the legacy-vs-sharded engine.  Job counts and shard
+//! widths are deliberately excluded — outputs are byte-identical across
+//! them, so a journal written at `--jobs 8 --shards 4` replays under
+//! `--jobs 1 --shards 1` and vice versa.
+
+use crate::runner::{BenchResult, HarnessConfig};
+use gossip_exec::Executor;
+use gossip_store::{trial_key, TrialRecord, TrialSink};
+use serde::json::Value;
+
+/// The engine part of a trial key: every configuration axis that changes
+/// trial outputs (and nothing that doesn't).
+#[must_use]
+pub fn engine_fingerprint(config: &HarnessConfig) -> String {
+    format!(
+        "{};engine={}",
+        if config.quick { "quick" } else { "full" },
+        if config.shards.is_some() {
+            "sharded"
+        } else {
+            "legacy"
+        }
+    )
+}
+
+/// A tier row that can round-trip through a journaled JSON value.
+///
+/// `from_value` is the *decoder*: it must accept exactly what `to_value`
+/// produced and return `None` on anything else (missing field, wrong type,
+/// non-integral count).  [`run_trials`] treats a `None` as "recompute this
+/// trial" — recomputing is always safe, misdecoding never is.
+pub trait TrialRow: Sized + Send {
+    /// Encodes the row as the journal's JSON value.
+    fn to_value(&self) -> Value;
+    /// Decodes a journaled value back into the row; `None` on any mismatch.
+    fn from_value(value: &Value) -> Option<Self>;
+}
+
+/// Optional rows journal as `null` / the inner row's value (E5 skips
+/// configurations whose estimator cannot certify a bound).
+impl<T: TrialRow> TrialRow for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(row) => row.to_value(),
+            None => Value::Null,
+        }
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        match value {
+            Value::Null => Some(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+/// Plain string-list rows (the E6 sweeps journal their rendered cells).
+impl TrialRow for Vec<String> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().cloned().map(Value::String).collect())
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| match item {
+                    Value::String(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+}
+
+/// Replays committed trials, computes and commits the missing ones over
+/// `executor`, and returns all rows in input order.
+///
+/// `compute` receives the trial's *original* index into `fingerprints`, so
+/// index-derived seed offsets are preserved regardless of which subset is
+/// being computed.
+pub fn run_trials<T: TrialRow>(
+    config: &HarnessConfig,
+    executor: &Executor,
+    sink: &dyn TrialSink,
+    experiment: &str,
+    fingerprints: &[String],
+    compute: impl Fn(usize) -> BenchResult<T> + Sync,
+) -> BenchResult<Vec<T>> {
+    let engine = engine_fingerprint(config);
+    let keys: Vec<_> = fingerprints
+        .iter()
+        .map(|fp| trial_key(experiment, fp, config.seed, &engine))
+        .collect();
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(fingerprints.len());
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let replayed = sink
+            .replay(experiment, *key)
+            .and_then(|value| T::from_value(&value));
+        match replayed {
+            Some(row) => slots.push(Some(row)),
+            None => {
+                slots.push(None);
+                missing.push(i);
+            }
+        }
+    }
+
+    if !missing.is_empty() {
+        let computed = executor.try_map_indexed(missing.len(), |slot| {
+            let i = missing[slot];
+            let row = compute(i)?;
+            sink.commit(TrialRecord {
+                key: keys[i],
+                experiment: experiment.to_string(),
+                fingerprint: fingerprints[i].clone(),
+                seed: config.seed,
+                row: row.to_value(),
+            })?;
+            Ok::<T, crate::runner::BenchError>(row)
+        })?;
+        for (slot, row) in missing.into_iter().zip(computed) {
+            slots[slot] = Some(row);
+        }
+    }
+
+    Ok(slots
+        .into_iter()
+        .map(|slot| slot.expect("every trial slot is replayed or computed"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gossip_store::{NullSink, RunStore, StoreSink};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Row {
+        index: usize,
+    }
+
+    impl TrialRow for Row {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![(
+                "index".to_string(),
+                Value::Number(self.index as f64),
+            )])
+        }
+
+        fn from_value(value: &Value) -> Option<Self> {
+            use gossip_store::ValueExt;
+            Some(Row {
+                index: value.field_usize("index")?,
+            })
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gossip-trial-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        path
+    }
+
+    fn fingerprints(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("probe(i={i})")).collect()
+    }
+
+    #[test]
+    fn engine_fingerprint_tracks_mode_and_engine() {
+        let mut config = HarnessConfig::quick();
+        assert_eq!(engine_fingerprint(&config), "quick;engine=legacy");
+        config.quick = false;
+        config.shards = Some(4);
+        assert_eq!(engine_fingerprint(&config), "full;engine=sharded");
+        // Job counts and shard widths never change outputs, so they never
+        // change the fingerprint.
+        let narrower = HarnessConfig {
+            jobs: Some(1),
+            shards: Some(1),
+            ..config
+        };
+        assert_eq!(engine_fingerprint(&narrower), engine_fingerprint(&config));
+    }
+
+    #[test]
+    fn null_sink_computes_every_trial() {
+        let config = HarnessConfig::quick();
+        let executor = Executor::new(1);
+        let calls = AtomicUsize::new(0);
+        let rows = run_trials(&config, &executor, &NullSink, "E8", &fingerprints(4), |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(Row { index: i })
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert_eq!(rows, (0..4).map(|index| Row { index }).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn store_sink_replays_committed_trials_at_original_indexes() {
+        let dir = temp_dir("replay");
+        let config = HarnessConfig::quick();
+        let executor = Executor::new(1);
+
+        let sink = StoreSink::new(RunStore::open(&dir, false).unwrap());
+        run_trials(&config, &executor, &sink, "E8", &fingerprints(4), |i| {
+            Ok(Row { index: i })
+        })
+        .unwrap();
+        let store = sink.into_store();
+
+        // Resume: drop two committed trials by asking for a superset, and
+        // check only the genuinely missing indexes are recomputed.
+        drop(store);
+        let sink = StoreSink::new(RunStore::open(&dir, true).unwrap());
+        let calls = AtomicUsize::new(0);
+        let rows = run_trials(&config, &executor, &sink, "E8", &fingerprints(6), |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(Row { index: i })
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+        assert_eq!(rows, (0..6).map(|index| Row { index }).collect::<Vec<_>>());
+        let stats = sink.stats();
+        assert_eq!(stats["E8"].replayed, 4);
+        assert_eq!(stats["E8"].computed, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oracle_failures_never_commit() {
+        let dir = temp_dir("oracle");
+        let config = HarnessConfig::quick();
+        let executor = Executor::new(1);
+        let sink = StoreSink::new(RunStore::open(&dir, false).unwrap());
+        let result = run_trials(&config, &executor, &sink, "E8", &fingerprints(3), |i| {
+            if i == 1 {
+                Err("oracle violated".into())
+            } else {
+                Ok(Row { index: i })
+            }
+        });
+        assert!(result.is_err());
+        let store = sink.into_store();
+        // The failing trial reached no journal; trial 0 may have committed
+        // before the failure, trial 2's fate depends on executor order, but
+        // index 1 must be absent.
+        let engine = engine_fingerprint(&config);
+        let bad_key = trial_key("E8", "probe(i=1)", config.seed, &engine);
+        assert!(store.replay(bad_key).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undecodable_rows_are_recomputed() {
+        let dir = temp_dir("undecodable");
+        let config = HarnessConfig::quick();
+        let executor = Executor::new(1);
+        let engine = engine_fingerprint(&config);
+
+        // Commit a row whose shape the decoder rejects.
+        let mut store = RunStore::open(&dir, false).unwrap();
+        store
+            .commit(TrialRecord {
+                key: trial_key("E8", "probe(i=0)", config.seed, &engine),
+                experiment: "E8".to_string(),
+                fingerprint: "probe(i=0)".to_string(),
+                seed: config.seed,
+                row: Value::Object(vec![("wrong".to_string(), Value::Bool(true))]),
+            })
+            .unwrap();
+        drop(store);
+
+        let sink = StoreSink::new(RunStore::open(&dir, true).unwrap());
+        let calls = AtomicUsize::new(0);
+        let rows = run_trials(&config, &executor, &sink, "E8", &fingerprints(1), |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(Row { index: i })
+        })
+        .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(rows, vec![Row { index: 0 }]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,113 @@
+//! Journaled, resumable run store for the experiment harness.
+//!
+//! Every bench-tier trial — one scenario row of one tier at one seed — is a
+//! *committed, hash-keyed, auditable record*: the tier computes the row,
+//! its oracles pass (a failing oracle is an error, so nothing is written),
+//! and only then is the row appended to an **append-only JSONL journal**
+//! keyed by a splitmix64 hash of `(experiment id, scenario fingerprint,
+//! seed, engine config)`.  A resumed sweep loads the journal, *skips* every
+//! committed trial (replaying its row bit-identically from disk — the
+//! vendored JSON round trip is shortest-representation exact for finite
+//! `f64`s), and fans the parallel executor out over the uncommitted set
+//! only.  Reports are pure renderings of the store's rows, so an
+//! interrupted-and-resumed sweep renders the same bytes as an uninterrupted
+//! one.
+//!
+//! Modules:
+//!
+//! * [`hash`] — splitmix64 and the trial-key derivation.
+//! * [`journal`] — the append-only JSONL journal with crash-safe load
+//!   (a truncated or corrupted **final** record is detected and dropped;
+//!   corruption anywhere earlier is an error).
+//! * [`store`] — [`RunStore`] (per-tier journals + committed index) and the
+//!   [`TrialSink`] abstraction every tier writes through ([`NullSink`] for
+//!   store-less runs, [`StoreSink`] for journal-backed runs).
+//! * [`value`] — field accessors for decoding journaled rows.
+//! * [`views`] — in-memory analysis views grouping committed trials per
+//!   tier and family.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash;
+pub mod journal;
+pub mod store;
+pub mod value;
+pub mod views;
+
+pub use hash::{trial_key, TrialKey};
+pub use journal::{Journal, JournalLoad, TrialRecord};
+pub use store::{NullSink, RunStore, SinkStats, StoreSink, TrialSink};
+pub use value::ValueExt;
+pub use views::{FamilyView, StoreSummary, TierView};
+
+use std::fmt;
+
+/// Version of the trial-journal record format **and** of every
+/// `BENCH_*.json` report.  Bumped in this one place whenever a record or
+/// report schema changes shape; the journal loader rejects records written
+/// at any other version (a resumed sweep must never replay rows whose
+/// layout the current binary misreads — recomputing is always safe,
+/// misdecoding never is).
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Errors of the run store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An I/O failure on the journal file or store directory.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A record before the final one failed to parse — the journal is
+    /// damaged beyond the crash-safe tail-drop and must not be trusted.
+    CorruptRecord {
+        /// The journal file.
+        path: String,
+        /// 1-based line number of the damaged record.
+        line: usize,
+        /// Parse failure detail.
+        reason: String,
+    },
+    /// A record was written at a different [`SCHEMA_VERSION`].
+    SchemaVersion {
+        /// The journal file.
+        path: String,
+        /// 1-based line number of the record.
+        line: usize,
+        /// The version found in the record.
+        found: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => write!(f, "run store I/O error on {path}: {source}"),
+            StoreError::CorruptRecord { path, line, reason } => write!(
+                f,
+                "corrupt journal record at {path}:{line} (not the final record, so the \
+                 crash-safe tail drop does not apply): {reason}"
+            ),
+            StoreError::SchemaVersion { path, line, found } => write!(
+                f,
+                "journal record at {path}:{line} has schema version {found}, this binary \
+                 writes {SCHEMA_VERSION}; delete the store directory or rerun without --resume"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Result alias of the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,428 @@
+//! The run store: per-tier journals plus the committed-trial index, and
+//! the [`TrialSink`] abstraction every bench tier writes through.
+//!
+//! A tier never touches files itself.  It asks its sink to
+//! [`TrialSink::replay`] a trial key — getting the journaled row back if
+//! that exact trial (same tier, scenario fingerprint, seed, and engine
+//! config) already committed — and calls [`TrialSink::commit`] with each
+//! freshly computed row *after its oracles passed*.  [`NullSink`] makes
+//! both a no-op so store-less runs take the identical code path;
+//! [`StoreSink`] backs them with a [`RunStore`] and counts
+//! replayed/computed trials per tier for the run summary.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::json::Value;
+
+use crate::hash::TrialKey;
+use crate::journal::{Journal, TrialRecord};
+use crate::{Result, StoreError};
+
+/// Where bench tiers send computed trials and ask for replays.
+///
+/// `Sync` because commits happen inside the parallel executor's worker
+/// closures, as trials complete — durability is incremental, not batched
+/// at the end of a sweep.
+pub trait TrialSink: Sync {
+    /// Returns the committed row of `key`, if this exact trial already
+    /// committed.  `experiment` is the tier's CLI token (used for
+    /// accounting; the key alone identifies the trial).
+    fn replay(&self, experiment: &str, key: TrialKey) -> Option<Value>;
+
+    /// Durably commits one freshly computed trial.  Callers only invoke
+    /// this after the trial's oracles passed — a failed oracle is an error
+    /// on the compute path, so nothing reaches the journal.
+    fn commit(&self, record: TrialRecord) -> Result<()>;
+}
+
+/// Sink for store-less runs: replays nothing, commits nowhere.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TrialSink for NullSink {
+    fn replay(&self, _experiment: &str, _key: TrialKey) -> Option<Value> {
+        None
+    }
+
+    fn commit(&self, _record: TrialRecord) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// The journal-backed run store: one JSONL journal per tier under the
+/// store directory (`<dir>/<token lowercase>.jsonl`), plus an in-memory
+/// index of every committed trial.
+#[derive(Debug)]
+pub struct RunStore {
+    dir: PathBuf,
+    resume: bool,
+    /// Every committed record (loaded + fresh), in arrival order.
+    records: Vec<TrialRecord>,
+    /// Trial key -> index into `records`; a later commit of the same key
+    /// wins (journals are append-only, so re-runs shadow instead of edit).
+    index: BTreeMap<TrialKey, usize>,
+    /// Per-tier append handles, keyed by CLI token.
+    journals: BTreeMap<String, Journal>,
+    /// Tiers whose journal file has been reset this run (fresh mode only).
+    reset: std::collections::BTreeSet<String>,
+    /// Human-readable notes from loading (dropped crash tails).
+    notes: Vec<String>,
+}
+
+impl RunStore {
+    /// Opens a store rooted at `dir`.
+    ///
+    /// With `resume` set, every `*.jsonl` journal under `dir` is loaded
+    /// with the crash-safe tail policy, truncated to its valid prefix, and
+    /// indexed — subsequent [`RunStore::replay`] calls serve those trials
+    /// from memory.  Without `resume`, nothing is loaded and each tier's
+    /// journal is reset the first time that tier commits, so a fresh run
+    /// never mixes old and new trials in one file.
+    pub fn open(dir: &Path, resume: bool) -> Result<Self> {
+        std::fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+            path: dir.display().to_string(),
+            source,
+        })?;
+        let mut store = RunStore {
+            dir: dir.to_path_buf(),
+            resume,
+            records: Vec::new(),
+            index: BTreeMap::new(),
+            journals: BTreeMap::new(),
+            reset: std::collections::BTreeSet::new(),
+            notes: Vec::new(),
+        };
+        if resume {
+            store.load_existing()?;
+        }
+        Ok(store)
+    }
+
+    fn load_existing(&mut self) -> Result<()> {
+        let entries = std::fs::read_dir(&self.dir).map_err(|source| StoreError::Io {
+            path: self.dir.display().to_string(),
+            source,
+        })?;
+        let mut paths: Vec<PathBuf> = entries
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let load = Journal::load(&path)?;
+            if let Some(reason) = load.dropped_tail {
+                self.notes
+                    .push(format!("{}: dropped crash tail ({reason})", path.display()));
+                Journal::truncate_to(&path, load.valid_len)?;
+            }
+            for record in load.records {
+                self.insert(record);
+            }
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self, record: TrialRecord) {
+        let key = record.key;
+        self.records.push(record);
+        self.index.insert(key, self.records.len() - 1);
+    }
+
+    /// The journal path of one tier.
+    #[must_use]
+    pub fn journal_path(&self, experiment: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}.jsonl", experiment.to_lowercase()))
+    }
+
+    /// Returns the committed row of `key`, if present.
+    #[must_use]
+    pub fn replay(&self, key: TrialKey) -> Option<&Value> {
+        self.index.get(&key).map(|&i| &self.records[i].row)
+    }
+
+    /// Commits one trial: appends it to the tier's journal (resetting the
+    /// file first in fresh mode) and indexes it.
+    pub fn commit(&mut self, record: TrialRecord) -> Result<()> {
+        let token = record.experiment.clone();
+        if !self.resume && self.reset.insert(token.clone()) {
+            let path = self.journal_path(&token);
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(source) => {
+                    return Err(StoreError::Io {
+                        path: path.display().to_string(),
+                        source,
+                    })
+                }
+            }
+        }
+        let path = self.journal_path(&token);
+        let journal = self
+            .journals
+            .entry(token)
+            .or_insert_with(|| Journal::new(path));
+        journal.append(&record)?;
+        self.insert(record);
+        Ok(())
+    }
+
+    /// Every *live* committed record — one per trial key, later commits
+    /// shadowing earlier ones — in key order.
+    pub fn live_records(&self) -> impl Iterator<Item = &TrialRecord> {
+        self.index.values().map(|&i| &self.records[i])
+    }
+
+    /// Number of live committed trials of one tier.
+    #[must_use]
+    pub fn committed_count(&self, experiment: &str) -> usize {
+        self.live_records()
+            .filter(|r| r.experiment == experiment)
+            .count()
+    }
+
+    /// Load-time notes (dropped crash tails), for the run summary.
+    #[must_use]
+    pub fn notes(&self) -> &[String] {
+        &self.notes
+    }
+}
+
+/// Per-tier replay/compute accounting of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkStats {
+    /// Trials served from the journal without recomputation.
+    pub replayed: usize,
+    /// Trials computed and freshly committed this run.
+    pub computed: usize,
+}
+
+/// A [`TrialSink`] backed by a [`RunStore`].
+///
+/// Interior mutability (a mutex around the store and one around the stats)
+/// lets executor worker closures share one sink by reference; contention is
+/// negligible because trials spend their time simulating, not committing.
+#[derive(Debug)]
+pub struct StoreSink {
+    store: Mutex<RunStore>,
+    stats: Mutex<BTreeMap<String, SinkStats>>,
+}
+
+impl StoreSink {
+    /// Wraps a store.
+    #[must_use]
+    pub fn new(store: RunStore) -> Self {
+        StoreSink {
+            store: Mutex::new(store),
+            stats: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Unwraps the store (e.g. to build analysis views after the run).
+    #[must_use]
+    pub fn into_store(self) -> RunStore {
+        self.store.into_inner().expect("store mutex poisoned")
+    }
+
+    /// Snapshot of the per-tier accounting.
+    #[must_use]
+    pub fn stats(&self) -> BTreeMap<String, SinkStats> {
+        self.stats.lock().expect("stats mutex poisoned").clone()
+    }
+
+    /// One summary line per tier that replayed or computed anything, e.g.
+    /// `run store[SIM_SCALE]: replayed 3, computed 5` — the line the CI
+    /// interrupt-and-resume gate greps for.
+    #[must_use]
+    pub fn summary_lines(&self) -> Vec<String> {
+        self.stats()
+            .iter()
+            .map(|(token, s)| {
+                format!(
+                    "run store[{token}]: replayed {}, computed {}",
+                    s.replayed, s.computed
+                )
+            })
+            .collect()
+    }
+
+    /// Load-time notes of the wrapped store.
+    #[must_use]
+    pub fn notes(&self) -> Vec<String> {
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .notes()
+            .to_vec()
+    }
+}
+
+impl TrialSink for StoreSink {
+    fn replay(&self, experiment: &str, key: TrialKey) -> Option<Value> {
+        let row = {
+            let store = self.store.lock().expect("store mutex poisoned");
+            store.replay(key).cloned()
+        }?;
+        self.stats
+            .lock()
+            .expect("stats mutex poisoned")
+            .entry(experiment.to_string())
+            .or_default()
+            .replayed += 1;
+        Some(row)
+    }
+
+    fn commit(&self, record: TrialRecord) -> Result<()> {
+        let token = record.experiment.clone();
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .commit(record)?;
+        self.stats
+            .lock()
+            .expect("stats mutex poisoned")
+            .entry(token)
+            .or_default()
+            .computed += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::trial_key;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("gossip-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        path
+    }
+
+    fn record(experiment: &str, fingerprint: &str, seed: u64, rounds: f64) -> TrialRecord {
+        TrialRecord {
+            key: trial_key(experiment, fingerprint, seed, "quick;engine=legacy"),
+            experiment: experiment.to_string(),
+            fingerprint: fingerprint.to_string(),
+            seed,
+            row: Value::Object(vec![("rounds".to_string(), Value::Number(rounds))]),
+        }
+    }
+
+    #[test]
+    fn commit_then_reopen_with_resume_replays() {
+        let dir = temp_dir("resume");
+        let mut store = RunStore::open(&dir, false).unwrap();
+        let rec = record("SIM_SCALE", "chordring(n=1000)", 42, 17.0);
+        store.commit(rec.clone()).unwrap();
+        store
+            .commit(record("SCALE", "dumbbell(half=500)", 42, 9.0))
+            .unwrap();
+        drop(store);
+
+        let store = RunStore::open(&dir, true).unwrap();
+        assert_eq!(store.replay(rec.key), Some(&rec.row));
+        assert_eq!(store.committed_count("SIM_SCALE"), 1);
+        assert_eq!(store.committed_count("SCALE"), 1);
+        assert_eq!(
+            store.replay(trial_key(
+                "SIM_SCALE",
+                "chordring(n=1000)",
+                43,
+                "quick;engine=legacy"
+            )),
+            None,
+            "a different seed is a different trial"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_open_resets_a_tier_journal_at_first_commit() {
+        let dir = temp_dir("fresh");
+        let mut store = RunStore::open(&dir, false).unwrap();
+        store
+            .commit(record("SIM_SCALE", "chordring(n=1000)", 1, 11.0))
+            .unwrap();
+        store
+            .commit(record("SCALE", "dumbbell(half=500)", 1, 5.0))
+            .unwrap();
+        drop(store);
+
+        // A fresh (non-resume) run that only touches SIM_SCALE must reset
+        // that journal but leave the SCALE journal alone.
+        let mut store = RunStore::open(&dir, false).unwrap();
+        store
+            .commit(record("SIM_SCALE", "chordring(n=2000)", 2, 13.0))
+            .unwrap();
+        drop(store);
+
+        let store = RunStore::open(&dir, true).unwrap();
+        assert_eq!(store.committed_count("SIM_SCALE"), 1);
+        assert_eq!(
+            store.replay(trial_key(
+                "SIM_SCALE",
+                "chordring(n=1000)",
+                1,
+                "quick;engine=legacy"
+            )),
+            None,
+            "the old SIM_SCALE trial was reset away"
+        );
+        assert_eq!(store.committed_count("SCALE"), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn later_commits_shadow_earlier_ones() {
+        let dir = temp_dir("shadow");
+        let mut store = RunStore::open(&dir, false).unwrap();
+        let first = record("SIM_SCALE", "chordring(n=1000)", 7, 10.0);
+        let second = record("SIM_SCALE", "chordring(n=1000)", 7, 12.0);
+        store.commit(first).unwrap();
+        store.commit(second.clone()).unwrap();
+        assert_eq!(store.replay(second.key), Some(&second.row));
+        assert_eq!(store.live_records().count(), 1);
+        drop(store);
+        let store = RunStore::open(&dir, true).unwrap();
+        assert_eq!(store.replay(second.key), Some(&second.row));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_sink_counts_replays_and_commits() {
+        let dir = temp_dir("sink");
+        let store = RunStore::open(&dir, false).unwrap();
+        let sink = StoreSink::new(store);
+        let rec = record("SIM_SCALE", "chordring(n=1000)", 3, 8.0);
+        assert_eq!(sink.replay("SIM_SCALE", rec.key), None);
+        sink.commit(rec.clone()).unwrap();
+        assert_eq!(sink.replay("SIM_SCALE", rec.key), Some(rec.row.clone()));
+        let stats = sink.stats();
+        assert_eq!(
+            stats.get("SIM_SCALE"),
+            Some(&SinkStats {
+                replayed: 1,
+                computed: 1
+            })
+        );
+        assert_eq!(
+            sink.summary_lines(),
+            vec!["run store[SIM_SCALE]: replayed 1, computed 1".to_string()]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn null_sink_is_inert() {
+        let sink = NullSink;
+        let rec = record("SIM_SCALE", "chordring(n=1000)", 3, 8.0);
+        assert_eq!(sink.replay("SIM_SCALE", rec.key), None);
+        sink.commit(rec.clone()).unwrap();
+        assert_eq!(sink.replay("SIM_SCALE", rec.key), None);
+    }
+}

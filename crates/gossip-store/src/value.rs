@@ -1,0 +1,149 @@
+//! Field accessors for decoding journaled rows.
+//!
+//! The vendored `serde::json::Value` is a bare enum with no lookup helpers;
+//! every tier's replay path needs "get field `x` of this object as an
+//! `f64`/`u64`/`&str`".  [`ValueExt`] provides those as a small extension
+//! trait so the decoders in `gossip-bench` read like field accesses instead
+//! of nested pattern matches.
+
+use serde::json::Value;
+
+/// Lookup and coercion helpers on [`Value`].
+pub trait ValueExt {
+    /// Looks up a field of an object by key (first match; journal records
+    /// never carry duplicate keys).
+    fn get(&self, key: &str) -> Option<&Value>;
+    /// The value as a finite float.
+    fn as_f64(&self) -> Option<f64>;
+    /// The value as an unsigned integer, if it is a number with an exact
+    /// `u64` representation.
+    fn as_u64(&self) -> Option<u64>;
+    /// The value as a `usize` (via [`ValueExt::as_u64`]).
+    fn as_usize(&self) -> Option<usize>;
+    /// The value as a string slice.
+    fn as_str(&self) -> Option<&str>;
+    /// The value as a boolean.
+    fn as_bool(&self) -> Option<bool>;
+    /// The value as an array slice.
+    fn as_array(&self) -> Option<&[Value]>;
+
+    /// Field lookup + float coercion in one step.
+    fn field_f64(&self, key: &str) -> Option<f64> {
+        self.get(key)?.as_f64()
+    }
+    /// Field lookup + unsigned-integer coercion in one step.
+    fn field_u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.as_u64()
+    }
+    /// Field lookup + `usize` coercion in one step.
+    fn field_usize(&self, key: &str) -> Option<usize> {
+        self.get(key)?.as_usize()
+    }
+    /// Field lookup + string coercion in one step.
+    fn field_str(&self, key: &str) -> Option<&str> {
+        self.get(key)?.as_str()
+    }
+    /// Field lookup + boolean coercion in one step.
+    fn field_bool(&self, key: &str) -> Option<bool> {
+        self.get(key)?.as_bool()
+    }
+}
+
+impl ValueExt for Value {
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            // Journal numbers come through f64, which is exact for the
+            // integer counts the tiers store (all far below 2^53).
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|n| usize::try_from(n).ok())
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Object(vec![
+            ("n".to_string(), Value::Number(1000.0)),
+            ("ratio".to_string(), Value::Number(0.25)),
+            (
+                "name".to_string(),
+                Value::String("dumbbell-500".to_string()),
+            ),
+            ("ok".to_string(), Value::Bool(true)),
+            (
+                "rows".to_string(),
+                Value::Array(vec![Value::Number(1.0), Value::Number(2.0)]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn accessors_coerce_matching_types() {
+        let v = sample();
+        assert_eq!(v.field_usize("n"), Some(1000));
+        assert_eq!(v.field_u64("n"), Some(1000));
+        assert_eq!(v.field_f64("ratio"), Some(0.25));
+        assert_eq!(v.field_str("name"), Some("dumbbell-500"));
+        assert_eq!(v.field_bool("ok"), Some(true));
+        assert_eq!(
+            v.get("rows")
+                .and_then(ValueExt::as_array)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn accessors_reject_mismatched_types() {
+        let v = sample();
+        assert_eq!(v.field_u64("ratio"), None, "fractional number is not a u64");
+        assert_eq!(v.field_str("n"), None);
+        assert_eq!(v.field_f64("name"), None);
+        assert_eq!(v.field_f64("missing"), None);
+        assert_eq!(Value::Null.get("n"), None);
+    }
+}

@@ -87,6 +87,28 @@ impl AdversaryProfile {
         }
     }
 
+    /// The run store's stable identity of this attack: every parameter at
+    /// full precision (the display [`AdversaryProfile::name`] rounds
+    /// fractions and probabilities to two decimals, which would alias
+    /// distinct attacks in the journal).
+    pub fn fingerprint(&self) -> String {
+        match self {
+            AdversaryProfile::None => "none".to_string(),
+            AdversaryProfile::BiasedMinority { fraction, bias } => {
+                format!("biased(fraction={fraction},bias={bias})")
+            }
+            AdversaryProfile::ExtremeOutliers { count, magnitude } => {
+                format!("extreme(count={count},magnitude={magnitude})")
+            }
+            AdversaryProfile::StaleReplay { count, delay_ticks } => {
+                format!("stale(count={count},delay={delay_ticks})")
+            }
+            AdversaryProfile::CensoredCut { probability } => {
+                format!("censored-cut(p={probability})")
+            }
+        }
+    }
+
     /// How many nodes misbehave on an `n`-node instance (`0` for profiles
     /// that only censor edges).  Always leaves at least one honest node, so
     /// the honest-subset drift oracle is well defined.
@@ -236,6 +258,17 @@ impl AdversaryCase {
             self.aggregation.name()
         )
     }
+
+    /// The run store's stable identity: `scenario+attack+aggregation` at
+    /// full parameter fidelity (see [`Scenario::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}+{}+{}",
+            self.scenario.fingerprint(),
+            self.attack.fingerprint(),
+            self.aggregation.name()
+        )
+    }
 }
 
 /// The adversary suite at a total size close to `total_nodes`: each of the
@@ -325,6 +358,30 @@ mod tests {
         assert_eq!(unique.len(), names.len());
         assert_eq!(names[1], "biased-f0.10-b10");
         assert_eq!(names[4], "censored-cut-p0.90");
+    }
+
+    #[test]
+    fn fingerprints_keep_full_precision_where_names_round() {
+        let a = AdversaryProfile::BiasedMinority {
+            fraction: 0.101,
+            bias: 10.0,
+        };
+        let b = AdversaryProfile::BiasedMinority {
+            fraction: 0.102,
+            bias: 10.0,
+        };
+        assert_eq!(a.name(), b.name(), "display names round to 2 decimals");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), "biased(fraction=0.101,bias=10)");
+        let case = AdversaryCase::new(
+            Scenario::ChordalRing { n: 96 },
+            a,
+            AggregationKind::TrimmedMean,
+        );
+        assert_eq!(
+            case.fingerprint(),
+            "chordring(n=96)+biased(fraction=0.101,bias=10)+trimmed"
+        );
     }
 
     #[test]

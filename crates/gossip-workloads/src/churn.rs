@@ -82,6 +82,32 @@ impl FaultProfile {
         }
     }
 
+    /// The run store's stable identity of this profile: every parameter at
+    /// full precision (the display [`FaultProfile::name`] rounds `p` to two
+    /// decimals, which would alias distinct loss rates in the journal).
+    pub fn fingerprint(&self) -> String {
+        match self {
+            FaultProfile::None => "none".to_string(),
+            FaultProfile::MessageLoss { p } => format!("loss(p={p})"),
+            FaultProfile::BridgeOutage {
+                from_tick,
+                until_tick,
+            } => format!("bridge-outage(from={from_tick},until={until_tick})"),
+            FaultProfile::NodeChurn {
+                concurrent,
+                window_ticks,
+                cycles,
+            } => {
+                format!("node-churn(concurrent={concurrent},window={window_ticks},cycles={cycles})")
+            }
+            FaultProfile::CutFlap {
+                period_ticks,
+                down_ticks,
+                cycles,
+            } => format!("cut-flap(period={period_ticks},down={down_ticks},cycles={cycles})"),
+        }
+    }
+
     /// The profile's drop probability (`0.0` for topological profiles) —
     /// convenient for report columns.
     pub fn drop_probability(&self) -> f64 {
@@ -168,6 +194,16 @@ impl ChurnCase {
     /// A short name used in experiment tables: `scenario+fault`.
     pub fn name(&self) -> String {
         format!("{}+{}", self.scenario.name(), self.fault.name())
+    }
+
+    /// The run store's stable identity: `scenario+fault` at full parameter
+    /// fidelity (see [`Scenario::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}+{}",
+            self.scenario.fingerprint(),
+            self.fault.fingerprint()
+        )
     }
 }
 
@@ -262,6 +298,17 @@ mod tests {
             0.25
         );
         assert_eq!(FaultProfile::None.drop_probability(), 0.0);
+    }
+
+    #[test]
+    fn fingerprints_keep_full_precision_where_names_round() {
+        let a = FaultProfile::MessageLoss { p: 0.251 };
+        let b = FaultProfile::MessageLoss { p: 0.252 };
+        assert_eq!(a.name(), b.name(), "display names round to 2 decimals");
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), "loss(p=0.251)");
+        let case = ChurnCase::new(Scenario::ExpanderDumbbell { half: 48 }, a);
+        assert_eq!(case.fingerprint(), "xdumbbell(half=48)+loss(p=0.251)");
     }
 
     #[test]

@@ -161,6 +161,47 @@ impl Scenario {
         }
     }
 
+    /// The run store's stable identity of this scenario: the family name
+    /// followed by **every** generator parameter as `key=value`, floats
+    /// rendered with Rust's shortest-round-trip `{}` formatting.
+    ///
+    /// Unlike [`Scenario::name`] — a display label that drops the float
+    /// parameters (`sbm-500-500` says nothing about `p_in`/`p_out`) — the
+    /// fingerprint distinguishes any two scenarios that could instantiate
+    /// different graphs, because it feeds the journal's trial key: two
+    /// scenarios with equal fingerprints *must* be interchangeable.  The
+    /// text before the first `(` is the family grouping key used by the
+    /// store's analysis views.
+    pub fn fingerprint(&self) -> String {
+        match self {
+            Scenario::Dumbbell { half } => format!("dumbbell(half={half})"),
+            Scenario::Barbell { left, right } => format!("barbell(left={left},right={right})"),
+            Scenario::BridgedClusters { n1, n2, bridges, p } => {
+                format!("bridged(n1={n1},n2={n2},bridges={bridges},p={p})")
+            }
+            Scenario::TwoBlockSbm {
+                n1,
+                n2,
+                p_in,
+                p_out,
+            } => format!("sbm(n1={n1},n2={n2},p_in={p_in},p_out={p_out})"),
+            Scenario::GridCorridor {
+                rows,
+                cols,
+                corridor_width,
+            } => format!("grid-corridor(rows={rows},cols={cols},width={corridor_width})"),
+            Scenario::ExpanderDumbbell { half } => format!("xdumbbell(half={half})"),
+            Scenario::ExpanderBarbell { left, right } => {
+                format!("xbarbell(left={left},right={right})")
+            }
+            Scenario::RingOfCliques {
+                cliques,
+                clique_size,
+            } => format!("cliquering(cliques={cliques},size={clique_size})"),
+            Scenario::ChordalRing { n } => format!("chordring(n={n})"),
+        }
+    }
+
     /// Total number of nodes the instantiated graph will have.
     pub fn node_count(&self) -> usize {
         match self {
@@ -389,6 +430,52 @@ mod tests {
         }
         .name()
         .contains("sbm"));
+    }
+
+    #[test]
+    fn fingerprints_carry_every_parameter() {
+        // The float parameters name() drops must appear in the fingerprint,
+        // at full (round-trip) precision.
+        assert_eq!(
+            Scenario::TwoBlockSbm {
+                n1: 8,
+                n2: 10,
+                p_in: 0.7,
+                p_out: 0.0512345678901
+            }
+            .fingerprint(),
+            "sbm(n1=8,n2=10,p_in=0.7,p_out=0.0512345678901)"
+        );
+        assert_eq!(
+            Scenario::BridgedClusters {
+                n1: 8,
+                n2: 10,
+                bridges: 3,
+                p: 0.5
+            }
+            .fingerprint(),
+            "bridged(n1=8,n2=10,bridges=3,p=0.5)"
+        );
+        assert_eq!(
+            Scenario::ChordalRing { n: 1000 }.fingerprint(),
+            "chordring(n=1000)"
+        );
+        // Scenarios equal in name() but different in parameters must differ
+        // in fingerprint.
+        let a = Scenario::TwoBlockSbm {
+            n1: 8,
+            n2: 10,
+            p_in: 0.7,
+            p_out: 0.05,
+        };
+        let b = Scenario::TwoBlockSbm {
+            n1: 8,
+            n2: 10,
+            p_in: 0.7,
+            p_out: 0.06,
+        };
+        assert_eq!(a.name(), b.name());
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -132,6 +132,12 @@ pub mod seeds {
     /// `adversary_differential`: clock seed of the sharded bit-identity
     /// oracle (shards 1 vs 2 vs 4 under a mixed adversary plan).
     pub const ADVERSARY_SHARDED: u64 = 486;
+    /// `run_store`: base seed of the journal/resume suite (fresh runs,
+    /// crash recovery, full-replay byte identity).
+    pub const RUN_STORE_SWEEP: u64 = 491;
+    /// `run_store`: the deliberately different seed proving trial keys
+    /// separate seeds (nothing replays across a seed change).
+    pub const RUN_STORE_RESEED: u64 = 492;
 }
 
 /// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.

