@@ -2,7 +2,7 @@
 //!
 //! Regenerates every experiment table of the reproduction (E1–E10, see
 //! `DESIGN.md` §5 and `EXPERIMENTS.md`) plus the SCALE, SIM_SCALE,
-//! ROBUSTNESS, PERF and ADVERSARY tiers.
+//! MEM_SCALE, ROBUSTNESS, PERF and ADVERSARY tiers.
 //!
 //! Usage:
 //!
@@ -47,13 +47,15 @@
 //! `--store-summary` loads the store, prints the per-tier/per-family
 //! analysis view, and exits without running anything.
 //!
-//! The SCALE, SIM_SCALE, ROBUSTNESS, PERF and ADVERSARY tiers additionally
-//! write their structured reports to `BENCH_*.json` (paths overridable via
-//! the registry's flags).  Every report carries a `schema_version` field —
-//! the shared `gossip_store::SCHEMA_VERSION` constant that also stamps
-//! every journal record.  The robustness and adversary reports carry no
-//! wall-clock fields, so CI diffs them byte-for-byte; the perf report is
-//! diffed after stripping the wall-clock and `jobs` fields.
+//! The SCALE, SIM_SCALE, MEM_SCALE, ROBUSTNESS, PERF and ADVERSARY tiers
+//! additionally write their structured reports to `BENCH_*.json` (paths
+//! overridable via the registry's flags).  Every report carries a
+//! `schema_version` field — the shared `gossip_store::SCHEMA_VERSION`
+//! constant that also stamps every journal record.  The robustness and
+//! adversary reports carry no wall-clock fields, so CI diffs them
+//! byte-for-byte; the perf report is diffed after stripping the wall-clock
+//! and `jobs` fields, the mem-scale report after stripping `wall_ms`,
+//! `ticks_per_sec` and `peak_rss_bytes`.
 
 use gossip_bench::runner::{self, BenchResult, HarnessConfig};
 use gossip_bench::Table;
@@ -134,6 +136,11 @@ const TIERS: &[TierSpec] = &[
         default_json: Some("BENCH_sim_scale.json"),
     },
     TierSpec {
+        token: "MEM_SCALE",
+        json_flag: Some("--mem-scale-json"),
+        default_json: Some("BENCH_mem_scale.json"),
+    },
+    TierSpec {
         token: "ROBUSTNESS",
         json_flag: Some("--robustness-json"),
         default_json: Some("BENCH_robustness.json"),
@@ -203,6 +210,10 @@ impl<'a> Session<'a> {
                 let (report, table) = runner::run_sim_scale(self.config, self.sink)?;
                 (vec![table], Some(pretty(token, &report)?))
             }
+            "MEM_SCALE" => {
+                let (report, table) = runner::run_mem_scale(self.config, self.sink)?;
+                (vec![table], Some(pretty(token, &report)?))
+            }
             "ROBUSTNESS" => {
                 let (report, table) = runner::run_robustness(self.config, self.sink)?;
                 (vec![table], Some(pretty(token, &report)?))
@@ -223,9 +234,9 @@ impl<'a> Session<'a> {
 fn print_usage() {
     eprintln!(
         "usage: experiments [--quick] [--seed <u64>] [--jobs <n>] [--shards <k>] \
-         [--only E1 E2 ... SCALE SIM_SCALE ROBUSTNESS PERF ADVERSARY] [--json <path>] \
+         [--only E1 E2 ... SCALE SIM_SCALE MEM_SCALE ROBUSTNESS PERF ADVERSARY] [--json <path>] \
          [--store-dir <dir>] [--resume] [--store-summary] \
-         [--scale-json <path>] [--sim-scale-json <path>] \
+         [--scale-json <path>] [--sim-scale-json <path>] [--mem-scale-json <path>] \
          [--robustness-json <path>] [--perf-json <path>] [--adversary-json <path>]"
     );
 }

@@ -29,6 +29,7 @@ use gossip_core::two_time_scale::TwoTimeScaleGossip;
 use gossip_exec::Executor;
 use gossip_graph::{Graph, NodeId, Partition};
 use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig, SimulationOutcome};
+use gossip_sim::handler::EdgeTickHandler;
 use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
 use gossip_sim::sync::{RoundHandler, SyncConfig, SyncSimulator};
 use gossip_sim::values::NodeValues;
@@ -1529,6 +1530,400 @@ pub fn run_sim_scale(
 }
 
 // ---------------------------------------------------------------------------
+// MemScale: the flat SoA engine up to 10^6 nodes.
+// ---------------------------------------------------------------------------
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux or when unreadable.
+///
+/// `VmHWM` is the kernel's high-water mark for the whole process and only
+/// ever grows, so a row's reading includes every earlier allocation in the
+/// same process — it is an honest *upper* bound on the row's footprint, and
+/// like wall-clock it is a volatile field: the CI determinism gate strips
+/// it before diffing reports.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// One row of the memory-scaling tier: a flat-SoA asynchronous run to the
+/// Definition 1 stop, its in-row legacy byte-identity oracle (at sizes where
+/// the double run is affordable), and an f32-tier run under its error-bound
+/// oracle.  Rows only reach the journal after every oracle passed — an
+/// identity mismatch or a precision violation is an `Err`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemScaleRow {
+    /// Scenario name (from `Scenario::name`).
+    pub family: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Which initial condition was used (always `uniform` in this tier).
+    pub initial: String,
+    /// Edge ticks processed until the flat-SoA run stopped.
+    pub ticks: u64,
+    /// Simulated time at which the run stopped.
+    pub stop_time: f64,
+    /// Why the run stopped (expected: `Converged`).
+    pub stop_reason: String,
+    /// Final normalized variance `var X(T)/var X(0)` (exact recompute).
+    pub variance_ratio: f64,
+    /// Scheduled exact moment refreshes performed during the run.
+    pub moment_refreshes: u64,
+    /// `true` when the in-row legacy-layout byte-identity oracle ran (sizes
+    /// ≤ 50k); a journaled row with `true` here *passed* it — a mismatch
+    /// never commits.
+    pub legacy_checked: bool,
+    /// Ticks of the f32-tier run (same clock seed; the tick stream never
+    /// reads the values, but the stop tick may differ — the f32 variance
+    /// crosses the threshold on its own schedule).
+    pub f32_ticks: u64,
+    /// Final normalized variance of the f32 run (exact recompute).
+    pub f32_variance_ratio: f64,
+    /// Measured f32 mean drift `|mean(final) − mean(initial)|`.
+    pub f32_mean_drift: f64,
+    /// The a-priori bound the drift was held to.
+    pub f32_mean_drift_bound: f64,
+    /// Measured f32 tracked-vs-exact final-variance error.
+    pub f32_variance_error: f64,
+    /// The bound the variance error was held to.
+    pub f32_variance_error_bound: f64,
+    /// Wall-clock milliseconds of the flat-SoA run (volatile; see
+    /// [`SimScaleRow::wall_ms`] for the contention caveat).
+    pub wall_ms: f64,
+    /// Event throughput of the flat-SoA run (volatile).
+    pub ticks_per_sec: f64,
+    /// Process peak RSS in bytes after the row's runs ([`peak_rss_bytes`];
+    /// `0` when unavailable).  Volatile and monotone across rows in the
+    /// same process.
+    pub peak_rss_bytes: u64,
+}
+
+/// The memory-scaling report serialized to `BENCH_mem_scale.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemScaleReport {
+    /// Whether the quick size grid was used.
+    pub quick: bool,
+    /// Harness seed.
+    pub seed: u64,
+    /// Exact-refresh period of the incremental moments, in ticks.
+    pub moment_refresh_every_ticks: u64,
+    /// One row per (size, family) pair.
+    pub rows: Vec<MemScaleRow>,
+}
+
+// Hand-written serde impls: the vendored derive is a no-op (vendor/README.md).
+impl serde::Serialize for MemScaleRow {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            ("family".to_string(), self.family.to_json_value()),
+            ("n".to_string(), self.n.to_json_value()),
+            ("edges".to_string(), self.edges.to_json_value()),
+            ("initial".to_string(), self.initial.to_json_value()),
+            ("ticks".to_string(), self.ticks.to_json_value()),
+            ("stop_time".to_string(), self.stop_time.to_json_value()),
+            ("stop_reason".to_string(), self.stop_reason.to_json_value()),
+            (
+                "variance_ratio".to_string(),
+                self.variance_ratio.to_json_value(),
+            ),
+            (
+                "moment_refreshes".to_string(),
+                self.moment_refreshes.to_json_value(),
+            ),
+            (
+                "legacy_checked".to_string(),
+                self.legacy_checked.to_json_value(),
+            ),
+            ("f32_ticks".to_string(), self.f32_ticks.to_json_value()),
+            (
+                "f32_variance_ratio".to_string(),
+                self.f32_variance_ratio.to_json_value(),
+            ),
+            (
+                "f32_mean_drift".to_string(),
+                self.f32_mean_drift.to_json_value(),
+            ),
+            (
+                "f32_mean_drift_bound".to_string(),
+                self.f32_mean_drift_bound.to_json_value(),
+            ),
+            (
+                "f32_variance_error".to_string(),
+                self.f32_variance_error.to_json_value(),
+            ),
+            (
+                "f32_variance_error_bound".to_string(),
+                self.f32_variance_error_bound.to_json_value(),
+            ),
+            ("wall_ms".to_string(), self.wall_ms.to_json_value()),
+            (
+                "ticks_per_sec".to_string(),
+                self.ticks_per_sec.to_json_value(),
+            ),
+            (
+                "peak_rss_bytes".to_string(),
+                self.peak_rss_bytes.to_json_value(),
+            ),
+        ])
+    }
+}
+
+impl TrialRow for MemScaleRow {
+    fn to_value(&self) -> Value {
+        serde::Serialize::to_json_value(self)
+    }
+
+    fn from_value(value: &Value) -> Option<Self> {
+        Some(MemScaleRow {
+            family: value.field_str("family")?.to_string(),
+            n: value.field_usize("n")?,
+            edges: value.field_usize("edges")?,
+            initial: value.field_str("initial")?.to_string(),
+            ticks: value.field_u64("ticks")?,
+            stop_time: value.field_f64("stop_time")?,
+            stop_reason: value.field_str("stop_reason")?.to_string(),
+            variance_ratio: value.field_f64("variance_ratio")?,
+            moment_refreshes: value.field_u64("moment_refreshes")?,
+            legacy_checked: value.field_bool("legacy_checked")?,
+            f32_ticks: value.field_u64("f32_ticks")?,
+            f32_variance_ratio: value.field_f64("f32_variance_ratio")?,
+            f32_mean_drift: value.field_f64("f32_mean_drift")?,
+            f32_mean_drift_bound: value.field_f64("f32_mean_drift_bound")?,
+            f32_variance_error: value.field_f64("f32_variance_error")?,
+            f32_variance_error_bound: value.field_f64("f32_variance_error_bound")?,
+            wall_ms: value.field_f64("wall_ms")?,
+            ticks_per_sec: value.field_f64("ticks_per_sec")?,
+            peak_rss_bytes: value.field_u64("peak_rss_bytes")?,
+        })
+    }
+}
+
+impl serde::Serialize for MemScaleReport {
+    fn to_json_value(&self) -> serde::json::Value {
+        serde::json::Value::Object(vec![
+            (
+                "schema_version".to_string(),
+                gossip_store::SCHEMA_VERSION.to_json_value(),
+            ),
+            ("quick".to_string(), self.quick.to_json_value()),
+            ("seed".to_string(), self.seed.to_json_value()),
+            (
+                "moment_refresh_every_ticks".to_string(),
+                self.moment_refresh_every_ticks.to_json_value(),
+            ),
+            ("rows".to_string(), self.rows.to_json_value()),
+        ])
+    }
+}
+
+/// Largest size at which a mem-scale row doubles up with a legacy-layout run
+/// for the in-row byte-identity oracle; above this the second O(ticks) run
+/// would dominate the tier's wall-clock, and the identity is already pinned
+/// at this size on every family.
+pub const MEM_SCALE_IDENTITY_MAX_N: usize = 50_000;
+
+/// Runs one mem-scale row per scenario: a timed flat-SoA vanilla run to the
+/// Definition 1 stop, the legacy byte-identity oracle at sizes ≤
+/// [`MEM_SCALE_IDENTITY_MAX_N`], and an f32-tier run under
+/// [`gossip_sim::flat::F32Oracle`].  Row machinery of [`run_mem_scale`],
+/// exposed for the differential suites.
+///
+/// Unlike the other simulation tiers this one ignores `--shards`: the tier
+/// measures the *serial* flat loop (sharding would bypass the layout under
+/// test), so its engine fingerprint and journaled rows are shard-invariant
+/// by construction.
+///
+/// # Errors
+///
+/// Propagates graph-construction, simulation and journal errors; a legacy
+/// byte-identity mismatch or an f32 oracle violation is an `Err`, so such a
+/// row never reaches the journal.
+pub fn mem_scale_rows(
+    config: &HarnessConfig,
+    sink: &dyn TrialSink,
+    scenarios: &[Scenario],
+) -> BenchResult<Vec<MemScaleRow>> {
+    let fingerprints: Vec<String> = scenarios.iter().map(Scenario::fingerprint).collect();
+    run_trials(
+        config,
+        &config.executor(),
+        sink,
+        "MEM_SCALE",
+        &fingerprints,
+        |index| -> BenchResult<MemScaleRow> {
+            let scenario = &scenarios[index];
+            let instance = scenario.instantiate(config.seed.wrapping_add(3000 + index as u64))?;
+            let graph = &instance.graph;
+            let n = graph.node_count();
+            let initial = InitialCondition::Uniform { lo: -1.0, hi: 1.0 }.generate(
+                n,
+                Some(&instance.partition),
+                config.seed.wrapping_add(3100 + index as u64),
+            )?;
+            let sim_config = SimulationConfig::new(config.seed.wrapping_add(3200 + index as u64))
+                .with_clock_model(ClockModel::GlobalUniform)
+                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
+                .with_max_events(4_000_000_000);
+
+            let start = std::time::Instant::now();
+            let mut flat_sim = AsyncSimulator::new(
+                graph,
+                initial.clone(),
+                VanillaGossip::new(),
+                sim_config.clone().with_flat_layout(),
+            )?;
+            let flat = flat_sim.run()?;
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            let legacy_checked = n <= MEM_SCALE_IDENTITY_MAX_N;
+            if legacy_checked {
+                let mut legacy_sim = AsyncSimulator::new(
+                    graph,
+                    initial.clone(),
+                    VanillaGossip::new(),
+                    sim_config.clone(),
+                )?;
+                let legacy = legacy_sim.run()?;
+                let identical = legacy.total_ticks == flat.total_ticks
+                    && legacy.elapsed_time.to_bits() == flat.elapsed_time.to_bits()
+                    && legacy.stop_reason == flat.stop_reason
+                    && legacy.moment_refreshes == flat.moment_refreshes
+                    && legacy.final_variance.to_bits() == flat.final_variance.to_bits()
+                    && legacy
+                        .final_values
+                        .as_slice()
+                        .iter()
+                        .zip(flat.final_values.as_slice())
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                if !identical {
+                    return Err(format!(
+                        "mem-scale identity oracle: flat-SoA run diverged from the legacy \
+                         layout on {} (n = {n})",
+                        instance.name
+                    )
+                    .into());
+                }
+            }
+
+            let kernel = VanillaGossip::new()
+                .pairwise_kernel()
+                .expect("vanilla gossip exposes its pairwise kernel");
+            let f32_outcome = gossip_sim::flat::run_f32(
+                graph,
+                &initial,
+                kernel,
+                &sim_config,
+                &gossip_sim::flat::F32Oracle::default(),
+            )?;
+
+            Ok(MemScaleRow {
+                family: instance.name.clone(),
+                n,
+                edges: graph.edge_count(),
+                initial: "uniform".to_string(),
+                ticks: flat.total_ticks,
+                stop_time: flat.elapsed_time,
+                stop_reason: format!("{:?}", flat.stop_reason),
+                variance_ratio: flat.variance_ratio(),
+                moment_refreshes: flat.moment_refreshes,
+                legacy_checked,
+                f32_ticks: f32_outcome.total_ticks,
+                f32_variance_ratio: f32_outcome.variance_ratio(),
+                f32_mean_drift: f32_outcome.mean_drift,
+                f32_mean_drift_bound: f32_outcome.mean_drift_bound,
+                f32_variance_error: f32_outcome.variance_error,
+                f32_variance_error_bound: f32_outcome.variance_error_bound,
+                wall_ms,
+                ticks_per_sec: flat.total_ticks as f64 / (wall_ms / 1e3).max(1e-9),
+                peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+            })
+        },
+    )
+}
+
+/// Runs the memory-scaling tier: for every size in `mem_scale_sizes` and
+/// every family of `sim_scale_suite`, one flat-SoA vanilla relaxation to the
+/// Definition 1 stop (timed, with peak-RSS accounting), the legacy
+/// byte-identity oracle at 50k, and an f32-tier run under its error-bound
+/// oracle.
+///
+/// Every family starts from the **uniform** vector — including the chordal
+/// ring, which the SIM_SCALE tier starts arc-adversarially.  The deviation
+/// is deliberate: the arc-adversarial relaxation needs Ω(n²)-ish ticks on
+/// the ring and would make the 10⁶-node row wall-clock prohibitive, and
+/// worst-case *averaging time* is SIM_SCALE's claim — this tier's claims
+/// are memory-layout identity, bounded RSS, and throughput at scale.
+///
+/// # Errors
+///
+/// See [`mem_scale_rows`].
+pub fn run_mem_scale(
+    config: &HarnessConfig,
+    sink: &dyn TrialSink,
+) -> BenchResult<(MemScaleReport, Table)> {
+    let sweep = sweep::mem_scale_sweep(config.quick);
+    let rows = mem_scale_rows(config, sink, &sweep.values)?;
+    let report = MemScaleReport {
+        quick: config.quick,
+        seed: config.seed,
+        moment_refresh_every_ticks: gossip_sim::engine::DEFAULT_MOMENT_REFRESH_TICKS,
+        rows,
+    };
+
+    let descriptor = ExperimentId::MemScale.descriptor();
+    let mut table = Table::new(
+        format!("{}: {}", descriptor.id, descriptor.title),
+        &[
+            "family",
+            "n",
+            "|E|",
+            "ticks",
+            "T_stop",
+            "var ratio",
+            "legacy✓",
+            "f32 drift",
+            "drift bound",
+            "wall ms",
+            "ticks/s",
+            "RSS MiB",
+        ],
+    );
+    for row in &report.rows {
+        table.push_row(vec![
+            row.family.clone(),
+            row.n.to_string(),
+            row.edges.to_string(),
+            row.ticks.to_string(),
+            fmt(row.stop_time),
+            fmt(row.variance_ratio),
+            if row.legacy_checked { "yes" } else { "-" }.to_string(),
+            fmt(row.f32_mean_drift),
+            fmt(row.f32_mean_drift_bound),
+            fmt(row.wall_ms),
+            fmt(row.ticks_per_sec),
+            fmt(row.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    Ok((report, table))
+}
+
+// ---------------------------------------------------------------------------
 // Robustness: fault injection and dynamic topology.
 // ---------------------------------------------------------------------------
 
@@ -2911,6 +3306,7 @@ pub fn run_all(config: &HarnessConfig, sink: &dyn TrialSink) -> BenchResult<Vec<
     tables.push(run_e10(config, sink)?.1);
     tables.push(run_scale(config, sink)?.1);
     tables.push(run_sim_scale(config, sink)?.1);
+    tables.push(run_mem_scale(config, sink)?.1);
     tables.push(run_robustness(config, sink)?.1);
     tables.push(run_adversary(config, sink)?.1);
     let (_, perf_tables) = run_perf(config, sink)?;
@@ -3008,6 +3404,47 @@ mod tests {
                     .unwrap();
             let outcome = sim.run().unwrap();
             assert!(outcome.converged(), "{} did not converge", instance.name);
+        }
+    }
+
+    #[test]
+    fn mem_scale_rows_pass_both_oracles_on_a_mini_suite() {
+        // Drive the real row machinery of `run_mem_scale` — the timed
+        // flat-SoA run, the in-row legacy byte-identity oracle (every size
+        // here is ≤ 50k, so it always runs), and the f32-tier oracle — on
+        // the smallest suite size so the unit suite stays fast.
+        let mut config = HarnessConfig::quick();
+        config.seed = 7;
+        let scenarios = gossip_workloads::scenarios::sim_scale_suite(128);
+        let rows = mem_scale_rows(&config, &NullSink, &scenarios).unwrap();
+        assert_eq!(rows.len(), scenarios.len());
+        for row in &rows {
+            assert_eq!(
+                row.stop_reason, "Converged",
+                "{} did not converge",
+                row.family
+            );
+            assert!(
+                row.legacy_checked,
+                "{} skipped the identity oracle",
+                row.family
+            );
+            assert!(row.variance_ratio < DEFINITION1_THRESHOLD);
+            assert!(row.f32_mean_drift <= row.f32_mean_drift_bound);
+            assert!(row.f32_variance_error <= row.f32_variance_error_bound);
+            assert!(row.f32_ticks > 0);
+            // Round-trip through the journal encoding.
+            let value = TrialRow::to_value(row);
+            assert_eq!(MemScaleRow::from_value(&value).unwrap(), *row);
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_reported_on_linux() {
+        // VmHWM is always present in /proc/self/status on Linux, and a test
+        // process has certainly touched more than a page of memory.
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap() > 4096);
         }
     }
 

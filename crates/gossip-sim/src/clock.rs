@@ -246,8 +246,14 @@ impl TickProcess for EdgeClockQueue {
 /// RNG dispatch) over the engine's hottest loop.  Draws inside a batch
 /// happen in exactly the per-tick order (`Exp` gap, then edge index), so the
 /// ChaCha stream — and therefore every seeded output — is bit-identical to
-/// the unbatched sampler's.
-const GLOBAL_TICK_BATCH: usize = 256;
+/// the unbatched sampler's **at every batch width**: widening the batch
+/// changes only how many draws are prefetched per refill, never which draws
+/// occur or in what order.  The width was raised from the historical 256 for
+/// the million-node tier (fewer `#[cold]` refill entries per million events);
+/// `widened_batch_matches_historical_256_batches` pins the stream against a
+/// 256-wide sampler bit-for-bit, and `prop_batch_width_is_stream_invariant`
+/// pins arbitrary widths against unbatched single draws.
+pub const GLOBAL_TICK_BATCH: usize = 1024;
 
 /// Superposition sampler: a global rate-`|E|` Poisson process with uniform
 /// edge assignment.
@@ -263,6 +269,9 @@ pub struct GlobalTickProcess {
     batch: Vec<(f64, usize)>,
     /// Next unconsumed entry of `batch`.
     batch_pos: usize,
+    /// Draws prefetched per refill ([`GLOBAL_TICK_BATCH`] unless built
+    /// through [`Self::with_batch_capacity`]); never affects the stream.
+    batch_capacity: usize,
 }
 
 impl GlobalTickProcess {
@@ -282,15 +291,44 @@ impl GlobalTickProcess {
     ///
     /// Same as [`Self::new`].
     pub fn new_with_scratch(graph: &Graph, seed: u64, scratch: &mut ClockScratch) -> Result<Self> {
+        Self::with_capacity_scratch(graph, seed, GLOBAL_TICK_BATCH, scratch)
+    }
+
+    /// Like [`Self::new`] with an explicit batch width instead of
+    /// [`GLOBAL_TICK_BATCH`].  The width only controls how many draws are
+    /// prefetched per refill — the delivered tick stream is bit-identical
+    /// for every width (draws happen in per-event order); this constructor
+    /// exists so tests can pin that invariance against the historical
+    /// 256-wide batches and against unbatched single draws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoEdges`] if the graph has no edges, or
+    /// [`SimError::InvalidConfig`] for a zero width.
+    pub fn with_batch_capacity(graph: &Graph, seed: u64, capacity: usize) -> Result<Self> {
+        Self::with_capacity_scratch(graph, seed, capacity, &mut ClockScratch::default())
+    }
+
+    fn with_capacity_scratch(
+        graph: &Graph,
+        seed: u64,
+        capacity: usize,
+        scratch: &mut ClockScratch,
+    ) -> Result<Self> {
         if graph.edge_count() == 0 {
             return Err(SimError::NoEdges);
+        }
+        if capacity == 0 {
+            return Err(SimError::InvalidConfig {
+                reason: "global tick batch capacity must be at least 1".to_string(),
+            });
         }
         let mut edge_tick_counts = std::mem::take(&mut scratch.tick_counts);
         edge_tick_counts.clear();
         edge_tick_counts.resize(graph.edge_count(), 0);
         let mut batch = std::mem::take(&mut scratch.batch);
         batch.clear();
-        batch.reserve(GLOBAL_TICK_BATCH);
+        batch.reserve(capacity);
         Ok(GlobalTickProcess {
             rng: ChaCha8Rng::seed_from_u64(seed),
             edge_count: graph.edge_count(),
@@ -300,6 +338,7 @@ impl GlobalTickProcess {
             rate_per_edge: 1.0,
             batch,
             batch_pos: 0,
+            batch_capacity: capacity,
         })
     }
 
@@ -319,7 +358,7 @@ impl GlobalTickProcess {
     fn refill_batch(&mut self) {
         let total_rate = self.rate_per_edge * self.edge_count as f64;
         self.batch.clear();
-        for _ in 0..GLOBAL_TICK_BATCH {
+        for _ in 0..self.batch_capacity {
             // Draw order per event — gap first, then edge — matches the
             // historical one-event-at-a-time sampler, keeping the stream
             // bit-identical for every seed.
@@ -496,6 +535,42 @@ mod tests {
             assert_eq!(ev.edge, edge, "tick {tick}");
             assert_eq!(ev.time.to_bits(), now.to_bits(), "tick {tick}");
         }
+    }
+
+    #[test]
+    fn widened_batch_matches_historical_256_batches() {
+        // The production batch width is now > 256; the historical sampler
+        // prefetched exactly 256 draws per refill.  Widening must be a pure
+        // prefetch change: both samplers consume the ChaCha stream in the
+        // same per-event order, so every delivered tick — time bits, edge,
+        // counts — is identical across several refills of BOTH widths.
+        const { assert!(GLOBAL_TICK_BATCH > 256, "the batch must stay widened") };
+        for seed in [0u64, 7, 99, 0xC0FFEE] {
+            let g = complete(6).unwrap();
+            let mut widened = GlobalTickProcess::new(&g, seed).unwrap();
+            let mut historical = GlobalTickProcess::with_batch_capacity(&g, seed, 256).unwrap();
+            for tick in 0..(3 * GLOBAL_TICK_BATCH + 17) {
+                let a = widened.next_tick();
+                let b = historical.next_tick();
+                assert_eq!(a.edge, b.edge, "seed {seed} tick {tick}");
+                assert_eq!(
+                    a.time.to_bits(),
+                    b.time.to_bits(),
+                    "seed {seed} tick {tick}"
+                );
+                assert_eq!(a.edge_tick_count, b.edge_tick_count);
+                assert_eq!(a.global_tick_count, b.global_tick_count);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_capacity_rejects_zero() {
+        let g = complete(4).unwrap();
+        assert!(matches!(
+            GlobalTickProcess::with_batch_capacity(&g, 1, 0),
+            Err(SimError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
@@ -723,6 +798,33 @@ mod tests {
                 ks = ks.max(gap);
             }
             prop_assert!(ks < 0.0436, "KS distance {ks} too large");
+        }
+
+        #[test]
+        fn prop_batch_width_is_stream_invariant(
+            seed in 0u64..500,
+            width in 1usize..2048,
+        ) {
+            // An arbitrary batch width must deliver the exact stream of the
+            // unbatched sampler (capacity 1 = one draw per "batch"): the
+            // width is prefetch policy, not probability.
+            let g = complete(5).unwrap();
+            let mut batched = GlobalTickProcess::with_batch_capacity(&g, seed, width).unwrap();
+            let mut unbatched = GlobalTickProcess::with_batch_capacity(&g, seed, 1).unwrap();
+            for tick in 0..700 {
+                let a = batched.next_tick();
+                let b = unbatched.next_tick();
+                prop_assert_eq!(a.edge, b.edge, "width {} tick {}", width, tick);
+                prop_assert_eq!(
+                    a.time.to_bits(),
+                    b.time.to_bits(),
+                    "width {} tick {}",
+                    width,
+                    tick
+                );
+                prop_assert_eq!(a.edge_tick_count, b.edge_tick_count);
+                prop_assert_eq!(a.global_tick_count, b.global_tick_count);
+            }
         }
 
         #[test]

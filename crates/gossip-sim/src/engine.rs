@@ -26,6 +26,36 @@ pub enum ClockModel {
     GlobalUniform,
 }
 
+/// Which in-memory data layout the serial engine's hot loop runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum MemoryLayout {
+    /// The historical layout: ticks are dispatched through the
+    /// [`EdgeTickHandler`] with an [`EdgeTickContext`], and endpoints come
+    /// from the array-of-structs [`Edge`] slice.  Byte-stable with every
+    /// earlier release.
+    #[default]
+    Legacy,
+    /// Flat struct-of-arrays layout built for ~10⁶-node runs: endpoints come
+    /// from the packed CSR-companion table
+    /// ([`gossip_graph::Graph::packed_edge_endpoints`], 8 bytes per edge in
+    /// edge-id order — the order the samplers draw, so tick processing walks
+    /// it cache-consciously), values are mutated through the raw
+    /// struct-of-arrays slice with the moment tracker's shifted sums updated
+    /// alongside, and the handler is replaced by its
+    /// [`pairwise_kernel`].  **Bit-identical to [`Self::Legacy`]**: every
+    /// value read, kernel application, and `record_update` happens in the
+    /// same order with the same operands (see `tests/memscale_differential.rs`).
+    ///
+    /// Requires a handler with a kernel, [`VarianceMode::Incremental`], no
+    /// trace, and at most `u32::MAX + 1` nodes; otherwise the engine
+    /// silently falls back to the legacy loop, exactly like
+    /// [`SimulationConfig::shards`] does.  When both `shards` and this are
+    /// set, sharding wins (it is its own deterministic mode).
+    ///
+    /// [`pairwise_kernel`]: crate::handler::EdgeTickHandler::pairwise_kernel
+    FlatSoA,
+}
+
 /// How the variance fed to the stopping rule is obtained at each check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum VarianceMode {
@@ -106,6 +136,11 @@ pub struct SimulationConfig {
     ///
     /// [`pairwise_kernel`]: crate::handler::EdgeTickHandler::pairwise_kernel
     pub shards: Option<usize>,
+    /// Which data layout the serial hot loop runs on (see [`MemoryLayout`]).
+    /// [`MemoryLayout::FlatSoA`] is bit-identical to the default
+    /// [`MemoryLayout::Legacy`] and exists purely for memory locality at
+    /// large `n`.
+    pub memory_layout: MemoryLayout,
 }
 
 impl SimulationConfig {
@@ -126,6 +161,7 @@ impl SimulationConfig {
             fault_plan: None,
             adversary_plan: None,
             shards: None,
+            memory_layout: MemoryLayout::default(),
         }
     }
 
@@ -204,6 +240,19 @@ impl SimulationConfig {
         self.shards = Some(shards.max(1));
         self
     }
+
+    /// Selects the in-memory layout of the serial hot loop.
+    pub fn with_memory_layout(mut self, layout: MemoryLayout) -> Self {
+        self.memory_layout = layout;
+        self
+    }
+
+    /// Shorthand for `with_memory_layout(MemoryLayout::FlatSoA)` — the
+    /// million-node struct-of-arrays path (see [`MemoryLayout::FlatSoA`] for
+    /// the eligibility conditions and the bit-identity guarantee).
+    pub fn with_flat_layout(self) -> Self {
+        self.with_memory_layout(MemoryLayout::FlatSoA)
+    }
 }
 
 /// Result of an asynchronous run.
@@ -254,14 +303,24 @@ impl SimulationOutcome {
     }
 }
 
-enum Sampler {
+pub(crate) enum Sampler {
     Queue(EdgeClockQueue),
     Global(GlobalTickProcess),
 }
 
 impl Sampler {
+    /// Builds the sampler a [`SimulationConfig`] with this clock model and
+    /// seed would use (shared with the f32 tier in [`crate::flat`], which
+    /// has no `AsyncSimulator` of its own).
+    pub(crate) fn from_model(model: ClockModel, graph: &Graph, seed: u64) -> Result<Self> {
+        Ok(match model {
+            ClockModel::PerEdgeQueue => Sampler::Queue(EdgeClockQueue::new(graph, seed)?),
+            ClockModel::GlobalUniform => Sampler::Global(GlobalTickProcess::new(graph, seed)?),
+        })
+    }
+
     #[inline]
-    fn next_tick(&mut self) -> crate::clock::TickEvent {
+    pub(crate) fn next_tick(&mut self) -> crate::clock::TickEvent {
         match self {
             Sampler::Queue(q) => q.next_tick(),
             Sampler::Global(g) => g.next_tick(),
@@ -478,6 +537,29 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             }
         }
 
+        if self.config.memory_layout == MemoryLayout::FlatSoA
+            && recorder.is_none()
+            && self.config.variance_mode == VarianceMode::Incremental
+            && self.handler.pairwise_kernel().is_some()
+        {
+            // Same silent-fallback contract as sharding: an ineligible
+            // configuration (trace, exact variance, kernel-less handler, or
+            // a graph too large to pack) runs the legacy loop below.  The
+            // topology packs every endpoint pair into one u64 in edge-id
+            // order — the order the samplers draw — so the hot loop touches
+            // 8 contiguous bytes per tick instead of a 3-word `Edge`.
+            if let Some(topology) = crate::flat::FlatTopology::new(self.graph) {
+                let stopped = match (self.faults.is_some(), self.adversary.is_some()) {
+                    (false, false) => self.run_flat::<false, false>(&topology),
+                    (false, true) => self.run_flat::<false, true>(&topology),
+                    (true, false) => self.run_flat::<true, false>(&topology),
+                    (true, true) => self.run_flat::<true, true>(&topology),
+                };
+                let (time, ticks, reason) = stopped?;
+                return Ok(self.finish(time, ticks, reason, None));
+            }
+        }
+
         let stopped = match (
             self.faults.is_some(),
             self.adversary.is_some(),
@@ -676,6 +758,164 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                         // scans; make the terminal state honor `run`'s error
                         // contract (a NaN/∞ introduced after the overflow
                         // must still surface, not leak into the outcome).
+                        self.values.check_finite()?;
+                    }
+                    return Ok((time, ticks, reason));
+                }
+            }
+        }
+    }
+
+    /// The flat struct-of-arrays loop (see [`MemoryLayout::FlatSoA`]):
+    /// operation-for-operation the same run as [`Self::run_loop`] — every
+    /// tick draws the same event, classifies faults and adversaries with the
+    /// same injector calls, applies the same kernel to the same operands,
+    /// and mirrors every value write into the moment tracker with the exact
+    /// `record_update` sequence [`NodeValues::set`] would have made — but
+    /// endpoints come from the packed topology and values are written
+    /// through the raw slice, so the per-tick working set is 8 bytes of
+    /// topology plus two value lanes.  Bit-identity is pinned by
+    /// `tests/memscale_differential.rs`.
+    ///
+    /// Tracing is not supported (the dispatch in [`Self::run`] requires
+    /// `recorder.is_none()`), so there is no `TRACE` parameter; the variance
+    /// mode is guaranteed [`VarianceMode::Incremental`] by the same
+    /// dispatch.
+    fn run_flat<const FAULTS: bool, const ADVERSARY: bool>(
+        &mut self,
+        topology: &crate::flat::FlatTopology,
+    ) -> Result<(f64, u64, StopReason)> {
+        let kernel = self
+            .handler
+            .pairwise_kernel()
+            .expect("run() only dispatches here with a kernel present");
+        let mut ticks = 0u64;
+        let mut time;
+        loop {
+            if ticks >= self.config.max_events {
+                return Err(SimError::EventBudgetExhausted { events: ticks });
+            }
+            let event = self.sampler.next_tick();
+            ticks = event.global_tick_count;
+            time = event.time;
+            let edge_index = event.edge.index();
+            let delivered = if FAULTS {
+                let edge = self.edges[edge_index];
+                let injector = self
+                    .faults
+                    .as_mut()
+                    .expect("FAULTS is only instantiated with an injector present");
+                injector.classify(event.edge, edge, event.global_tick_count)
+                    == ContactFate::Delivered
+            } else {
+                true
+            };
+            if ADVERSARY {
+                if delivered {
+                    let edge = self.edges[edge_index];
+                    let (u, v) = topology.endpoints(edge_index);
+                    let (xs, tracker) = self.values.as_mut_parts();
+                    let xu = xs[u];
+                    let xv = xs[v];
+                    let injector = self
+                        .adversary
+                        .as_mut()
+                        .expect("ADVERSARY is only instantiated with an injector present");
+                    let action =
+                        injector.classify(event.edge, edge, event.global_tick_count, xu, xv);
+                    match action {
+                        AdversaryAction::Honest => {
+                            let (new_u, new_v) = kernel(xu, xv);
+                            xs[u] = new_u;
+                            tracker.record_update(xu, new_u);
+                            xs[v] = new_v;
+                            tracker.record_update(xv, new_v);
+                        }
+                        AdversaryAction::Censored => {}
+                        AdversaryAction::Falsified(contact) => {
+                            // The same substitute → update → restore value
+                            // and tracker sequence as the legacy loop's
+                            // literal `set` calls (six `record_update`s at
+                            // most, in the same order with the same
+                            // operands) — *not* the sharded engine's
+                            // net-effect collapse.
+                            let mut cur_u = xu;
+                            let mut cur_v = xv;
+                            if let Some(report) = contact.u {
+                                xs[u] = report.value;
+                                tracker.record_update(cur_u, report.value);
+                                cur_u = report.value;
+                            }
+                            if let Some(report) = contact.v {
+                                xs[v] = report.value;
+                                tracker.record_update(cur_v, report.value);
+                                cur_v = report.value;
+                            }
+                            let (new_u, new_v) = kernel(cur_u, cur_v);
+                            xs[u] = new_u;
+                            tracker.record_update(cur_u, new_u);
+                            xs[v] = new_v;
+                            tracker.record_update(cur_v, new_v);
+                            if contact.u.is_some_and(|r| r.restore) {
+                                xs[u] = xu;
+                                tracker.record_update(new_u, xu);
+                            }
+                            if contact.v.is_some_and(|r| r.restore) {
+                                xs[v] = xv;
+                                tracker.record_update(new_v, xv);
+                            }
+                        }
+                    }
+                }
+            } else if delivered {
+                let (u, v) = topology.endpoints(edge_index);
+                let (xs, tracker) = self.values.as_mut_parts();
+                let xu = xs[u];
+                let xv = xs[v];
+                let (new_u, new_v) = kernel(xu, xv);
+                xs[u] = new_u;
+                tracker.record_update(xu, new_u);
+                xs[v] = new_v;
+                tracker.record_update(xv, new_v);
+            }
+
+            // From here down this is the legacy loop's Incremental
+            // refresh/check logic verbatim (the dispatch guarantees the
+            // mode), so refresh ticks, salvage decisions, and stop checks
+            // land on identical ticks with identical float state.
+            if ticks.is_multiple_of(self.config.moment_refresh_every_ticks) {
+                self.values.refresh_moments();
+                self.moment_refreshes += 1;
+                if !self.values.moments_finite() {
+                    self.values.check_finite()?;
+                    self.moments_overflowed = true;
+                }
+            }
+
+            if ticks.is_multiple_of(self.config.check_every_ticks) {
+                if self.values.moments_finite() {
+                    self.moments_overflowed = false;
+                    if self.values.moments_need_recenter() {
+                        self.values.refresh_moments();
+                        self.moment_refreshes += 1;
+                    }
+                } else if !self.moments_overflowed {
+                    self.values.check_finite()?;
+                    self.values.refresh_moments();
+                    self.moment_refreshes += 1;
+                    if !self.values.moments_finite() {
+                        self.moments_overflowed = true;
+                    }
+                }
+                let status = SimulationStatus {
+                    time,
+                    ticks,
+                    variance: self.values.incremental_variance(),
+                    initial_variance: self.initial_variance,
+                };
+                self.note_settling(&status);
+                if let Some(reason) = self.config.stopping_rule.evaluate(&status) {
+                    if self.moments_overflowed {
                         self.values.check_finite()?;
                     }
                     return Ok((time, ticks, reason));
@@ -1283,6 +1523,122 @@ mod tests {
             .with_stopping_rule(StoppingRule::variance_ratio_below(0.0))
             .with_max_events(10_000)
             .with_shards(2);
+        let mut sim = AsyncSimulator::new(&g, spike(4), Vanilla, config).unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::EventBudgetExhausted { events: 10_000 })
+        ));
+    }
+
+    #[test]
+    fn flat_layout_is_bit_identical_to_legacy() {
+        // The SoA/CSR loop must reproduce the legacy loop byte for byte —
+        // stop tick/time/reason, refresh count, injector stats, final state
+        // bits — under both clock models, fault-free and with faults and an
+        // adversary in play.  `tests/memscale_differential.rs` repeats this
+        // at bench scale; this is the in-crate smoke version.
+        let g = dumbbell(8).unwrap().0;
+        for model in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            for hostile in [false, true] {
+                let run = |layout: MemoryLayout| {
+                    let mut config = SimulationConfig::new(29)
+                        .with_clock_model(model)
+                        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(500_000))
+                        .with_moment_refresh_every_ticks(512)
+                        .with_settling_threshold(0.5)
+                        .with_memory_layout(layout);
+                    if hostile {
+                        config = config
+                            .with_fault_plan(
+                                FaultPlan::new(7)
+                                    .with_drop_probability(0.1)
+                                    .with_node_pause(NodeId(0), 100, 400),
+                            )
+                            .with_adversary_plan(
+                                crate::adversary::AdversaryPlan::new(13)
+                                    .with_biased_injector(NodeId(1), 0.4)
+                                    .with_extreme_value_node(NodeId(9), 50.0),
+                            );
+                    }
+                    let mut sim = AsyncSimulator::new(&g, spike(16), Vanilla, config).unwrap();
+                    sim.run().unwrap()
+                };
+                let legacy = run(MemoryLayout::Legacy);
+                let flat = run(MemoryLayout::FlatSoA);
+                assert!(legacy.total_ticks > 0);
+                assert_eq!(legacy.total_ticks, flat.total_ticks, "{model:?}");
+                assert_eq!(legacy.stop_reason, flat.stop_reason);
+                assert_eq!(legacy.moment_refreshes, flat.moment_refreshes);
+                assert_eq!(legacy.fault_stats, flat.fault_stats);
+                assert_eq!(legacy.adversary_stats, flat.adversary_stats);
+                assert_eq!(
+                    legacy.elapsed_time.to_bits(),
+                    flat.elapsed_time.to_bits(),
+                    "{model:?} hostile={hostile}"
+                );
+                assert_eq!(
+                    legacy.final_variance.to_bits(),
+                    flat.final_variance.to_bits()
+                );
+                assert_eq!(
+                    legacy.settling_time.unwrap().to_bits(),
+                    flat.settling_time.unwrap().to_bits()
+                );
+                for (a, b) in legacy
+                    .final_values
+                    .as_slice()
+                    .iter()
+                    .zip(flat.final_values.as_slice())
+                {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{model:?} hostile={hostile}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_layout_without_a_kernel_falls_back_to_the_legacy_loop() {
+        // `NoOpHandler` has no pairwise kernel, so the flat dispatch must
+        // silently run the legacy loop — same contract as sharding.
+        let g = complete(4).unwrap();
+        let run = |layout: MemoryLayout| {
+            let config = SimulationConfig::new(5)
+                .with_stopping_rule(StoppingRule::definition1().or_max_time(3.0))
+                .with_memory_layout(layout);
+            let mut sim = AsyncSimulator::new(&g, spike(4), NoOpHandler, config).unwrap();
+            sim.run().unwrap()
+        };
+        let legacy = run(MemoryLayout::Legacy);
+        let fallback = run(MemoryLayout::FlatSoA);
+        assert_eq!(legacy.total_ticks, fallback.total_ticks);
+        assert_eq!(
+            legacy.elapsed_time.to_bits(),
+            fallback.elapsed_time.to_bits()
+        );
+        assert_eq!(legacy.stop_reason, fallback.stop_reason);
+    }
+
+    #[test]
+    fn flat_layout_with_a_trace_falls_back_and_still_records() {
+        let (g, partition) = dumbbell(3).unwrap();
+        let config = SimulationConfig::new(2)
+            .with_partition(partition)
+            .with_trace(TraceConfig::every_ticks(1).with_block_statistics())
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(200_000))
+            .with_flat_layout();
+        let mut sim = AsyncSimulator::new(&g, spike(6), Vanilla, config).unwrap();
+        let outcome = sim.run().unwrap();
+        let trace = outcome.trace.as_ref().expect("trace requested");
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn flat_event_budget_guard_fires() {
+        let g = complete(4).unwrap();
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.0))
+            .with_max_events(10_000)
+            .with_flat_layout();
         let mut sim = AsyncSimulator::new(&g, spike(4), Vanilla, config).unwrap();
         assert!(matches!(
             sim.run(),

@@ -31,6 +31,10 @@
 //! * [`engine::AsyncSimulator`] and [`sync::SyncSimulator`] — drivers that
 //!   advance the clocks, invoke the handler, record [`trace::Trace`]s and
 //!   evaluate [`stopping::StoppingRule`]s.
+//! * [`flat`] — the million-node tier: the packed struct-of-arrays layout
+//!   behind [`engine::MemoryLayout::FlatSoA`] (bit-identical to the legacy
+//!   loop) and the opt-in f32 value tier pinned by an a-priori error-bound
+//!   oracle.
 //!
 //! # Examples
 //!
@@ -73,6 +77,7 @@ pub mod adversary;
 pub mod clock;
 pub mod engine;
 pub mod fault;
+pub mod flat;
 pub mod handler;
 pub mod moments;
 mod shard;
@@ -83,8 +88,9 @@ pub mod values;
 
 pub use adversary::{AdversaryBehavior, AdversaryPlan, AdversaryStats, CensoringBridge};
 pub use clock::ClockScratch;
-pub use engine::{AsyncSimulator, SimulationConfig, SimulationOutcome, VarianceMode};
+pub use engine::{AsyncSimulator, MemoryLayout, SimulationConfig, SimulationOutcome, VarianceMode};
 pub use fault::{FaultPlan, FaultStats};
+pub use flat::{run_f32, F32Oracle, F32Outcome, FlatTopology};
 pub use handler::{EdgeTickContext, EdgeTickHandler, PairwiseKernel};
 pub use moments::MomentTracker;
 pub use stopping::StoppingRule;
@@ -123,6 +129,13 @@ pub enum SimError {
         /// Human-readable description.
         reason: String,
     },
+    /// A reduced-precision run finished but violated its a-priori error
+    /// bound (see [`flat::F32Oracle`]); the result must be discarded, never
+    /// journaled.
+    PrecisionOracle {
+        /// Which bound was violated, with the measured and allowed values.
+        reason: String,
+    },
     /// An underlying graph operation failed.
     Graph(gossip_graph::GraphError),
 }
@@ -142,6 +155,9 @@ impl fmt::Display for SimError {
                 write!(f, "event budget exhausted after {events} events")
             }
             SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::PrecisionOracle { reason } => {
+                write!(f, "precision oracle violated: {reason}")
+            }
             SimError::Graph(e) => write!(f, "graph error: {e}"),
         }
     }
@@ -181,6 +197,9 @@ mod tests {
             SimError::EventBudgetExhausted { events: 10 },
             SimError::InvalidConfig {
                 reason: "bad".into(),
+            },
+            SimError::PrecisionOracle {
+                reason: "drift over bound".into(),
             },
             SimError::Graph(gossip_graph::GraphError::Disconnected),
         ];

@@ -357,6 +357,15 @@ impl NodeValues {
         self.moments = source.moments;
     }
 
+    /// Crate-internal: splits the state into its raw value slice and the
+    /// moment tracker so the flat struct-of-arrays engine can index values
+    /// directly while keeping every mutation paired with the same
+    /// `record_update` call [`Self::set`] would have made.  Callers own the
+    /// invariant that every slice write is mirrored into the tracker.
+    pub(crate) fn as_mut_parts(&mut self) -> (&mut [f64], &mut MomentTracker) {
+        (self.values.as_mut_slice(), &mut self.moments)
+    }
+
     /// Crate-internal: overwrites the values from a raw slice and rebuilds
     /// the tracker with an exact pass, **without** a finiteness check — the
     /// sharded engine installs its (possibly poisoned) final state through

@@ -44,11 +44,16 @@ pub enum ExperimentId {
     /// aggregation, with honest-subset drift oracles), reported as
     /// `BENCH_adversary.json`.
     Adversary,
+    /// The memory-scaling tier (flat SoA/CSR engine up to 10⁶ nodes with
+    /// peak-RSS and throughput accounting, legacy byte-identity checks at
+    /// 50k, and the f32 value tier under its error-bound oracle), reported
+    /// as `BENCH_mem_scale.json`.
+    MemScale,
 }
 
 impl ExperimentId {
     /// All experiments, in canonical order.
-    pub fn all() -> [ExperimentId; 15] {
+    pub fn all() -> [ExperimentId; 16] {
         [
             ExperimentId::E1,
             ExperimentId::E2,
@@ -65,6 +70,7 @@ impl ExperimentId {
             ExperimentId::Robustness,
             ExperimentId::Perf,
             ExperimentId::Adversary,
+            ExperimentId::MemScale,
         ]
     }
 
@@ -88,6 +94,7 @@ impl ExperimentId {
             ExperimentId::Robustness => "ROBUSTNESS",
             ExperimentId::Perf => "PERF",
             ExperimentId::Adversary => "ADVERSARY",
+            ExperimentId::MemScale => "MEM_SCALE",
         }
     }
 
@@ -253,6 +260,22 @@ impl ExperimentId {
                            n ∈ {96, 192, 768} (quick: {96, 192}), global uniform clock.",
                 bench_target: "gossip-bench runner::run_adversary + BENCH_adversary.json",
             },
+            ExperimentId::MemScale => ExperimentDescriptor {
+                id: self,
+                title: "Memory-scale tier: the flat SoA engine at 10⁶ nodes",
+                claim: "The packed CSR-companion/struct-of-arrays hot loop is byte-identical \
+                        to the legacy layout while completing 10⁶-node relaxations in bounded \
+                        memory; peak RSS and ticks/s are reported per family so memory \
+                        regressions are as visible as time regressions, and the f32 value \
+                        tier converges within its a-priori mean-drift and variance-error \
+                        bounds on every row.",
+                workload: "The four asynchronous-relaxation families (chordal ring, expander \
+                           dumbbell/barbell, ring of cliques) with uniform starts at \
+                           n ∈ {50k, 250k, 10⁶} (quick: {50k}), vanilla gossip, global \
+                           uniform clock; per row one flat-f64 run (legacy byte-identity \
+                           checked at 50k) and one f32-tier run under its oracle.",
+                bench_target: "gossip-bench runner::run_mem_scale + BENCH_mem_scale.json",
+            },
         }
     }
 }
@@ -286,7 +309,7 @@ mod tests {
     #[test]
     fn all_experiments_have_distinct_nonempty_descriptors() {
         let all = ExperimentId::all();
-        assert_eq!(all.len(), 15);
+        assert_eq!(all.len(), 16);
         let mut titles = BTreeSet::new();
         for id in all {
             let d = id.descriptor();
@@ -311,6 +334,7 @@ mod tests {
         }
         assert_eq!(ExperimentId::SimScale.cli_token(), "SIM_SCALE");
         assert_eq!(ExperimentId::Adversary.cli_token(), "ADVERSARY");
+        assert_eq!(ExperimentId::MemScale.cli_token(), "MEM_SCALE");
     }
 
     #[test]

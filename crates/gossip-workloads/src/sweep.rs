@@ -125,6 +125,30 @@ pub fn sim_scale_sweep(quick: bool) -> Sweep<Scenario> {
     Sweep::new("scenario", values)
 }
 
+/// Total graph sizes of the **memory**-scaling tier: `{50k, 250k, 10⁶}`
+/// nodes in full mode, `{50k}` in quick mode (CI regenerates the quick
+/// report on every push; the 10⁶ rows are the point of the tier and run in
+/// full mode only).
+pub fn mem_scale_sizes(quick: bool) -> Sweep<usize> {
+    let values = if quick {
+        vec![50_000]
+    } else {
+        vec![50_000, 250_000, 1_000_000]
+    };
+    Sweep::new("n", values)
+}
+
+/// The memory-scaling sweep: for each size in [`mem_scale_sizes`], the four
+/// asynchronous-relaxation families of
+/// [`crate::scenarios::sim_scale_suite`].
+pub fn mem_scale_sweep(quick: bool) -> Sweep<Scenario> {
+    let mut values = Vec::new();
+    for &n in mem_scale_sizes(quick).iter() {
+        values.extend(crate::scenarios::sim_scale_suite(n));
+    }
+    Sweep::new("scenario", values)
+}
+
 /// Total graph sizes of the robustness tier: small enough that every
 /// (baseline, faulted) run pair finishes quickly even under heavy message
 /// loss, large enough that the fault windows cover a meaningful fraction of
@@ -228,6 +252,24 @@ mod tests {
         let full = sim_scale_sweep(false);
         assert_eq!(full.len(), 3 * 4);
         assert_eq!(full.values.last().unwrap().node_count(), 50_000);
+    }
+
+    #[test]
+    fn mem_scale_sweep_covers_all_families_per_size() {
+        assert_eq!(mem_scale_sizes(true).values, vec![50_000]);
+        assert_eq!(
+            mem_scale_sizes(false).values,
+            vec![50_000, 250_000, 1_000_000]
+        );
+        let quick = mem_scale_sweep(true);
+        assert_eq!(quick.len(), 4);
+        for scenario in quick.iter() {
+            assert!(scenario.node_count() >= 25_000);
+            assert!(scenario.node_count() <= 56_250);
+        }
+        let full = mem_scale_sweep(false);
+        assert_eq!(full.len(), 3 * 4);
+        assert_eq!(full.values.last().unwrap().node_count(), 1_000_000);
     }
 
     #[test]

@@ -138,6 +138,83 @@ pub mod seeds {
     /// `run_store`: the deliberately different seed proving trial keys
     /// separate seeds (nothing replays across a seed change).
     pub const RUN_STORE_RESEED: u64 = 492;
+    /// `memscale_differential`: scenario instantiation of the flat-vs-legacy
+    /// bit-identity oracle families (offset by the family index).
+    pub const MEMSCALE_SCENARIO: u64 = 501;
+    /// `memscale_differential`: uniform initial vectors of the oracle runs.
+    pub const MEMSCALE_INITIAL: u64 = 502;
+    /// `memscale_differential`: clock seed of the bit-identity runs (offset
+    /// by the family index).
+    pub const MEMSCALE_CLOCK: u64 = 503;
+    /// `memscale_differential`: fault-plan stream of the mixed
+    /// fault + adversary bit-identity runs.
+    pub const MEMSCALE_FAULT: u64 = 504;
+    /// `memscale_differential`: adversary stream of the mixed runs.
+    pub const MEMSCALE_ADVERSARY: u64 = 505;
+    /// `f32_tier_oracle`: base seed of the f32-tier convergence and
+    /// oracle-violation suite (offset by the family index).
+    pub const F32_TIER: u64 = 506;
+
+    /// Every pinned seed of the registry with its name — the collision
+    /// check below asserts no two suites reuse a seed, so any new constant
+    /// must be added here to be claimable.
+    pub fn all() -> Vec<(&'static str, u64)> {
+        vec![
+            ("THEOREM1_VANILLA_SMALL", THEOREM1_VANILLA_SMALL),
+            ("THEOREM1_VANILLA_LARGE", THEOREM1_VANILLA_LARGE),
+            ("THEOREM1_WEIGHTED", THEOREM1_WEIGHTED),
+            ("THEOREM1_RANDOM_NEIGHBOR", THEOREM1_RANDOM_NEIGHBOR),
+            ("THEOREM1_NARROW_CUT", THEOREM1_NARROW_CUT),
+            ("THEOREM1_WIDE_CUT", THEOREM1_WIDE_CUT),
+            ("THEOREM2_VANILLA", THEOREM2_VANILLA),
+            ("THEOREM2_ALGO_A", THEOREM2_ALGO_A),
+            ("THEOREM2_GROWTH_VANILLA", THEOREM2_GROWTH_VANILLA),
+            ("THEOREM2_GROWTH_ALGO_A", THEOREM2_GROWTH_ALGO_A),
+            ("THEOREM2_SPEEDUP_SMALL", THEOREM2_SPEEDUP_SMALL),
+            ("THEOREM2_SPEEDUP_LARGE", THEOREM2_SPEEDUP_LARGE),
+            ("THEOREM2_SCALE", THEOREM2_SCALE),
+            ("HARNESS_THEOREM1_FLOOR", HARNESS_THEOREM1_FLOOR),
+            ("INVARIANTS_BASE", INVARIANTS_BASE),
+            ("DIFFERENTIAL_ER", DIFFERENTIAL_ER),
+            ("DIFFERENTIAL_REGULAR", DIFFERENTIAL_REGULAR),
+            ("DIFFERENTIAL_BRIDGED", DIFFERENTIAL_BRIDGED),
+            ("DIFFERENTIAL_SBM", DIFFERENTIAL_SBM),
+            ("DIFFERENTIAL_GEOMETRIC", DIFFERENTIAL_GEOMETRIC),
+            ("DIFFERENTIAL_PROBE", DIFFERENTIAL_PROBE),
+            ("LANCZOS_DISCONNECTED", LANCZOS_DISCONNECTED),
+            ("SCALE_DUMBBELL", SCALE_DUMBBELL),
+            ("SCALE_SUITE", SCALE_SUITE),
+            ("MOMENT_DIFFERENTIAL", MOMENT_DIFFERENTIAL),
+            ("MOMENT_DRIFT", MOMENT_DRIFT),
+            ("SIM_SCALE_DUMBBELL", SIM_SCALE_DUMBBELL),
+            ("SIM_SCALE_SUITE", SIM_SCALE_SUITE),
+            ("FAULT_DIFFERENTIAL", FAULT_DIFFERENTIAL),
+            ("FAULT_SCENARIO", FAULT_SCENARIO),
+            ("FAULT_CONSERVATION", FAULT_CONSERVATION),
+            ("FAULT_PLAN", FAULT_PLAN),
+            ("PARALLEL_ESTIMATOR", PARALLEL_ESTIMATOR),
+            ("PARALLEL_PERF", PARALLEL_PERF),
+            ("PARALLEL_SIM_SCALE", PARALLEL_SIM_SCALE),
+            ("PARALLEL_TABLE", PARALLEL_TABLE),
+            ("SHARDED_DETERMINISM", SHARDED_DETERMINISM),
+            ("SHARDED_INITIAL", SHARDED_INITIAL),
+            ("SHARDED_FAULT", SHARDED_FAULT),
+            ("ADVERSARY_DIFFERENTIAL", ADVERSARY_DIFFERENTIAL),
+            ("ADVERSARY_SCENARIO", ADVERSARY_SCENARIO),
+            ("ADVERSARY_PLAN", ADVERSARY_PLAN),
+            ("ADVERSARY_FAULT", ADVERSARY_FAULT),
+            ("ADVERSARY_ROBUST", ADVERSARY_ROBUST),
+            ("ADVERSARY_SHARDED", ADVERSARY_SHARDED),
+            ("RUN_STORE_SWEEP", RUN_STORE_SWEEP),
+            ("RUN_STORE_RESEED", RUN_STORE_RESEED),
+            ("MEMSCALE_SCENARIO", MEMSCALE_SCENARIO),
+            ("MEMSCALE_INITIAL", MEMSCALE_INITIAL),
+            ("MEMSCALE_CLOCK", MEMSCALE_CLOCK),
+            ("MEMSCALE_FAULT", MEMSCALE_FAULT),
+            ("MEMSCALE_ADVERSARY", MEMSCALE_ADVERSARY),
+            ("F32_TIER", F32_TIER),
+        ]
+    }
 }
 
 /// The paper's motivating dumbbell: two `K_half` blocks joined by one edge.
@@ -211,5 +288,34 @@ pub fn algorithm_a_factory<'a>(
             SparseCutConfig::new().with_epoch_constant(2.0),
         )
         .expect("valid partition")
+    }
+}
+
+#[cfg(test)]
+mod seed_registry_tests {
+    use super::seeds;
+
+    /// No two suites may reuse a pinned seed: distinct seeds feed distinct
+    /// ChaCha8 streams, so a collision would silently correlate two suites'
+    /// randomness (and make one suite's re-pinning shift another's margins).
+    #[test]
+    fn seed_registry_has_no_collisions() {
+        let all = seeds::all();
+        for (i, (name_a, seed_a)) in all.iter().enumerate() {
+            for (name_b, seed_b) in &all[i + 1..] {
+                assert_ne!(
+                    seed_a, seed_b,
+                    "seed registry collision: {name_a} and {name_b} both pin {seed_a}"
+                );
+            }
+        }
+    }
+
+    /// The registry list stays in sync with the constants: every entry's
+    /// name matches its value's constant (spot-checked via count — adding a
+    /// constant without registering it here is the failure mode).
+    #[test]
+    fn seed_registry_is_complete() {
+        assert_eq!(seeds::all().len(), 53);
     }
 }

@@ -1,0 +1,178 @@
+//! f32 value-tier acceptance and oracle suite.
+//!
+//! The f32 tier (`gossip_sim::flat::run_f32`) stores the state in single
+//! precision and checks every run against an *a-priori* error bound (see
+//! the `gossip_sim::flat` module docs for the derivation): the mean may
+//! drift by at most `safety · ε₃₂ · M · (T/n + 1)` and the tracked final
+//! variance must agree with an exact recompute to within the oracle's
+//! margin.  This suite pins three claims at the workspace level:
+//!
+//! 1. the tier *converges* on every scale family, under both clock
+//!    samplers, within the default oracle's bounds;
+//! 2. a violated oracle is an `Err` (`SimError::PrecisionOracle`), not a
+//!    silently wrong row;
+//! 3. such an `Err` never reaches a run-store journal — the bench trial
+//!    layer only commits rows whose oracles passed.
+//!
+//! Seed 506 (see `tests/common`).
+
+mod common;
+
+use common::seeds;
+use gossip_bench::runner::HarnessConfig;
+use gossip_bench::trial::{engine_fingerprint, run_trials};
+use gossip_store::{trial_key, RunStore, StoreSink};
+use sparse_cut_gossip::prelude::*;
+use sparse_cut_gossip::sim::SimError;
+
+/// The vanilla pairwise kernel the tier is benchmarked with.
+fn kernel() -> gossip_sim::handler::PairwiseKernel {
+    VanillaGossip::new()
+        .pairwise_kernel()
+        .expect("vanilla gossip exposes its pairwise kernel")
+}
+
+/// Builds one family instance and its uniform initial vector.
+fn family_case(scenario: &Scenario, case: u64) -> (Graph, NodeValues) {
+    let instance = scenario
+        .instantiate(seeds::F32_TIER + case)
+        .expect("scenario instantiates");
+    let initial = InitialCondition::Uniform { lo: -1.0, hi: 1.0 }
+        .generate(
+            instance.graph.node_count(),
+            Some(&instance.partition),
+            seeds::F32_TIER + 10 + case,
+        )
+        .expect("initial generates");
+    (instance.graph, initial)
+}
+
+fn sim_config(case: u64, clock: ClockModel) -> SimulationConfig {
+    SimulationConfig::new(seeds::F32_TIER + 20 + case)
+        .with_clock_model(clock)
+        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(50_000_000))
+}
+
+#[test]
+fn f32_tier_converges_within_its_oracle_on_every_family() {
+    for (index, scenario) in gossip_workloads::scenarios::sim_scale_suite(256)
+        .iter()
+        .enumerate()
+    {
+        for clock in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            let case = index as u64;
+            let (graph, initial) = family_case(scenario, case);
+            let outcome = run_f32(
+                &graph,
+                &initial,
+                kernel(),
+                &sim_config(case, clock),
+                &F32Oracle::default(),
+            )
+            .expect("the f32 tier passes its default oracle");
+            let label = format!("{scenario:?} under {clock:?}");
+            assert!(outcome.converged(), "{label}: did not converge");
+            assert!(
+                outcome.mean_drift <= outcome.mean_drift_bound,
+                "{label}: drift {} exceeds its bound {}",
+                outcome.mean_drift,
+                outcome.mean_drift_bound
+            );
+            assert!(
+                outcome.variance_error <= outcome.variance_error_bound,
+                "{label}: variance error {} exceeds its bound {}",
+                outcome.variance_error,
+                outcome.variance_error_bound
+            );
+            assert!(outcome.final_values.iter().all(|v| v.is_finite()));
+            assert!(outcome.total_ticks > 0);
+        }
+    }
+}
+
+#[test]
+fn f32_oracle_violation_is_a_precision_error() {
+    // A zero-safety oracle bounds the drift by zero; the uniform initial
+    // vector is (almost surely) not exactly f32-representable, so rounding
+    // moves the mean on the very first averaging contact and the run must
+    // be rejected — as `PrecisionOracle`, not any other error.
+    let suite = gossip_workloads::scenarios::sim_scale_suite(256);
+    let (graph, initial) = family_case(&suite[0], 0);
+    let oracle = F32Oracle {
+        mean_drift_safety: 0.0,
+        ..F32Oracle::default()
+    };
+    let result = run_f32(
+        &graph,
+        &initial,
+        kernel(),
+        &sim_config(0, ClockModel::GlobalUniform),
+        &oracle,
+    );
+    match result {
+        Err(SimError::PrecisionOracle { reason }) => {
+            assert!(
+                reason.contains("drift"),
+                "the violation must name the violated bound, got: {reason}"
+            );
+        }
+        other => panic!("expected a PrecisionOracle error, got {other:?}"),
+    }
+}
+
+#[test]
+fn f32_oracle_violations_never_reach_the_journal() {
+    // Drive the real bench trial layer: two f32 trials against a journaled
+    // run store, the second under the impossible zero-safety oracle.  The
+    // sweep fails as a whole, and the violating trial's key must be absent
+    // from the journal — `run_trials` only commits rows whose compute
+    // closure returned `Ok`, i.e. whose oracles passed.
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("gossip-f32-oracle-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut config = HarnessConfig::quick();
+    config.seed = seeds::F32_TIER;
+    config.jobs = Some(1);
+    let suite = gossip_workloads::scenarios::sim_scale_suite(256);
+    let fingerprints = vec!["f32(ok)".to_string(), "f32(violating)".to_string()];
+
+    let sink = StoreSink::new(RunStore::open(&dir, false).unwrap());
+    let result = run_trials(
+        &config,
+        &Executor::new(1),
+        &sink,
+        "F32_ORACLE_PROBE",
+        &fingerprints,
+        |index| -> Result<Vec<String>, Box<dyn std::error::Error + Send + Sync>> {
+            let (graph, initial) = family_case(&suite[index], index as u64);
+            let oracle = if index == 1 {
+                F32Oracle {
+                    mean_drift_safety: 0.0,
+                    ..F32Oracle::default()
+                }
+            } else {
+                F32Oracle::default()
+            };
+            let outcome = run_f32(
+                &graph,
+                &initial,
+                kernel(),
+                &sim_config(index as u64, ClockModel::GlobalUniform),
+                &oracle,
+            )?;
+            Ok(vec![format!("ticks={}", outcome.total_ticks)])
+        },
+    );
+    assert!(result.is_err(), "the violating trial must fail the sweep");
+
+    let store = sink.into_store();
+    let engine = engine_fingerprint(&config);
+    let bad_key = trial_key("F32_ORACLE_PROBE", "f32(violating)", config.seed, &engine);
+    assert!(
+        store.replay(bad_key).is_none(),
+        "a violated oracle must never commit to the journal"
+    );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

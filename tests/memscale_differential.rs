@@ -1,0 +1,173 @@
+//! Flat-SoA engine bit-identity oracles.
+//!
+//! The flat memory layout (`SimulationConfig::with_flat_layout`) promises
+//! that packing the edge endpoints into a flat SoA table changes *where*
+//! the per-tick loop reads its operands — never the event schedule, the
+//! update order, or a single bit of the result.  This suite pins that
+//! promise against the legacy layout on every scale family, under both
+//! clock samplers, fault-free and under a mixed fault + adversary plan:
+//! the stop tick, the stop time, the stop reason, the refresh count, the
+//! fault and adversary counters, and the final state vector must agree
+//! bit for bit.
+//!
+//! (That the flat path actually engages — rather than silently falling
+//! back — is pinned by the dispatch unit tests in `gossip-sim::engine`;
+//! every configuration here is eligible: a kernel-capable handler,
+//! incremental variance, no trace, no shards.)
+//!
+//! Seeds 501–505 (see `tests/common`).
+
+mod common;
+
+use common::seeds;
+use sparse_cut_gossip::prelude::*;
+
+/// Runs one simulation under the given layout and returns everything the
+/// oracle compares.
+fn run_case(
+    scenario: &Scenario,
+    case: u64,
+    clock: ClockModel,
+    hostile: bool,
+    layout: MemoryLayout,
+) -> (SimulationOutcome, Vec<u64>) {
+    let instance = scenario
+        .instantiate(seeds::MEMSCALE_SCENARIO + case)
+        .expect("scenario instantiates");
+    let initial = InitialCondition::Uniform { lo: -1.0, hi: 1.0 }
+        .generate(
+            instance.graph.node_count(),
+            Some(&instance.partition),
+            seeds::MEMSCALE_INITIAL + case,
+        )
+        .expect("initial generates");
+    let mut config = SimulationConfig::new(seeds::MEMSCALE_CLOCK + case)
+        .with_clock_model(clock)
+        .with_stopping_rule(StoppingRule::definition1().or_max_ticks(50_000_000))
+        .with_memory_layout(layout);
+    if hostile {
+        config = config
+            .with_fault_plan(
+                FaultPlan::new(seeds::MEMSCALE_FAULT + case)
+                    .with_drop_probability(0.15)
+                    .with_edge_outage(EdgeId(0), 100, 4_000)
+                    .with_node_pause(NodeId(2), 200, 2_500),
+            )
+            .with_adversary_plan(
+                AdversaryPlan::new(seeds::MEMSCALE_ADVERSARY + case)
+                    .with_biased_injector(NodeId(1), 0.3)
+                    .with_extreme_value_node(NodeId(3), 25.0),
+            );
+    }
+    let mut simulator = AsyncSimulator::new(&instance.graph, initial, VanillaGossip::new(), config)
+        .expect("simulator builds");
+    let outcome = simulator.run().expect("run succeeds");
+    let bits = outcome
+        .final_values
+        .as_slice()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    (outcome, bits)
+}
+
+/// Asserts that the flat and legacy layouts agree on every deterministic
+/// field — which here is *every* field, wall-clock is not recorded.
+fn assert_layout_invariant(scenario: &Scenario, case: u64, clock: ClockModel, hostile: bool) {
+    let label = format!("{scenario:?} under {clock:?} (hostile: {hostile})");
+    let (legacy, legacy_bits) = run_case(scenario, case, clock, hostile, MemoryLayout::Legacy);
+    assert!(
+        legacy.total_ticks > 0,
+        "{label}: the oracle run must process events"
+    );
+    let (flat, flat_bits) = run_case(scenario, case, clock, hostile, MemoryLayout::FlatSoA);
+    assert_eq!(
+        legacy.total_ticks, flat.total_ticks,
+        "{label}: stop tick diverged under the flat layout"
+    );
+    assert_eq!(
+        legacy.elapsed_time.to_bits(),
+        flat.elapsed_time.to_bits(),
+        "{label}: stop time diverged under the flat layout"
+    );
+    assert_eq!(
+        legacy.stop_reason, flat.stop_reason,
+        "{label}: stop reason diverged under the flat layout"
+    );
+    assert_eq!(
+        legacy.moment_refreshes, flat.moment_refreshes,
+        "{label}: refresh count diverged under the flat layout"
+    );
+    assert_eq!(
+        legacy.fault_stats, flat.fault_stats,
+        "{label}: fault counters diverged under the flat layout"
+    );
+    assert_eq!(
+        legacy.adversary_stats, flat.adversary_stats,
+        "{label}: adversary counters diverged under the flat layout"
+    );
+    assert_eq!(
+        legacy.final_variance.to_bits(),
+        flat.final_variance.to_bits(),
+        "{label}: final variance diverged under the flat layout"
+    );
+    assert_eq!(
+        legacy_bits, flat_bits,
+        "{label}: final state diverged under the flat layout"
+    );
+}
+
+#[test]
+fn all_families_are_bit_identical_per_edge_queue() {
+    for (index, scenario) in gossip_workloads::scenarios::sim_scale_suite(256)
+        .iter()
+        .enumerate()
+    {
+        assert_layout_invariant(scenario, index as u64, ClockModel::PerEdgeQueue, false);
+    }
+}
+
+#[test]
+fn all_families_are_bit_identical_global_uniform() {
+    for (index, scenario) in gossip_workloads::scenarios::sim_scale_suite(256)
+        .iter()
+        .enumerate()
+    {
+        assert_layout_invariant(scenario, index as u64, ClockModel::GlobalUniform, false);
+    }
+}
+
+#[test]
+fn hostile_families_are_bit_identical() {
+    // The fault and adversary streams are classified in tick order before
+    // the state update, so loss, churn and falsified reports must not
+    // break the invariant — and the counters prove both paths engaged.
+    for (index, scenario) in gossip_workloads::scenarios::sim_scale_suite(256)
+        .iter()
+        .enumerate()
+    {
+        for clock in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            assert_layout_invariant(scenario, 100 + index as u64, clock, true);
+        }
+    }
+}
+
+#[test]
+fn hostile_oracle_runs_actually_engage_both_plans() {
+    let suite = gossip_workloads::scenarios::sim_scale_suite(256);
+    let (outcome, _) = run_case(
+        &suite[0],
+        100,
+        ClockModel::GlobalUniform,
+        true,
+        MemoryLayout::FlatSoA,
+    );
+    assert!(
+        outcome.fault_stats.total_suppressed() > 0,
+        "the hostile oracle must exercise the fault path"
+    );
+    assert!(
+        outcome.adversary_stats.total_reports() > 0,
+        "the hostile oracle must exercise the falsified-report path"
+    );
+}
