@@ -47,6 +47,17 @@
 //! `--store-summary` loads the store, prints the per-tier/per-family
 //! analysis view, and exits without running anything.
 //!
+//! `--checkpoint-every-ticks <n>` turns on crash-consistent *mid-run*
+//! checkpoints for the MEM_SCALE tier's timed flat run: every `n` ticks an
+//! engine checkpoint is committed to `<dir>/mem_scale.ckpt.jsonl`, and a
+//! `--resume` restores the newest one instead of recomputing the trial
+//! from tick 0 (restored runs are bit-identical to uninterrupted ones).
+//! `--trial-deadline-secs <n>` puts a wall-clock deadline on every
+//! simulation trial; a trial that exceeds it is journaled as
+//! `deadline_censored` and dropped from the sweep instead of hanging it.
+//! `--trial-retries <n>` bounds the deterministic retry of a panicking
+//! trial (default 1; recovered trials journal `supervision_retries`).
+//!
 //! The SCALE, SIM_SCALE, MEM_SCALE, ROBUSTNESS, PERF and ADVERSARY tiers
 //! additionally write their structured reports to `BENCH_*.json` (paths
 //! overridable via the registry's flags).  Every report carries a
@@ -236,6 +247,7 @@ fn print_usage() {
         "usage: experiments [--quick] [--seed <u64>] [--jobs <n>] [--shards <k>] \
          [--only E1 E2 ... SCALE SIM_SCALE MEM_SCALE ROBUSTNESS PERF ADVERSARY] [--json <path>] \
          [--store-dir <dir>] [--resume] [--store-summary] \
+         [--checkpoint-every-ticks <n>] [--trial-deadline-secs <n>] [--trial-retries <n>] \
          [--scale-json <path>] [--sim-scale-json <path>] [--mem-scale-json <path>] \
          [--robustness-json <path>] [--perf-json <path>] [--adversary-json <path>]"
     );
@@ -309,6 +321,43 @@ fn main() {
                     Some(shards) if shards >= 1 => config.shards = Some(shards),
                     _ => {
                         eprintln!("--shards requires a positive integer");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--checkpoint-every-ticks" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(ticks) => config.checkpoint_every_ticks = ticks,
+                    None => {
+                        eprintln!(
+                            "--checkpoint-every-ticks requires an unsigned integer (0 disables)"
+                        );
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--trial-deadline-secs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(secs) if secs >= 1 => {
+                        config.trial_deadline = Some(std::time::Duration::from_secs(secs));
+                    }
+                    _ => {
+                        eprintln!("--trial-deadline-secs requires a positive integer");
+                        print_usage();
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--trial-retries" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u32>().ok()) {
+                    Some(retries) => config.trial_retries = retries,
+                    None => {
+                        eprintln!("--trial-retries requires an unsigned integer (0 disables)");
                         print_usage();
                         std::process::exit(2);
                     }

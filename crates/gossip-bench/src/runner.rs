@@ -16,7 +16,7 @@
 
 use crate::probes::{CutTickProbe, EpochProbe};
 use crate::table::Table;
-use crate::trial::{run_trials, TrialRow};
+use crate::trial::{engine_fingerprint, run_trials, TrialRow};
 use gossip_analysis::dominance::DominanceReport;
 use gossip_analysis::random_walk::simple_walk_tail_frequency;
 use gossip_analysis::{concentration, regression, robust};
@@ -28,12 +28,14 @@ use gossip_core::sparse_cut::{SparseCutAlgorithm, SparseCutConfig, TransferCoeff
 use gossip_core::two_time_scale::TwoTimeScaleGossip;
 use gossip_exec::Executor;
 use gossip_graph::{Graph, NodeId, Partition};
+use gossip_sim::checkpoint::EngineCheckpoint;
 use gossip_sim::engine::{AsyncSimulator, ClockModel, SimulationConfig, SimulationOutcome};
 use gossip_sim::handler::EdgeTickHandler;
 use gossip_sim::stopping::{StoppingRule, DEFINITION1_THRESHOLD};
 use gossip_sim::sync::{RoundHandler, SyncConfig, SyncSimulator};
 use gossip_sim::values::NodeValues;
-use gossip_store::{TrialSink, ValueExt};
+use gossip_sim::SimError;
+use gossip_store::{trial_key, CheckpointRecord, TrialSink, ValueExt};
 use gossip_workloads::scenarios::robustness_suite;
 use gossip_workloads::sweep;
 use gossip_workloads::{ExperimentId, InitialCondition, Scenario};
@@ -68,6 +70,23 @@ pub struct HarnessConfig {
     /// engine, whose deterministic outputs are bit-identical across every
     /// shard count — CI diffs `--shards 1` against `--shards 4`.
     pub shards: Option<usize>,
+    /// Mid-run checkpoint cadence in ticks, threaded into the tiers whose
+    /// long relaxations support checkpoint capture (currently MEM_SCALE's
+    /// flat runs).  `0` (the default) disables capture; with a store-backed
+    /// sink, captured checkpoints are committed to the tier's
+    /// `.ckpt.jsonl` log and a resumed run restores from the newest one.
+    pub checkpoint_every_ticks: u64,
+    /// Per-trial wall-clock budget threaded into every simulation config
+    /// the tiers build.  A trial whose engine run exceeds it is *censored*:
+    /// journaled with an explicit `deadline_censored` reason and skipped,
+    /// never hanging or failing the sweep.  `None` (the default) means no
+    /// deadline.
+    pub trial_deadline: Option<std::time::Duration>,
+    /// How many times a *panicking* trial is deterministically retried
+    /// (fresh scratch, same derived seed) before its panic is surfaced as
+    /// an error.  Retries are journaled on the recovered row as
+    /// `supervision_retries`.
+    pub trial_retries: u32,
 }
 
 impl HarnessConfig {
@@ -78,6 +97,9 @@ impl HarnessConfig {
             seed: 0xC0FFEE,
             jobs: None,
             shards: None,
+            checkpoint_every_ticks: 0,
+            trial_deadline: None,
+            trial_retries: 1,
         }
     }
 
@@ -88,6 +110,9 @@ impl HarnessConfig {
             seed: 0xC0FFEE,
             jobs: None,
             shards: None,
+            checkpoint_every_ticks: 0,
+            trial_deadline: None,
+            trial_retries: 1,
         }
     }
 
@@ -112,8 +137,16 @@ impl HarnessConfig {
         Executor::with_override(self.jobs)
     }
 
-    /// Applies the harness-wide shard setting to a simulation config.
+    /// Applies the harness-wide shard setting and the per-trial wall-clock
+    /// deadline to a simulation config.  The deadline is what makes a
+    /// wedged run surface as `SimError::DeadlineExceeded`, which the trial
+    /// supervision in [`run_trials`] turns into a journaled
+    /// `deadline_censored` record instead of a hung sweep.
     fn sharded(&self, sim_config: SimulationConfig) -> SimulationConfig {
+        let sim_config = match self.trial_deadline {
+            Some(deadline) => sim_config.with_wall_clock_deadline(deadline),
+            None => sim_config,
+        };
         match self.shards {
             Some(shards) => sim_config.with_shards(shards),
             None => sim_config,
@@ -1608,10 +1641,12 @@ pub struct MemScaleRow {
     pub wall_ms: f64,
     /// Event throughput of the flat-SoA run (volatile).
     pub ticks_per_sec: f64,
-    /// Process peak RSS in bytes after the row's runs ([`peak_rss_bytes`];
-    /// `0` when unavailable).  Volatile and monotone across rows in the
-    /// same process.
-    pub peak_rss_bytes: u64,
+    /// Process peak RSS in bytes after the row's runs ([`peak_rss_bytes`]).
+    /// `None` — journaled and reported as `null` — when the probe is
+    /// unavailable (off Linux, or `/proc/self/status` unreadable); an absent
+    /// reading is not an error and not a `0`-byte footprint.  Volatile and
+    /// monotone across rows in the same process.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// The memory-scaling report serialized to `BENCH_mem_scale.json`.
@@ -1709,7 +1744,10 @@ impl TrialRow for MemScaleRow {
             f32_variance_error_bound: value.field_f64("f32_variance_error_bound")?,
             wall_ms: value.field_f64("wall_ms")?,
             ticks_per_sec: value.field_f64("ticks_per_sec")?,
-            peak_rss_bytes: value.field_u64("peak_rss_bytes")?,
+            peak_rss_bytes: match value.get("peak_rss_bytes")? {
+                Value::Null => None,
+                _ => Some(value.field_u64("peak_rss_bytes")?),
+            },
         })
     }
 }
@@ -1776,19 +1814,83 @@ pub fn mem_scale_rows(
                 Some(&instance.partition),
                 config.seed.wrapping_add(3100 + index as u64),
             )?;
-            let sim_config = SimulationConfig::new(config.seed.wrapping_add(3200 + index as u64))
-                .with_clock_model(ClockModel::GlobalUniform)
-                .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
-                .with_max_events(4_000_000_000);
+            let mut sim_config =
+                SimulationConfig::new(config.seed.wrapping_add(3200 + index as u64))
+                    .with_clock_model(ClockModel::GlobalUniform)
+                    .with_stopping_rule(StoppingRule::definition1().or_max_ticks(2_000_000_000))
+                    .with_max_events(4_000_000_000);
+            // This tier bypasses `sharded()` (it measures the serial flat
+            // loop), so the trial deadline is threaded in here directly.
+            if let Some(deadline) = config.trial_deadline {
+                sim_config = sim_config.with_wall_clock_deadline(deadline);
+            }
+
+            let flat_config = sim_config
+                .clone()
+                .with_flat_layout()
+                .with_checkpoint_every_ticks(config.checkpoint_every_ticks);
 
             let start = std::time::Instant::now();
-            let mut flat_sim = AsyncSimulator::new(
-                graph,
-                initial.clone(),
-                VanillaGossip::new(),
-                sim_config.clone().with_flat_layout(),
-            )?;
-            let flat = flat_sim.run()?;
+            let flat = if config.checkpoint_every_ticks > 0 {
+                // Mid-run checkpointing: resume the timed flat run from the
+                // newest committed checkpoint (if any), and commit each new
+                // checkpoint through the sink as the run progresses.  The
+                // engine guarantees restored and checkpointing runs are
+                // bit-identical to an uninterrupted one, so the legacy
+                // byte-identity oracle below is unaffected.
+                let key = trial_key(
+                    "MEM_SCALE",
+                    &scenario.fingerprint(),
+                    config.seed,
+                    &engine_fingerprint(config),
+                );
+                let mut flat_sim = match sink.latest_checkpoint("MEM_SCALE", key) {
+                    Some((tick, blob)) => {
+                        let checkpoint = EngineCheckpoint::from_value(&blob)?;
+                        eprintln!(
+                            "run store[MEM_SCALE]: restoring {} from checkpoint at tick {tick}",
+                            scenario.fingerprint()
+                        );
+                        AsyncSimulator::restore(
+                            graph,
+                            VanillaGossip::new(),
+                            flat_config,
+                            &checkpoint,
+                        )?
+                    }
+                    None => AsyncSimulator::new(
+                        graph,
+                        initial.clone(),
+                        VanillaGossip::new(),
+                        flat_config,
+                    )?,
+                };
+                // The engine's sink signature speaks `SimError`; carry any
+                // store failure across it in a slot and rethrow it as-is.
+                let mut store_failure = None;
+                let outcome = flat_sim.run_with_checkpoints(&mut |checkpoint| {
+                    let record = CheckpointRecord {
+                        key,
+                        experiment: "MEM_SCALE".to_string(),
+                        tick: checkpoint.tick(),
+                        blob: checkpoint.to_value(),
+                    };
+                    sink.commit_checkpoint(record).map_err(|error| {
+                        let reason = format!("checkpoint commit failed: {error}");
+                        store_failure = Some(error);
+                        SimError::InvalidConfig { reason }
+                    })
+                });
+                match (outcome, store_failure) {
+                    (Ok(outcome), _) => outcome,
+                    (Err(_), Some(store_error)) => return Err(store_error.into()),
+                    (Err(sim_error), None) => return Err(sim_error.into()),
+                }
+            } else {
+                let mut flat_sim =
+                    AsyncSimulator::new(graph, initial.clone(), VanillaGossip::new(), flat_config)?;
+                flat_sim.run()?
+            };
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
 
             let legacy_checked = n <= MEM_SCALE_IDENTITY_MAX_N;
@@ -1851,7 +1953,7 @@ pub fn mem_scale_rows(
                 f32_variance_error_bound: f32_outcome.variance_error_bound,
                 wall_ms,
                 ticks_per_sec: flat.total_ticks as f64 / (wall_ms / 1e3).max(1e-9),
-                peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
+                peak_rss_bytes: peak_rss_bytes(),
             })
         },
     )
@@ -1917,7 +2019,10 @@ pub fn run_mem_scale(
             fmt(row.f32_mean_drift_bound),
             fmt(row.wall_ms),
             fmt(row.ticks_per_sec),
-            fmt(row.peak_rss_bytes as f64 / (1024.0 * 1024.0)),
+            match row.peak_rss_bytes {
+                Some(bytes) => fmt(bytes as f64 / (1024.0 * 1024.0)),
+                None => "-".to_string(),
+            },
         ]);
     }
     Ok((report, table))

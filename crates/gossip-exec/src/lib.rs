@@ -109,6 +109,23 @@ fn available_parallelism() -> usize {
         .unwrap_or(1)
 }
 
+/// Renders a caught panic payload as a human-readable message.
+///
+/// `std::panic::catch_unwind` hands back a `Box<dyn Any + Send>`; in
+/// practice the payload is the `&str` or `String` the `panic!` site
+/// supplied.  Supervisors (the bench harness's retry loop, and anything
+/// else that isolates a panicking task instead of dying with it) use this
+/// one helper so journaled panic reasons render uniformly.
+pub fn describe_panic(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// A fixed-width view onto the persistent worker pool, with ordered result
 /// collection.
 ///
@@ -569,6 +586,16 @@ mod tests {
             message.contains("deliberate failure in task 5"),
             "original payload must survive: {message:?}"
         );
+    }
+
+    #[test]
+    fn describe_panic_renders_common_payloads() {
+        let p = panic::catch_unwind(|| panic!("static str payload")).unwrap_err();
+        assert_eq!(describe_panic(p.as_ref()), "static str payload");
+        let p = panic::catch_unwind(|| panic!("formatted {} payload", 7)).unwrap_err();
+        assert_eq!(describe_panic(p.as_ref()), "formatted 7 payload");
+        let p = panic::catch_unwind(|| panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(describe_panic(p.as_ref()), "non-string panic payload");
     }
 
     #[test]

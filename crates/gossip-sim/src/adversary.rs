@@ -533,6 +533,37 @@ impl AdversaryInjector {
         self.stats
     }
 
+    /// Crate-internal: captures the mutable state for a checkpoint.  The
+    /// compiled behaviors and censor index are pure functions of the plan
+    /// and are recompiled on restore; what evolves is the stream position,
+    /// the counters, and the stale-replay histories.
+    pub(crate) fn checkpoint_state(&self) -> AdversaryInjectorState {
+        let mut stale_histories = Vec::new();
+        for (node, behavior) in self.behaviors.iter().enumerate() {
+            if let Some(Compiled::Stale { history, .. }) = behavior {
+                stale_histories.push((node, history.iter().copied().collect()));
+            }
+        }
+        AdversaryInjectorState {
+            rng_word_pos: self.rng.get_word_pos(),
+            stats: self.stats,
+            stale_histories,
+        }
+    }
+
+    /// Crate-internal: reinstalls checkpointed mutable state into a freshly
+    /// compiled injector (same plan, same graph).
+    pub(crate) fn restore_state(&mut self, state: &AdversaryInjectorState) {
+        self.rng.set_word_pos(state.rng_word_pos);
+        self.stats = state.stats;
+        for (node, history) in &state.stale_histories {
+            if let Some(Some(Compiled::Stale { history: live, .. })) = self.behaviors.get_mut(*node)
+            {
+                *live = history.iter().copied().collect();
+            }
+        }
+    }
+
     fn report_for(&mut self, node: usize, tick: u64, current: f64) -> Option<FalsifiedReport> {
         match self.behaviors[node].as_mut()? {
             Compiled::Biased { bias } => {
@@ -592,6 +623,18 @@ impl AdversaryInjector {
             }
         }
     }
+}
+
+/// Checkpointed mutable state of an [`AdversaryInjector`] (crate-internal;
+/// serialized by `crate::checkpoint`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct AdversaryInjectorState {
+    /// Keystream position of the adversary RNG.
+    pub(crate) rng_word_pos: u128,
+    /// Counters accumulated up to the checkpoint.
+    pub(crate) stats: AdversaryStats,
+    /// `(node index, (tick, stored value) history)` per stale-replay node.
+    pub(crate) stale_histories: Vec<(usize, Vec<(u64, f64)>)>,
 }
 
 #[cfg(test)]

@@ -203,6 +203,75 @@ impl EdgeClockQueue {
         scratch.entries = self.queue.into_vec();
         scratch.tick_counts = self.edge_tick_counts;
     }
+
+    /// Crate-internal: captures the full resumable state.  The heap is
+    /// exported in canonical (time, edge) sorted order: entries are totally
+    /// ordered and no edge appears twice, so the popped stream — the only
+    /// thing the engine observes — is independent of the internal layout,
+    /// and the canonical order makes the serialized bytes deterministic.
+    pub(crate) fn checkpoint_state(&self) -> EdgeClockQueueState {
+        let mut entries: Vec<(f64, usize)> = self
+            .queue
+            .iter()
+            .map(|e| (e.time, e.edge.index()))
+            .collect();
+        entries.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("tick times are finite")
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        EdgeClockQueueState {
+            entries,
+            rng_word_pos: self.rng.get_word_pos(),
+            edge_tick_counts: self.edge_tick_counts.clone(),
+            global_tick_count: self.global_tick_count,
+            now: self.now,
+            rate: self.rate,
+        }
+    }
+
+    /// Crate-internal: rebuilds the sampler from a checkpoint.  `seed` must
+    /// be the seed the captured sampler was constructed with; the RNG is
+    /// re-seeded and fast-forwarded to the captured keystream position, so
+    /// every subsequent draw is bit-identical to the uninterrupted run.
+    pub(crate) fn restore_state(seed: u64, state: &EdgeClockQueueState) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_word_pos(state.rng_word_pos);
+        let entries: Vec<QueueEntry> = state
+            .entries
+            .iter()
+            .map(|&(time, edge)| QueueEntry {
+                time,
+                edge: EdgeId(edge),
+            })
+            .collect();
+        EdgeClockQueue {
+            queue: BinaryHeap::from(entries),
+            rng,
+            edge_tick_counts: state.edge_tick_counts.clone(),
+            global_tick_count: state.global_tick_count,
+            now: state.now,
+            rate: state.rate,
+        }
+    }
+}
+
+/// Checkpointed state of an [`EdgeClockQueue`] (crate-internal; serialized
+/// by `crate::checkpoint`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct EdgeClockQueueState {
+    /// `(next tick time, edge index)` per edge, in canonical sorted order.
+    pub(crate) entries: Vec<(f64, usize)>,
+    /// Keystream position of the re-arm RNG.
+    pub(crate) rng_word_pos: u128,
+    /// Ticks delivered per edge so far.
+    pub(crate) edge_tick_counts: Vec<u64>,
+    /// Ticks delivered overall so far.
+    pub(crate) global_tick_count: u64,
+    /// Time of the last delivered tick.
+    pub(crate) now: f64,
+    /// Common clock rate.
+    pub(crate) rate: f64,
 }
 
 impl TickProcess for EdgeClockQueue {
@@ -354,6 +423,40 @@ impl GlobalTickProcess {
         scratch.batch = self.batch;
     }
 
+    /// Crate-internal: captures the full resumable state.  The RNG position
+    /// is taken *after* the last refill, so the unconsumed tail of the
+    /// current batch must be captured verbatim — on restore it is replayed
+    /// before the next refill draws from the repositioned stream.
+    pub(crate) fn checkpoint_state(&self) -> GlobalTickProcessState {
+        GlobalTickProcessState {
+            rng_word_pos: self.rng.get_word_pos(),
+            edge_count: self.edge_count,
+            edge_tick_counts: self.edge_tick_counts.clone(),
+            global_tick_count: self.global_tick_count,
+            now: self.now,
+            batch_tail: self.batch[self.batch_pos..].to_vec(),
+            batch_capacity: self.batch_capacity,
+        }
+    }
+
+    /// Crate-internal: rebuilds the sampler from a checkpoint.  `seed` must
+    /// be the seed the captured sampler was constructed with.
+    pub(crate) fn restore_state(seed: u64, state: &GlobalTickProcessState) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_word_pos(state.rng_word_pos);
+        GlobalTickProcess {
+            rng,
+            edge_count: state.edge_count,
+            edge_tick_counts: state.edge_tick_counts.clone(),
+            global_tick_count: state.global_tick_count,
+            now: state.now,
+            rate_per_edge: 1.0,
+            batch: state.batch_tail.clone(),
+            batch_pos: 0,
+            batch_capacity: state.batch_capacity,
+        }
+    }
+
     #[cold]
     fn refill_batch(&mut self) {
         let total_rate = self.rate_per_edge * self.edge_count as f64;
@@ -368,6 +471,26 @@ impl GlobalTickProcess {
         }
         self.batch_pos = 0;
     }
+}
+
+/// Checkpointed state of a [`GlobalTickProcess`] (crate-internal; serialized
+/// by `crate::checkpoint`).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct GlobalTickProcessState {
+    /// Keystream position of the draw RNG, after the last batch refill.
+    pub(crate) rng_word_pos: u128,
+    /// Number of edges (the uniform mark range).
+    pub(crate) edge_count: usize,
+    /// Ticks delivered per edge so far.
+    pub(crate) edge_tick_counts: Vec<u64>,
+    /// Ticks delivered overall so far.
+    pub(crate) global_tick_count: u64,
+    /// Time of the last delivered tick.
+    pub(crate) now: f64,
+    /// Prefetched but not yet delivered `(gap, edge index)` draws.
+    pub(crate) batch_tail: Vec<(f64, usize)>,
+    /// Draws prefetched per refill (never affects the stream).
+    pub(crate) batch_capacity: usize,
 }
 
 impl TickProcess for GlobalTickProcess {
@@ -613,6 +736,53 @@ mod tests {
             let b = recycled.next_tick();
             assert_eq!(a.edge, b.edge, "tick {tick}");
             assert_eq!(a.time.to_bits(), b.time.to_bits(), "tick {tick}");
+        }
+    }
+
+    #[test]
+    fn sampler_checkpoint_round_trip_is_bit_identical() {
+        // Capture both samplers mid-stream (including mid-batch for the
+        // global process) and check the restored stream matches the
+        // uninterrupted one bit-for-bit across several refills/re-arms.
+        let g = complete(6).unwrap();
+        for seed in [0u64, 7, 42] {
+            for warmup in [0usize, 1, 17, GLOBAL_TICK_BATCH + 5] {
+                let mut original = EdgeClockQueue::new(&g, seed).unwrap();
+                for _ in 0..warmup {
+                    original.next_tick();
+                }
+                let state = original.checkpoint_state();
+                let mut restored = EdgeClockQueue::restore_state(seed, &state);
+                for tick in 0..2_000 {
+                    let a = original.next_tick();
+                    let b = restored.next_tick();
+                    assert_eq!(
+                        a.edge, b.edge,
+                        "queue seed {seed} warmup {warmup} tick {tick}"
+                    );
+                    assert_eq!(a.time.to_bits(), b.time.to_bits());
+                    assert_eq!(a.edge_tick_count, b.edge_tick_count);
+                    assert_eq!(a.global_tick_count, b.global_tick_count);
+                }
+
+                let mut original = GlobalTickProcess::new(&g, seed).unwrap();
+                for _ in 0..warmup {
+                    original.next_tick();
+                }
+                let state = original.checkpoint_state();
+                let mut restored = GlobalTickProcess::restore_state(seed, &state);
+                for tick in 0..(2 * GLOBAL_TICK_BATCH + 13) {
+                    let a = original.next_tick();
+                    let b = restored.next_tick();
+                    assert_eq!(
+                        a.edge, b.edge,
+                        "global seed {seed} warmup {warmup} tick {tick}"
+                    );
+                    assert_eq!(a.time.to_bits(), b.time.to_bits());
+                    assert_eq!(a.edge_tick_count, b.edge_tick_count);
+                    assert_eq!(a.global_tick_count, b.global_tick_count);
+                }
+            }
         }
     }
 

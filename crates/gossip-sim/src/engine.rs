@@ -5,6 +5,7 @@
 //! handler, updates the trace, and evaluates the stopping rule.
 
 use crate::adversary::{AdversaryAction, AdversaryInjector, AdversaryPlan, AdversaryStats};
+use crate::checkpoint::{EngineCheckpoint, SamplerState};
 use crate::clock::{ClockScratch, EdgeClockQueue, GlobalTickProcess, TickProcess};
 use crate::fault::{ContactFate, FaultInjector, FaultPlan, FaultStats};
 use crate::handler::{EdgeTickContext, EdgeTickHandler};
@@ -14,7 +15,9 @@ use crate::trace::{Trace, TraceConfig, TraceRecorder};
 use crate::values::NodeValues;
 use crate::{Result, SimError};
 use gossip_graph::{Edge, Graph, Partition};
+use gossip_linalg::Vector;
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Which tick sampler the simulator uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -141,6 +144,24 @@ pub struct SimulationConfig {
     /// [`MemoryLayout::Legacy`] and exists purely for memory locality at
     /// large `n`.
     pub memory_layout: MemoryLayout,
+    /// Cadence (in ticks) at which [`AsyncSimulator::run_with_checkpoints`]
+    /// hands an [`EngineCheckpoint`] to its sink; `0` (the default)
+    /// disables capture.  Captures land at the same deterministic
+    /// tick-boundary style as [`Self::moment_refresh_every_ticks`] (after
+    /// the tick's update, refresh, and stopping check), and capture itself
+    /// never touches any RNG stream, so a checkpointing run is bit-identical
+    /// to a non-checkpointing one.  Supported by the legacy and
+    /// [`MemoryLayout::FlatSoA`] serial loops; requesting capture on a
+    /// traced or sharded run is an [`SimError::InvalidConfig`] error.
+    pub checkpoint_every_ticks: u64,
+    /// Optional wall-clock budget for a single [`AsyncSimulator::run`]
+    /// call.  Checked every [`DEADLINE_CHECK_TICKS`] ticks (and once per
+    /// batch in the sharded engine); when it fires, `run` returns
+    /// [`SimError::DeadlineExceeded`] with the partial state left
+    /// observable on the simulator, so supervisors can censor the trial
+    /// instead of hanging a sweep.  Does not affect determinism: the tick
+    /// stream up to the cut-off is the same as in an unbudgeted run.
+    pub wall_clock_deadline: Option<Duration>,
 }
 
 impl SimulationConfig {
@@ -162,6 +183,8 @@ impl SimulationConfig {
             adversary_plan: None,
             shards: None,
             memory_layout: MemoryLayout::default(),
+            checkpoint_every_ticks: 0,
+            wall_clock_deadline: None,
         }
     }
 
@@ -253,7 +276,27 @@ impl SimulationConfig {
     pub fn with_flat_layout(self) -> Self {
         self.with_memory_layout(MemoryLayout::FlatSoA)
     }
+
+    /// Sets the checkpoint-capture cadence in ticks (see
+    /// [`Self::checkpoint_every_ticks`]; `0` disables capture).
+    pub fn with_checkpoint_every_ticks(mut self, ticks: u64) -> Self {
+        self.checkpoint_every_ticks = ticks;
+        self
+    }
+
+    /// Sets a wall-clock budget for each `run` call (see
+    /// [`Self::wall_clock_deadline`]).
+    pub fn with_wall_clock_deadline(mut self, deadline: Duration) -> Self {
+        self.wall_clock_deadline = Some(deadline);
+        self
+    }
 }
+
+/// How often (in ticks) the engine loops compare elapsed wall-clock time
+/// against [`SimulationConfig::wall_clock_deadline`].  Coarse enough that
+/// the `Instant::now` call never shows up in profiles, fine enough that an
+/// overrunning trial is cut within a fraction of a second.
+pub const DEADLINE_CHECK_TICKS: u64 = 65_536;
 
 /// Result of an asynchronous run.
 #[derive(Debug, Clone, PartialEq)]
@@ -353,6 +396,11 @@ pub struct AsyncSimulator<'g, H> {
     faults: Option<FaultInjector>,
     /// Compiled adversary plan, if one was configured.
     adversary: Option<AdversaryInjector>,
+    /// Set by [`Self::restore`]: the next `run` call continues a checkpointed
+    /// run, so the pre-event stopping check (and its settling note, both
+    /// already performed by the original run at tick 0) must be skipped to
+    /// keep the resumed run bit-identical to the uninterrupted one.
+    resumed: bool,
 }
 
 impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
@@ -435,6 +483,138 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             moments_overflowed: false,
             faults,
             adversary,
+            resumed: false,
+        })
+    }
+
+    /// Rebuilds a simulator mid-run from a checkpoint captured by
+    /// [`Self::run_with_checkpoints`], so that a subsequent [`Self::run`]
+    /// continues the original run **bit-identically**: same stop tick, stop
+    /// time, stop reason, refresh count, fault/adversary counters, and final
+    /// state bits as the uninterrupted run, for both [`MemoryLayout`]s and
+    /// both [`ClockModel`]s.
+    ///
+    /// `graph`, `handler`, and `config` must be the ones the original run
+    /// was constructed with (the same pure inputs a cold start would use);
+    /// the checkpoint carries the evolved state.  Handler-internal state is
+    /// not checkpointed — see [`EngineCheckpoint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::CheckpointInvalid`] when the checkpoint does not
+    /// match `config`/`graph` (seed, clock model, node/edge counts, or
+    /// fault/adversary plan presence), and [`SimError::InvalidConfig`] for
+    /// configurations checkpointing does not support (tracing, sharding).
+    pub fn restore(
+        graph: &'g Graph,
+        handler: H,
+        config: SimulationConfig,
+        checkpoint: &EngineCheckpoint,
+    ) -> Result<Self> {
+        if config.trace.is_some() {
+            return Err(SimError::InvalidConfig {
+                reason: "checkpoint restore does not support trace recording".into(),
+            });
+        }
+        if config.shards.is_some() {
+            return Err(SimError::InvalidConfig {
+                reason: "checkpoint restore does not support the sharded engine".into(),
+            });
+        }
+        if checkpoint.seed != config.seed {
+            return Err(SimError::CheckpointInvalid {
+                reason: format!(
+                    "checkpoint was captured with seed {} but the run is configured with seed {}",
+                    checkpoint.seed, config.seed
+                ),
+            });
+        }
+        if checkpoint.clock_model != config.clock_model {
+            return Err(SimError::CheckpointInvalid {
+                reason: format!(
+                    "checkpoint clock model {:?} does not match configured {:?}",
+                    checkpoint.clock_model, config.clock_model
+                ),
+            });
+        }
+        if checkpoint.node_count != graph.node_count()
+            || checkpoint.edge_count != graph.edge_count()
+        {
+            return Err(SimError::CheckpointInvalid {
+                reason: format!(
+                    "checkpoint graph shape ({} nodes, {} edges) does not match ({} nodes, {} edges)",
+                    checkpoint.node_count,
+                    checkpoint.edge_count,
+                    graph.node_count(),
+                    graph.edge_count()
+                ),
+            });
+        }
+        if checkpoint.values.len() != graph.node_count() {
+            return Err(SimError::CheckpointInvalid {
+                reason: format!(
+                    "checkpoint holds {} values for a {}-node graph",
+                    checkpoint.values.len(),
+                    graph.node_count()
+                ),
+            });
+        }
+        if checkpoint.faults.is_some() != config.fault_plan.is_some() {
+            return Err(SimError::CheckpointInvalid {
+                reason: "checkpoint and configuration disagree on whether a fault plan is active"
+                    .into(),
+            });
+        }
+        if checkpoint.adversary.is_some() != config.adversary_plan.is_some() {
+            return Err(SimError::CheckpointInvalid {
+                reason:
+                    "checkpoint and configuration disagree on whether an adversary plan is active"
+                        .into(),
+            });
+        }
+        // Recompile the pure parts (window indexes, behavior tables) from
+        // the plans, then reinstall the evolved stream positions, counters,
+        // and histories on top.
+        let mut faults = match &config.fault_plan {
+            Some(plan) => Some(FaultInjector::new(plan, graph)?),
+            None => None,
+        };
+        if let (Some(injector), Some(state)) = (faults.as_mut(), checkpoint.faults.as_ref()) {
+            injector.restore_state(state);
+        }
+        let mut adversary = match &config.adversary_plan {
+            Some(plan) => Some(AdversaryInjector::new(plan, graph)?),
+            None => None,
+        };
+        if let (Some(injector), Some(state)) = (adversary.as_mut(), checkpoint.adversary.as_ref()) {
+            injector.restore_state(state);
+        }
+        let sampler = match &checkpoint.sampler {
+            SamplerState::Queue(state) => {
+                Sampler::Queue(EdgeClockQueue::restore_state(config.seed, state))
+            }
+            SamplerState::Global(state) => {
+                Sampler::Global(GlobalTickProcess::restore_state(config.seed, state))
+            }
+        };
+        let (len, shift, sum, sum_sq, refreshes) = checkpoint.moments;
+        let moments =
+            crate::moments::MomentTracker::from_raw_parts(len, shift, sum, sum_sq, refreshes);
+        let values = NodeValues::from_parts(Vector::from(checkpoint.values.clone()), moments);
+        Ok(AsyncSimulator {
+            graph,
+            edges: graph.edges(),
+            values,
+            handler,
+            config,
+            sampler,
+            initial_variance: checkpoint.initial_variance,
+            last_settle: checkpoint.last_settle,
+            moment_refreshes: checkpoint.moment_refreshes,
+            moments_overflowed: checkpoint.moments_overflowed,
+            faults,
+            adversary,
+            resumed: true,
         })
     }
 
@@ -505,6 +685,32 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
     /// before any stopping rule fires, and [`SimError::NonFiniteValue`] if the
     /// handler produces NaN or infinite values.
     pub fn run(&mut self) -> Result<SimulationOutcome> {
+        self.run_with_checkpoints(&mut |_| Ok(()))
+    }
+
+    /// Like [`Self::run`], additionally handing an [`EngineCheckpoint`] to
+    /// `sink` every [`SimulationConfig::checkpoint_every_ticks`] ticks (when
+    /// that cadence is non-zero).  Capture reads the engine state without
+    /// touching any RNG stream, so the run itself is bit-identical to
+    /// [`Self::run`]'s; a `sink` error aborts the run and is returned as-is.
+    ///
+    /// Capture is supported by the serial loops (legacy and
+    /// [`MemoryLayout::FlatSoA`]); a non-zero cadence on a traced or sharded
+    /// run is rejected with [`SimError::InvalidConfig`] rather than silently
+    /// producing no checkpoints.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::run`], plus any error returned by `sink`.
+    pub fn run_with_checkpoints(
+        &mut self,
+        sink: &mut dyn FnMut(EngineCheckpoint) -> Result<()>,
+    ) -> Result<SimulationOutcome> {
+        if self.config.checkpoint_every_ticks > 0 && self.config.trace.is_some() {
+            return Err(SimError::InvalidConfig {
+                reason: "checkpoint capture does not support trace recording".into(),
+            });
+        }
         let mut recorder = self
             .config
             .trace
@@ -512,16 +718,19 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             .map(|cfg| TraceRecorder::new(cfg, self.config.partition.take()));
 
         // A run may be asked to stop before any event (e.g. zero initial
-        // variance).
-        let initial_status = SimulationStatus {
-            time: 0.0,
-            ticks: 0,
-            variance: self.initial_variance,
-            initial_variance: self.initial_variance,
-        };
-        self.note_settling(&initial_status);
-        if let Some(reason) = self.config.stopping_rule.evaluate(&initial_status) {
-            return Ok(self.finish(0.0, 0, reason, recorder));
+        // variance).  A restored run skips this: the original run performed
+        // the tick-0 check before the first checkpoint was ever captured.
+        if !self.resumed {
+            let initial_status = SimulationStatus {
+                time: 0.0,
+                ticks: 0,
+                variance: self.initial_variance,
+                initial_variance: self.initial_variance,
+            };
+            self.note_settling(&initial_status);
+            if let Some(reason) = self.config.stopping_rule.evaluate(&initial_status) {
+                return Ok(self.finish(0.0, 0, reason, recorder));
+            }
         }
 
         if let Some(shards) = self.config.shards {
@@ -532,6 +741,11 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                 && self.config.variance_mode == VarianceMode::Incremental
                 && self.handler.pairwise_kernel().is_some()
             {
+                if self.config.checkpoint_every_ticks > 0 {
+                    return Err(SimError::InvalidConfig {
+                        reason: "checkpoint capture does not support the sharded engine".into(),
+                    });
+                }
                 let (time, ticks, reason) = self.run_sharded(shards)?;
                 return Ok(self.finish(time, ticks, reason, None));
             }
@@ -550,10 +764,10 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             // 8 contiguous bytes per tick instead of a 3-word `Edge`.
             if let Some(topology) = crate::flat::FlatTopology::new(self.graph) {
                 let stopped = match (self.faults.is_some(), self.adversary.is_some()) {
-                    (false, false) => self.run_flat::<false, false>(&topology),
-                    (false, true) => self.run_flat::<false, true>(&topology),
-                    (true, false) => self.run_flat::<true, false>(&topology),
-                    (true, true) => self.run_flat::<true, true>(&topology),
+                    (false, false) => self.run_flat::<false, false>(&topology, sink),
+                    (false, true) => self.run_flat::<false, true>(&topology, sink),
+                    (true, false) => self.run_flat::<true, false>(&topology, sink),
+                    (true, true) => self.run_flat::<true, true>(&topology, sink),
                 };
                 let (time, ticks, reason) = stopped?;
                 return Ok(self.finish(time, ticks, reason, None));
@@ -565,14 +779,14 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             self.adversary.is_some(),
             recorder.is_some(),
         ) {
-            (false, false, false) => self.run_loop::<false, false, false>(&mut recorder),
-            (false, false, true) => self.run_loop::<false, false, true>(&mut recorder),
-            (false, true, false) => self.run_loop::<false, true, false>(&mut recorder),
-            (false, true, true) => self.run_loop::<false, true, true>(&mut recorder),
-            (true, false, false) => self.run_loop::<true, false, false>(&mut recorder),
-            (true, false, true) => self.run_loop::<true, false, true>(&mut recorder),
-            (true, true, false) => self.run_loop::<true, true, false>(&mut recorder),
-            (true, true, true) => self.run_loop::<true, true, true>(&mut recorder),
+            (false, false, false) => self.run_loop::<false, false, false>(&mut recorder, sink),
+            (false, false, true) => self.run_loop::<false, false, true>(&mut recorder, sink),
+            (false, true, false) => self.run_loop::<false, true, false>(&mut recorder, sink),
+            (false, true, true) => self.run_loop::<false, true, true>(&mut recorder, sink),
+            (true, false, false) => self.run_loop::<true, false, false>(&mut recorder, sink),
+            (true, false, true) => self.run_loop::<true, false, true>(&mut recorder, sink),
+            (true, true, false) => self.run_loop::<true, true, false>(&mut recorder, sink),
+            (true, true, true) => self.run_loop::<true, true, true>(&mut recorder, sink),
         };
         let (time, ticks, reason) = match stopped {
             Ok(stopped) => stopped,
@@ -599,7 +813,10 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
     fn run_loop<const FAULTS: bool, const ADVERSARY: bool, const TRACE: bool>(
         &mut self,
         recorder: &mut Option<TraceRecorder>,
+        sink: &mut dyn FnMut(EngineCheckpoint) -> Result<()>,
     ) -> Result<(f64, u64, StopReason)> {
+        let deadline = self.config.wall_clock_deadline.map(|d| (Instant::now(), d));
+        let cadence = self.config.checkpoint_every_ticks;
         let mut ticks = 0u64;
         let mut time;
         loop {
@@ -763,6 +980,20 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                     return Ok((time, ticks, reason));
                 }
             }
+
+            if let Some((started, budget)) = deadline {
+                if ticks.is_multiple_of(DEADLINE_CHECK_TICKS) && started.elapsed() >= budget {
+                    return Err(SimError::DeadlineExceeded { ticks });
+                }
+            }
+
+            // Capture after the tick's update, refresh, and stopping check
+            // so a restored run re-enters the loop exactly at the next
+            // event; capture reads state only (no RNG draws), keeping the
+            // run bit-identical to a non-checkpointing one.
+            if cadence != 0 && ticks.is_multiple_of(cadence) {
+                sink(self.capture_checkpoint(time, ticks))?;
+            }
         }
     }
 
@@ -784,11 +1015,14 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
     fn run_flat<const FAULTS: bool, const ADVERSARY: bool>(
         &mut self,
         topology: &crate::flat::FlatTopology,
+        sink: &mut dyn FnMut(EngineCheckpoint) -> Result<()>,
     ) -> Result<(f64, u64, StopReason)> {
         let kernel = self
             .handler
             .pairwise_kernel()
             .expect("run() only dispatches here with a kernel present");
+        let deadline = self.config.wall_clock_deadline.map(|d| (Instant::now(), d));
+        let cadence = self.config.checkpoint_every_ticks;
         let mut ticks = 0u64;
         let mut time;
         loop {
@@ -921,6 +1155,19 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
                     return Ok((time, ticks, reason));
                 }
             }
+
+            if let Some((started, budget)) = deadline {
+                if ticks.is_multiple_of(DEADLINE_CHECK_TICKS) && started.elapsed() >= budget {
+                    return Err(SimError::DeadlineExceeded { ticks });
+                }
+            }
+
+            // Same capture point as the legacy loop (after update, refresh,
+            // and stopping check), so checkpoints from either layout are
+            // interchangeable.
+            if cadence != 0 && ticks.is_multiple_of(cadence) {
+                sink(self.capture_checkpoint(time, ticks))?;
+            }
         }
     }
 
@@ -948,11 +1195,19 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
         let mut planner = BatchPlanner::new(self.values.len());
         let mut snapshot: Vec<f64> = Vec::new();
         let refresh_every = self.config.moment_refresh_every_ticks;
+        let deadline = self.config.wall_clock_deadline.map(|d| (Instant::now(), d));
         let mut time = 0.0_f64;
         let mut ticks = 0_u64;
         let stopped = loop {
             if ticks >= self.config.max_events {
                 break Err(SimError::EventBudgetExhausted { events: ticks });
+            }
+            // Batch granularity is coarse enough that one `Instant::now`
+            // per iteration is free.
+            if let Some((started, budget)) = deadline {
+                if started.elapsed() >= budget {
+                    break Err(SimError::DeadlineExceeded { ticks });
+                }
             }
             // Cut the batch at the next exact-refresh boundary and the event
             // cap, so refreshes land on the exact same ticks as in a run
@@ -1101,6 +1356,31 @@ impl<'g, H: EdgeTickHandler> AsyncSimulator<'g, H> {
             self.values.check_finite()?;
         }
         Ok((time, ticks, reason))
+    }
+
+    /// Snapshots the full resumable state at a checkpoint boundary.  Pure
+    /// read: no RNG stream advances, so capture never perturbs the run.
+    fn capture_checkpoint(&self, time: f64, ticks: u64) -> EngineCheckpoint {
+        EngineCheckpoint {
+            ticks,
+            time,
+            seed: self.config.seed,
+            clock_model: self.config.clock_model,
+            node_count: self.graph.node_count(),
+            edge_count: self.edges.len(),
+            values: self.values.as_slice().to_vec(),
+            moments: self.values.moments().to_raw_parts(),
+            initial_variance: self.initial_variance,
+            last_settle: self.last_settle,
+            moment_refreshes: self.moment_refreshes,
+            moments_overflowed: self.moments_overflowed,
+            sampler: match &self.sampler {
+                Sampler::Queue(queue) => SamplerState::Queue(queue.checkpoint_state()),
+                Sampler::Global(global) => SamplerState::Global(global.checkpoint_state()),
+            },
+            faults: self.faults.as_ref().map(|i| i.checkpoint_state()),
+            adversary: self.adversary.as_ref().map(|i| i.checkpoint_state()),
+        }
     }
 
     fn finish(
@@ -1386,8 +1666,12 @@ mod tests {
             .with_settling_threshold(0.25)
             .with_fault_plan(FaultPlan::new(3).with_drop_probability(0.1))
             .with_adversary_plan(AdversaryPlan::new(4).with_biased_injector(NodeId(0), 1.0))
-            .with_shards(0);
+            .with_shards(0)
+            .with_checkpoint_every_ticks(4096)
+            .with_wall_clock_deadline(Duration::from_secs(5));
         assert_eq!(c.seed, 7);
+        assert_eq!(c.checkpoint_every_ticks, 4096);
+        assert_eq!(c.wall_clock_deadline, Some(Duration::from_secs(5)));
         assert_eq!(c.shards, Some(1), "with_shards clamps to at least 1");
         assert_eq!(
             c.fault_plan,
@@ -1412,6 +1696,8 @@ mod tests {
         assert_eq!(d.fault_plan, None);
         assert_eq!(d.adversary_plan, None);
         assert_eq!(d.shards, None);
+        assert_eq!(d.checkpoint_every_ticks, 0);
+        assert_eq!(d.wall_clock_deadline, None);
     }
 
     #[test]
@@ -2147,5 +2433,240 @@ mod tests {
         let config = SimulationConfig::new(9).with_stopping_rule(StoppingRule::max_ticks(10));
         let mut sim = AsyncSimulator::new(&g, spike(8), Vanilla, config).unwrap();
         assert_eq!(sim.run().unwrap().settling_time, None);
+    }
+
+    /// Shared oracle for the checkpoint tests: everything observable must
+    /// agree bit-for-bit between two outcomes.
+    fn assert_outcomes_bit_identical(a: &SimulationOutcome, b: &SimulationOutcome, ctx: &str) {
+        assert_eq!(a.total_ticks, b.total_ticks, "{ctx}");
+        assert_eq!(a.stop_reason, b.stop_reason, "{ctx}");
+        assert_eq!(a.moment_refreshes, b.moment_refreshes, "{ctx}");
+        assert_eq!(a.fault_stats, b.fault_stats, "{ctx}");
+        assert_eq!(a.adversary_stats, b.adversary_stats, "{ctx}");
+        assert_eq!(a.elapsed_time.to_bits(), b.elapsed_time.to_bits(), "{ctx}");
+        assert_eq!(
+            a.final_variance.to_bits(),
+            b.final_variance.to_bits(),
+            "{ctx}"
+        );
+        assert_eq!(
+            a.settling_time.map(f64::to_bits),
+            b.settling_time.map(f64::to_bits),
+            "{ctx}"
+        );
+        for (x, y) in a
+            .final_values
+            .as_slice()
+            .iter()
+            .zip(b.final_values.as_slice())
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "{ctx}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_identical_to_uninterrupted() {
+        // The in-crate smoke version of `tests/checkpoint_restore.rs`: for
+        // both clock models, both layouts, and a hostile fault + adversary
+        // environment, a run resumed from any committed mid-run checkpoint
+        // (round-tripped through its JSON document, as the blob store would)
+        // must match the uninterrupted run on every observable bit.
+        let g = dumbbell(8).unwrap().0;
+        for model in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            for layout in [MemoryLayout::Legacy, MemoryLayout::FlatSoA] {
+                // `variance_ratio_below(0.0)` can never fire, so every combo
+                // runs the full 20 000 ticks: plenty of refreshes (every 128)
+                // and checkpoints (every 128) before the stop.
+                let config = SimulationConfig::new(29)
+                    .with_clock_model(model)
+                    .with_stopping_rule(
+                        StoppingRule::variance_ratio_below(0.0).or_max_ticks(20_000),
+                    )
+                    .with_moment_refresh_every_ticks(128)
+                    .with_settling_threshold(0.5)
+                    .with_memory_layout(layout)
+                    .with_fault_plan(
+                        FaultPlan::new(7)
+                            .with_drop_probability(0.1)
+                            .with_node_pause(NodeId(0), 100, 400),
+                    )
+                    .with_adversary_plan(
+                        crate::adversary::AdversaryPlan::new(13)
+                            .with_biased_injector(NodeId(1), 0.4)
+                            .with_extreme_value_node(NodeId(9), 50.0)
+                            .with_stale_replay_node(NodeId(5), 64),
+                    )
+                    .with_checkpoint_every_ticks(128);
+                let mut checkpoints: Vec<EngineCheckpoint> = Vec::new();
+                let mut sim = AsyncSimulator::new(&g, spike(16), Vanilla, config.clone()).unwrap();
+                let baseline = sim
+                    .run_with_checkpoints(&mut |cp| {
+                        checkpoints.push(cp);
+                        Ok(())
+                    })
+                    .unwrap();
+                assert!(
+                    checkpoints.len() >= 2,
+                    "{model:?} {layout:?}: run too short to exercise restore"
+                );
+                assert!(baseline.fault_stats.total_suppressed() > 0);
+                assert!(baseline.adversary_stats.falsified_contacts > 0);
+                // Resume from the first and from a middle checkpoint; round
+                // trip each through its serialized document first, exactly
+                // like a store-loaded blob.
+                for index in [0, checkpoints.len() / 2] {
+                    let blob = checkpoints[index].to_value();
+                    let reloaded = EngineCheckpoint::from_value(&blob).unwrap();
+                    assert_eq!(reloaded, checkpoints[index]);
+                    let mut resumed =
+                        AsyncSimulator::restore(&g, Vanilla, config.clone(), &reloaded).unwrap();
+                    let outcome = resumed.run().unwrap();
+                    assert_outcomes_bit_identical(
+                        &baseline,
+                        &outcome,
+                        &format!("{model:?} {layout:?} from checkpoint {index}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resumed_runs_emit_the_remaining_checkpoints() {
+        let g = dumbbell(6).unwrap().0;
+        let config = SimulationConfig::new(11)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.0).or_max_ticks(4096))
+            .with_moment_refresh_every_ticks(256)
+            .with_checkpoint_every_ticks(256);
+        let mut checkpoints: Vec<EngineCheckpoint> = Vec::new();
+        let mut sim = AsyncSimulator::new(&g, spike(12), Vanilla, config.clone()).unwrap();
+        sim.run_with_checkpoints(&mut |cp| {
+            checkpoints.push(cp);
+            Ok(())
+        })
+        .unwrap();
+        assert!(checkpoints.len() >= 2);
+        let mut resumed = AsyncSimulator::restore(&g, Vanilla, config, &checkpoints[0]).unwrap();
+        let mut tail: Vec<u64> = Vec::new();
+        resumed
+            .run_with_checkpoints(&mut |cp| {
+                tail.push(cp.tick());
+                Ok(())
+            })
+            .unwrap();
+        let expected: Vec<u64> = checkpoints[1..].iter().map(|cp| cp.tick()).collect();
+        assert_eq!(tail, expected, "resume recomputes only the remaining ticks");
+    }
+
+    #[test]
+    fn checkpoint_capture_rejects_traced_and_sharded_runs() {
+        let (g, partition) = dumbbell(3).unwrap();
+        let config = SimulationConfig::new(2)
+            .with_partition(partition)
+            .with_trace(TraceConfig::every_ticks(1))
+            .with_stopping_rule(StoppingRule::max_ticks(10))
+            .with_checkpoint_every_ticks(4);
+        let mut sim = AsyncSimulator::new(&g, spike(6), Vanilla, config).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::InvalidConfig { .. })));
+
+        let config = SimulationConfig::new(2)
+            .with_stopping_rule(StoppingRule::max_ticks(10))
+            .with_shards(2)
+            .with_checkpoint_every_ticks(4);
+        let mut sim = AsyncSimulator::new(&g, spike(6), Vanilla, config).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_identities() {
+        let g = dumbbell(4).unwrap().0;
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.0).or_max_ticks(1024))
+            .with_checkpoint_every_ticks(64)
+            .with_moment_refresh_every_ticks(64);
+        let mut checkpoints: Vec<EngineCheckpoint> = Vec::new();
+        let mut sim = AsyncSimulator::new(&g, spike(8), Vanilla, config.clone()).unwrap();
+        sim.run_with_checkpoints(&mut |cp| {
+            checkpoints.push(cp);
+            Ok(())
+        })
+        .unwrap();
+        let checkpoint = checkpoints.first().expect("at least one checkpoint");
+
+        // Wrong seed.
+        let mut wrong = config.clone();
+        wrong.seed = 6;
+        assert!(matches!(
+            AsyncSimulator::restore(&g, Vanilla, wrong, checkpoint),
+            Err(SimError::CheckpointInvalid { .. })
+        ));
+        // Wrong clock model.
+        let wrong = config.clone().with_clock_model(ClockModel::GlobalUniform);
+        assert!(matches!(
+            AsyncSimulator::restore(&g, Vanilla, wrong, checkpoint),
+            Err(SimError::CheckpointInvalid { .. })
+        ));
+        // Wrong graph shape.
+        let other = complete(5).unwrap();
+        assert!(matches!(
+            AsyncSimulator::restore(&other, Vanilla, config.clone(), checkpoint),
+            Err(SimError::CheckpointInvalid { .. })
+        ));
+        // A plan the checkpoint does not carry.
+        let wrong = config
+            .clone()
+            .with_fault_plan(FaultPlan::new(1).with_drop_probability(0.5));
+        assert!(matches!(
+            AsyncSimulator::restore(&g, Vanilla, wrong, checkpoint),
+            Err(SimError::CheckpointInvalid { .. })
+        ));
+        // Unsupported modes are rejected up front.
+        let wrong = config.clone().with_shards(2);
+        assert!(matches!(
+            AsyncSimulator::restore(&g, Vanilla, wrong, checkpoint),
+            Err(SimError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn wall_clock_deadline_censors_instead_of_hanging() {
+        // A rule that can never fire plus a zero deadline: the serial loop
+        // must cut the run at its first deadline check (tick 65 536) and
+        // leave the partial state observable.
+        let g = complete(4).unwrap();
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.0))
+            .with_wall_clock_deadline(Duration::ZERO);
+        let mut sim = AsyncSimulator::new(&g, spike(4), NoOpHandler, config).unwrap();
+        assert!(matches!(
+            sim.run(),
+            Err(SimError::DeadlineExceeded {
+                ticks: DEADLINE_CHECK_TICKS
+            })
+        ));
+        assert_eq!(sim.values().len(), 4);
+
+        // The flat loop shares the check.
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.0))
+            .with_flat_layout()
+            .with_wall_clock_deadline(Duration::ZERO);
+        let mut sim = AsyncSimulator::new(&g, spike(4), Vanilla, config).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::DeadlineExceeded { .. })));
+
+        // The sharded engine checks at batch granularity.
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::variance_ratio_below(0.0))
+            .with_shards(2)
+            .with_wall_clock_deadline(Duration::ZERO);
+        let mut sim = AsyncSimulator::new(&g, spike(4), Vanilla, config).unwrap();
+        assert!(matches!(sim.run(), Err(SimError::DeadlineExceeded { .. })));
+
+        // A generous deadline never interferes.
+        let config = SimulationConfig::new(5)
+            .with_stopping_rule(StoppingRule::definition1().or_max_ticks(1_000_000))
+            .with_wall_clock_deadline(Duration::from_secs(3600));
+        let mut sim = AsyncSimulator::new(&g, spike(4), Vanilla, config).unwrap();
+        assert!(sim.run().is_ok());
     }
 }

@@ -330,11 +330,38 @@ impl FaultInjector {
         self.stats
     }
 
+    /// Crate-internal: captures the mutable state for a checkpoint.  The
+    /// window indexes are pure functions of the plan and are recompiled on
+    /// restore; only the drop-stream position and counters evolve.
+    pub(crate) fn checkpoint_state(&self) -> FaultInjectorState {
+        FaultInjectorState {
+            rng_word_pos: self.rng.get_word_pos(),
+            stats: self.stats,
+        }
+    }
+
+    /// Crate-internal: reinstalls checkpointed mutable state into a freshly
+    /// compiled injector (same plan, same graph).
+    pub(crate) fn restore_state(&mut self, state: &FaultInjectorState) {
+        self.rng.set_word_pos(state.rng_word_pos);
+        self.stats = state.stats;
+    }
+
     fn in_window(windows: &BTreeMap<usize, Vec<TickWindow>>, index: usize, tick: u64) -> bool {
         windows
             .get(&index)
             .is_some_and(|ws| ws.iter().any(|w| w.contains(tick)))
     }
+}
+
+/// Checkpointed mutable state of a [`FaultInjector`] (crate-internal;
+/// serialized by `crate::checkpoint`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct FaultInjectorState {
+    /// Keystream position of the drop-sampling RNG.
+    pub(crate) rng_word_pos: u128,
+    /// Counters accumulated up to the checkpoint.
+    pub(crate) stats: FaultStats,
 }
 
 #[cfg(test)]

@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod checkpoint;
 pub mod clock;
 pub mod engine;
 pub mod fault;
@@ -87,6 +88,7 @@ pub mod trace;
 pub mod values;
 
 pub use adversary::{AdversaryBehavior, AdversaryPlan, AdversaryStats, CensoringBridge};
+pub use checkpoint::EngineCheckpoint;
 pub use clock::ClockScratch;
 pub use engine::{AsyncSimulator, MemoryLayout, SimulationConfig, SimulationOutcome, VarianceMode};
 pub use fault::{FaultPlan, FaultStats};
@@ -129,6 +131,21 @@ pub enum SimError {
         /// Human-readable description.
         reason: String,
     },
+    /// The run exceeded its configured wall-clock deadline
+    /// ([`engine::SimulationConfig::wall_clock_deadline`]) and was cut off.
+    /// The partial state stays observable on the simulator, so supervisors
+    /// can journal the run as censored instead of discarding it.
+    DeadlineExceeded {
+        /// The number of ticks processed when the deadline fired.
+        ticks: u64,
+    },
+    /// A checkpoint blob failed structural validation, or did not match the
+    /// run it was offered to (wrong seed, graph shape, clock model, or
+    /// fault/adversary plan shape) — see [`checkpoint::EngineCheckpoint`].
+    CheckpointInvalid {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
     /// A reduced-precision run finished but violated its a-priori error
     /// bound (see [`flat::F32Oracle`]); the result must be discarded, never
     /// journaled.
@@ -155,6 +172,12 @@ impl fmt::Display for SimError {
                 write!(f, "event budget exhausted after {events} events")
             }
             SimError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            SimError::DeadlineExceeded { ticks } => {
+                write!(f, "wall-clock deadline exceeded after {ticks} ticks")
+            }
+            SimError::CheckpointInvalid { reason } => {
+                write!(f, "invalid checkpoint: {reason}")
+            }
             SimError::PrecisionOracle { reason } => {
                 write!(f, "precision oracle violated: {reason}")
             }
@@ -186,7 +209,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn error_display_nonempty() {
+    fn error_display_nonempty_and_pairwise_distinct() {
+        // One representative of every variant: each must render a non-empty
+        // message, and no two variants may render identically (a supervisor
+        // journaling by message must be able to tell them apart).
         let errors = [
             SimError::StateSizeMismatch {
                 nodes: 3,
@@ -198,13 +224,27 @@ mod tests {
             SimError::InvalidConfig {
                 reason: "bad".into(),
             },
+            SimError::DeadlineExceeded { ticks: 12 },
+            SimError::CheckpointInvalid {
+                reason: "bad".into(),
+            },
             SimError::PrecisionOracle {
                 reason: "drift over bound".into(),
             },
             SimError::Graph(gossip_graph::GraphError::Disconnected),
         ];
-        for e in errors {
-            assert!(!e.to_string().is_empty());
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty(), "{:?} renders empty", errors[i]);
+            for (j, b) in rendered.iter().enumerate() {
+                if i != j {
+                    assert_ne!(
+                        a, b,
+                        "{:?} and {:?} render identically",
+                        errors[i], errors[j]
+                    );
+                }
+            }
         }
     }
 

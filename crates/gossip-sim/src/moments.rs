@@ -202,6 +202,33 @@ impl MomentTracker {
     pub fn refreshes(&self) -> u64 {
         self.refreshes
     }
+
+    /// Crate-internal: the full raw state `(len, shift, sum, sum_sq,
+    /// refreshes)` for checkpointing.  Paired with
+    /// [`Self::from_raw_parts`], which reinstalls the *exact* drifted sums
+    /// — a checkpointed tracker must resume bit-identically, which a
+    /// rebuild-from-values pass would not (it loses the accumulated drift).
+    pub(crate) fn to_raw_parts(self) -> (usize, f64, f64, f64, u64) {
+        (self.len, self.shift, self.sum, self.sum_sq, self.refreshes)
+    }
+
+    /// Crate-internal: rebuilds a tracker from checkpointed raw state.  See
+    /// [`Self::to_raw_parts`].
+    pub(crate) fn from_raw_parts(
+        len: usize,
+        shift: f64,
+        sum: f64,
+        sum_sq: f64,
+        refreshes: u64,
+    ) -> Self {
+        MomentTracker {
+            len,
+            shift,
+            sum,
+            sum_sq,
+            refreshes,
+        }
+    }
 }
 
 fn exact_shifted_sums(values: &[f64]) -> (f64, f64, f64) {

@@ -366,6 +366,14 @@ impl NodeValues {
         (self.values.as_mut_slice(), &mut self.moments)
     }
 
+    /// Crate-internal: reassembles a state from checkpointed parts — the
+    /// value vector plus the *exact* (possibly drifted) moment tracker it
+    /// carried when captured.  No finiteness check and no tracker rebuild:
+    /// a restored run must continue with bit-identical sums, drift and all.
+    pub(crate) fn from_parts(values: Vector, moments: MomentTracker) -> Self {
+        NodeValues { values, moments }
+    }
+
     /// Crate-internal: overwrites the values from a raw slice and rebuilds
     /// the tracker with an exact pass, **without** a finiteness check — the
     /// sharded engine installs its (possibly poisoned) final state through

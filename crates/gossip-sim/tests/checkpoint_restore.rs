@@ -1,0 +1,172 @@
+//! Property-style checkpoint/restore suite over the scale families.
+//!
+//! For every scale-tier graph family, both clock models, and both a
+//! fault-free and a mixed fault + adversary environment, a run restored
+//! from an arbitrary committed mid-run checkpoint — round-tripped through
+//! its serialized JSON document, exactly as the run store would hold it —
+//! must reproduce the uninterrupted run on every observable bit: stop
+//! tick, stop reason, elapsed-time bits, refresh count, fault/adversary
+//! counters, settling time, and every final value.
+//!
+//! This is the cross-crate, cross-topology version of the in-crate smoke
+//! test in `engine.rs`; the engine's own tests pin the mechanism, this one
+//! pins it across the graphs the bench tiers actually sweep.
+
+use gossip_graph::generators::scale::{
+    chordal_ring, expander_barbell, expander_dumbbell, ring_of_cliques,
+};
+use gossip_graph::{Graph, NodeId};
+use gossip_sim::engine::ClockModel;
+use gossip_sim::handler::EdgeTickContext;
+use gossip_sim::{
+    AdversaryPlan, AsyncSimulator, EdgeTickHandler, EngineCheckpoint, FaultPlan, NodeValues,
+    SimulationConfig, SimulationOutcome, StoppingRule,
+};
+
+struct Vanilla;
+
+impl EdgeTickHandler for Vanilla {
+    fn on_edge_tick(&mut self, values: &mut NodeValues, ctx: &EdgeTickContext<'_>) {
+        let (u, v) = ctx.edge.endpoints();
+        values.average_pair(u, v);
+    }
+
+    fn name(&self) -> &str {
+        "vanilla"
+    }
+
+    fn pairwise_kernel(&self) -> Option<fn(f64, f64) -> (f64, f64)> {
+        Some(|xu, xv| {
+            let avg = 0.5 * (xu + xv);
+            (avg, avg)
+        })
+    }
+}
+
+fn spike(n: usize) -> NodeValues {
+    let mut v = vec![0.0; n];
+    v[0] = n as f64;
+    NodeValues::from_values(v).expect("non-empty finite values")
+}
+
+fn families() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("chordal_ring(24)", chordal_ring(24).unwrap()),
+        ("expander_dumbbell(12)", expander_dumbbell(12).unwrap().0),
+        (
+            "expander_barbell(10,14)",
+            expander_barbell(10, 14).unwrap().0,
+        ),
+        ("ring_of_cliques(4,6)", ring_of_cliques(4, 6).unwrap().0),
+    ]
+}
+
+/// A mixed hostile environment seeded per family: probabilistic drops, a
+/// paused node, a biased injector, an extreme-value node, and a stale
+/// replayer — every checkpointed RNG stream and injector cursor is live.
+fn hostile(config: SimulationConfig, seed_offset: u64) -> SimulationConfig {
+    config
+        .with_fault_plan(
+            FaultPlan::new(7 + seed_offset)
+                .with_drop_probability(0.1)
+                .with_node_pause(NodeId(0), 100, 400),
+        )
+        .with_adversary_plan(
+            AdversaryPlan::new(13 + seed_offset)
+                .with_biased_injector(NodeId(1), 0.4)
+                .with_extreme_value_node(NodeId(3), 50.0)
+                .with_stale_replay_node(NodeId(5), 64),
+        )
+}
+
+fn assert_outcomes_bit_identical(a: &SimulationOutcome, b: &SimulationOutcome, ctx: &str) {
+    assert_eq!(a.total_ticks, b.total_ticks, "{ctx}");
+    assert_eq!(a.stop_reason, b.stop_reason, "{ctx}");
+    assert_eq!(a.moment_refreshes, b.moment_refreshes, "{ctx}");
+    assert_eq!(a.fault_stats, b.fault_stats, "{ctx}");
+    assert_eq!(a.adversary_stats, b.adversary_stats, "{ctx}");
+    assert_eq!(a.elapsed_time.to_bits(), b.elapsed_time.to_bits(), "{ctx}");
+    assert_eq!(
+        a.final_variance.to_bits(),
+        b.final_variance.to_bits(),
+        "{ctx}"
+    );
+    assert_eq!(
+        a.settling_time.map(f64::to_bits),
+        b.settling_time.map(f64::to_bits),
+        "{ctx}"
+    );
+    for (x, y) in a
+        .final_values
+        .as_slice()
+        .iter()
+        .zip(b.final_values.as_slice())
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "{ctx}");
+    }
+}
+
+#[test]
+fn restore_is_bit_identical_across_families_clocks_and_environments() {
+    for (family_index, (family, graph)) in families().into_iter().enumerate() {
+        let n = graph.node_count();
+        for model in [ClockModel::PerEdgeQueue, ClockModel::GlobalUniform] {
+            for hostile_env in [false, true] {
+                let ctx = format!("{family} {model:?} hostile={hostile_env}");
+                // A stopping rule that can never fire plus a tick cap makes
+                // every run exactly 8192 ticks long — long enough for many
+                // refreshes (every 128 ticks) and checkpoints (every 512)
+                // regardless of how fast the family converges.
+                let mut config = SimulationConfig::new(29 + family_index as u64)
+                    .with_clock_model(model)
+                    .with_stopping_rule(StoppingRule::variance_ratio_below(0.0).or_max_ticks(8192))
+                    .with_moment_refresh_every_ticks(128)
+                    .with_settling_threshold(0.5)
+                    .with_checkpoint_every_ticks(512);
+                if hostile_env {
+                    config = hostile(config, family_index as u64);
+                }
+
+                let mut checkpoints: Vec<EngineCheckpoint> = Vec::new();
+                let mut sim =
+                    AsyncSimulator::new(&graph, spike(n), Vanilla, config.clone()).unwrap();
+                let baseline = sim
+                    .run_with_checkpoints(&mut |cp| {
+                        checkpoints.push(cp);
+                        Ok(())
+                    })
+                    .unwrap();
+                assert!(
+                    checkpoints.len() >= 3,
+                    "{ctx}: run too short to exercise restore"
+                );
+                if hostile_env {
+                    // The injectors must actually have fired, otherwise the
+                    // restored RNG/cursor state is vacuously exercised.
+                    assert!(baseline.fault_stats.total_suppressed() > 0, "{ctx}");
+                    assert!(baseline.adversary_stats.falsified_contacts > 0, "{ctx}");
+                } else {
+                    assert_eq!(baseline.fault_stats.total_suppressed(), 0, "{ctx}");
+                    assert_eq!(baseline.adversary_stats.falsified_contacts, 0, "{ctx}");
+                }
+
+                // Restore from the first, an arbitrary interior, and the
+                // last committed checkpoint, each after a JSON round trip.
+                for index in [0, checkpoints.len() / 2, checkpoints.len() - 1] {
+                    let blob = checkpoints[index].to_value();
+                    let reloaded = EngineCheckpoint::from_value(&blob).unwrap();
+                    assert_eq!(reloaded, checkpoints[index], "{ctx} checkpoint {index}");
+                    let mut resumed =
+                        AsyncSimulator::restore(&graph, Vanilla, config.clone(), &reloaded)
+                            .unwrap();
+                    let outcome = resumed.run().unwrap();
+                    assert_outcomes_bit_identical(
+                        &baseline,
+                        &outcome,
+                        &format!("{ctx} from checkpoint {index}"),
+                    );
+                }
+            }
+        }
+    }
+}

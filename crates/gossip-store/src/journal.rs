@@ -116,7 +116,7 @@ impl TrialRecord {
 
 /// Wrapper giving a raw [`Value`] a `Serialize` impl (the vendored serde
 /// has no blanket impl for its own data model).
-struct Direct(Value);
+pub(crate) struct Direct(pub(crate) Value);
 
 impl serde::Serialize for Direct {
     fn to_json_value(&self) -> Value {
@@ -164,29 +164,7 @@ impl Journal {
 
     /// Appends one record and flushes it to the OS.
     pub fn append(&mut self, record: &TrialRecord) -> Result<()> {
-        let io_err = |source| StoreError::Io {
-            path: self.path.display().to_string(),
-            source,
-        };
-        if self.file.is_none() {
-            if let Some(parent) = self.path.parent() {
-                std::fs::create_dir_all(parent).map_err(io_err)?;
-            }
-            let file = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&self.path)
-                .map_err(io_err)?;
-            self.file = Some(file);
-        }
-        let file = self.file.as_mut().expect("opened above");
-        let mut line = record.to_line();
-        line.push('\n');
-        let result = file.write_all(line.as_bytes()).and_then(|()| file.flush());
-        result.map_err(|source| StoreError::Io {
-            path: self.path.display().to_string(),
-            source,
-        })
+        append_line(&self.path, &mut self.file, &record.to_line())
     }
 
     /// Truncates the journal file to `valid_len` bytes, discarding a
@@ -205,94 +183,142 @@ impl Journal {
         if current == valid_len {
             return Ok(());
         }
-        let file = OpenOptions::new()
-            .write(true)
-            .open(path)
-            .map_err(|source| StoreError::Io {
-                path: path.display().to_string(),
-                source,
-            })?;
-        file.set_len(valid_len).map_err(|source| StoreError::Io {
+        let io_err = |source| StoreError::Io {
             path: path.display().to_string(),
             source,
-        })
+        };
+        let file = OpenOptions::new().write(true).open(path).map_err(io_err)?;
+        file.set_len(valid_len).map_err(io_err)?;
+        // The repair must be as durable as the appends it protects: fsync
+        // the truncated file *and* its directory, so a crash right after
+        // this load can't resurrect the dropped tail (and corrupt the
+        // recomputed records appended past it) when the metadata replays.
+        file.sync_all().map_err(io_err)?;
+        if let Some(parent) = path.parent() {
+            let dir = File::open(parent).map_err(|source| StoreError::Io {
+                path: parent.display().to_string(),
+                source,
+            })?;
+            dir.sync_all().map_err(|source| StoreError::Io {
+                path: parent.display().to_string(),
+                source,
+            })?;
+        }
+        Ok(())
     }
 
     /// Loads a journal file with the crash-safe tail policy described in
     /// the module docs.  A missing file loads as empty.
     pub fn load(path: &Path) -> Result<JournalLoad> {
-        let bytes = match std::fs::read(path) {
-            Ok(bytes) => bytes,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Ok(JournalLoad {
-                    records: Vec::new(),
-                    valid_len: 0,
-                    dropped_tail: None,
-                })
-            }
-            Err(source) => {
-                return Err(StoreError::Io {
-                    path: path.display().to_string(),
-                    source,
-                })
-            }
-        };
-
-        let mut records = Vec::new();
-        let mut valid_len = 0u64;
-        let mut dropped_tail = None;
-        let mut pos = 0usize;
-        let mut line_no = 0usize;
-        while pos < bytes.len() {
-            line_no += 1;
-            let newline = bytes[pos..].iter().position(|&b| b == b'\n');
-            let Some(rel) = newline else {
-                // Unterminated final line: the `line + '\n'` write did not
-                // complete, so this is the crash tail by definition.
-                dropped_tail = Some(format!(
-                    "line {line_no} has no terminating newline (interrupted write)"
-                ));
-                break;
-            };
-            let end = pos + rel;
-            let is_last = end + 1 == bytes.len();
-            let decoded = std::str::from_utf8(&bytes[pos..end])
-                .map_err(|e| Err(format!("invalid UTF-8: {e}")))
-                .and_then(TrialRecord::from_line);
-            match decoded {
-                Ok(record) => {
-                    records.push(record);
-                    valid_len = (end + 1) as u64;
-                    pos = end + 1;
-                }
-                Err(Ok(found)) => {
-                    // Version skew is never truncation damage: hard error
-                    // even on the final line.
-                    return Err(StoreError::SchemaVersion {
-                        path: path.display().to_string(),
-                        line: line_no,
-                        found,
-                    });
-                }
-                Err(Err(reason)) if is_last => {
-                    dropped_tail = Some(format!("line {line_no}: {reason}"));
-                    break;
-                }
-                Err(Err(reason)) => {
-                    return Err(StoreError::CorruptRecord {
-                        path: path.display().to_string(),
-                        line: line_no,
-                        reason,
-                    });
-                }
-            }
-        }
+        let (records, valid_len, dropped_tail) = scan_lines(path, TrialRecord::from_line)?;
         Ok(JournalLoad {
             records,
             valid_len,
             dropped_tail,
         })
     }
+}
+
+/// Appends one rendered line (plus the terminating newline, as a single
+/// write) to the lazily opened append handle shared by the trial journal
+/// and the checkpoint log.
+pub(crate) fn append_line(path: &Path, file: &mut Option<File>, line: &str) -> Result<()> {
+    let io_err = |source| StoreError::Io {
+        path: path.display().to_string(),
+        source,
+    };
+    if file.is_none() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(io_err)?;
+        }
+        let opened = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(io_err)?;
+        *file = Some(opened);
+    }
+    let file = file.as_mut().expect("opened above");
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    file.write_all(buf.as_bytes())
+        .and_then(|()| file.flush())
+        .map_err(io_err)
+}
+
+/// The shared crash-safe line scan: decodes every newline-terminated line
+/// of `path`, dropping a damaged *final* line (the only damage a crash
+/// mid-append can produce) and hard-erroring on anything earlier.  The
+/// decoder reports schema-version skew as `Err(Ok(found))` — a hard error
+/// even at the tail — and any other damage as `Err(Err(reason))`.
+pub(crate) fn scan_lines<T>(
+    path: &Path,
+    decode: impl Fn(&str) -> std::result::Result<T, std::result::Result<u64, String>>,
+) -> Result<(Vec<T>, u64, Option<String>)> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok((Vec::new(), 0, None));
+        }
+        Err(source) => {
+            return Err(StoreError::Io {
+                path: path.display().to_string(),
+                source,
+            })
+        }
+    };
+
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    let mut dropped_tail = None;
+    let mut pos = 0usize;
+    let mut line_no = 0usize;
+    while pos < bytes.len() {
+        line_no += 1;
+        let newline = bytes[pos..].iter().position(|&b| b == b'\n');
+        let Some(rel) = newline else {
+            // Unterminated final line: the `line + '\n'` write did not
+            // complete, so this is the crash tail by definition.
+            dropped_tail = Some(format!(
+                "line {line_no} has no terminating newline (interrupted write)"
+            ));
+            break;
+        };
+        let end = pos + rel;
+        let is_last = end + 1 == bytes.len();
+        let decoded = std::str::from_utf8(&bytes[pos..end])
+            .map_err(|e| Err(format!("invalid UTF-8: {e}")))
+            .and_then(&decode);
+        match decoded {
+            Ok(record) => {
+                records.push(record);
+                valid_len = (end + 1) as u64;
+                pos = end + 1;
+            }
+            Err(Ok(found)) => {
+                // Version skew is never truncation damage: hard error
+                // even on the final line.
+                return Err(StoreError::SchemaVersion {
+                    path: path.display().to_string(),
+                    line: line_no,
+                    found,
+                });
+            }
+            Err(Err(reason)) if is_last => {
+                dropped_tail = Some(format!("line {line_no}: {reason}"));
+                break;
+            }
+            Err(Err(reason)) => {
+                return Err(StoreError::CorruptRecord {
+                    path: path.display().to_string(),
+                    line: line_no,
+                    reason,
+                });
+            }
+        }
+    }
+    Ok((records, valid_len, dropped_tail))
 }
 
 #[cfg(test)]

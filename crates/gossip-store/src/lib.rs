@@ -19,6 +19,9 @@
 //! * [`journal`] — the append-only JSONL journal with crash-safe load
 //!   (a truncated or corrupted **final** record is detected and dropped;
 //!   corruption anywhere earlier is an error).
+//! * [`checkpoint`] — the mid-run engine-checkpoint log kept next to each
+//!   tier's journal (`<token>.ckpt.jsonl`), sharing its crash-tail policy;
+//!   a torn checkpoint falls back to the previous one or a cold start.
 //! * [`store`] — [`RunStore`] (per-tier journals + committed index) and the
 //!   [`TrialSink`] abstraction every tier writes through ([`NullSink`] for
 //!   store-less runs, [`StoreSink`] for journal-backed runs).
@@ -29,12 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod hash;
 pub mod journal;
 pub mod store;
 pub mod value;
 pub mod views;
 
+pub use checkpoint::{CheckpointLoad, CheckpointLog, CheckpointRecord};
 pub use hash::{trial_key, TrialKey};
 pub use journal::{Journal, JournalLoad, TrialRecord};
 pub use store::{NullSink, RunStore, SinkStats, StoreSink, TrialSink};
@@ -111,3 +116,59 @@ impl std::error::Error for StoreError {
 
 /// Result alias of the crate.
 pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty_and_pairwise_distinct() {
+        // One representative per variant: non-empty messages, and no two
+        // variants rendering identically (a supervisor journaling by
+        // message must be able to tell them apart).
+        let errors = [
+            StoreError::Io {
+                path: "store/x.jsonl".to_string(),
+                source: std::io::Error::other("disk gone"),
+            },
+            StoreError::CorruptRecord {
+                path: "store/x.jsonl".to_string(),
+                line: 2,
+                reason: "bad".to_string(),
+            },
+            StoreError::SchemaVersion {
+                path: "store/x.jsonl".to_string(),
+                line: 2,
+                found: 9,
+            },
+        ];
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty(), "{:?} renders empty", errors[i]);
+            for (j, b) in rendered.iter().enumerate() {
+                if i != j {
+                    assert_ne!(
+                        a, b,
+                        "{:?} and {:?} render identically",
+                        errors[i], errors[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_source_chain() {
+        let e = StoreError::Io {
+            path: "store/x.jsonl".to_string(),
+            source: std::io::Error::other("disk gone"),
+        };
+        assert!(std::error::Error::source(&e).is_some());
+        let e = StoreError::SchemaVersion {
+            path: "store/x.jsonl".to_string(),
+            line: 1,
+            found: 2,
+        };
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -16,6 +16,7 @@ use std::sync::Mutex;
 
 use serde::json::Value;
 
+use crate::checkpoint::{CheckpointLog, CheckpointRecord};
 use crate::hash::TrialKey;
 use crate::journal::{Journal, TrialRecord};
 use crate::{Result, StoreError};
@@ -35,6 +36,18 @@ pub trait TrialSink: Sync {
     /// this after the trial's oracles passed — a failed oracle is an error
     /// on the compute path, so nothing reaches the journal.
     fn commit(&self, record: TrialRecord) -> Result<()>;
+
+    /// Returns the newest committed mid-run checkpoint of `key`, as
+    /// `(tick, blob)`, if one survived.  Store-less sinks have none.
+    fn latest_checkpoint(&self, _experiment: &str, _key: TrialKey) -> Option<(u64, Value)> {
+        None
+    }
+
+    /// Durably commits one mid-run checkpoint.  Store-less sinks discard
+    /// it — checkpoints are an optimization, never load-bearing state.
+    fn commit_checkpoint(&self, _record: CheckpointRecord) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// Sink for store-less runs: replays nothing, commits nowhere.
@@ -65,7 +78,13 @@ pub struct RunStore {
     index: BTreeMap<TrialKey, usize>,
     /// Per-tier append handles, keyed by CLI token.
     journals: BTreeMap<String, Journal>,
-    /// Tiers whose journal file has been reset this run (fresh mode only).
+    /// Newest surviving mid-run checkpoint per trial key (pruned when the
+    /// trial itself commits — a finished trial replays, never restores).
+    checkpoints: BTreeMap<TrialKey, CheckpointRecord>,
+    /// Per-tier checkpoint-log append handles, keyed by CLI token.
+    checkpoint_logs: BTreeMap<String, CheckpointLog>,
+    /// Tiers whose journal + checkpoint files have been reset this run
+    /// (fresh mode only).
     reset: std::collections::BTreeSet<String>,
     /// Human-readable notes from loading (dropped crash tails).
     notes: Vec<String>,
@@ -91,6 +110,8 @@ impl RunStore {
             records: Vec::new(),
             index: BTreeMap::new(),
             journals: BTreeMap::new(),
+            checkpoints: BTreeMap::new(),
+            checkpoint_logs: BTreeMap::new(),
             reset: std::collections::BTreeSet::new(),
             notes: Vec::new(),
         };
@@ -110,17 +131,42 @@ impl RunStore {
             .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
             .collect();
         paths.sort();
+        // A `<token>.ckpt.jsonl` checkpoint log shares the directory and
+        // extension with the trial journals; the `.ckpt` stem suffix keeps
+        // it off the journal path.
+        let is_checkpoint_log = |p: &Path| {
+            p.file_stem()
+                .is_some_and(|stem| stem.to_string_lossy().ends_with(".ckpt"))
+        };
         for path in paths {
-            let load = Journal::load(&path)?;
-            if let Some(reason) = load.dropped_tail {
-                self.notes
-                    .push(format!("{}: dropped crash tail ({reason})", path.display()));
-                Journal::truncate_to(&path, load.valid_len)?;
-            }
-            for record in load.records {
-                self.insert(record);
+            if is_checkpoint_log(&path) {
+                let load = CheckpointLog::load(&path)?;
+                if let Some(reason) = load.dropped_tail {
+                    self.notes.push(format!(
+                        "{}: dropped torn checkpoint ({reason})",
+                        path.display()
+                    ));
+                    Journal::truncate_to(&path, load.valid_len)?;
+                }
+                for record in load.records {
+                    self.insert_checkpoint(record);
+                }
+            } else {
+                let load = Journal::load(&path)?;
+                if let Some(reason) = load.dropped_tail {
+                    self.notes
+                        .push(format!("{}: dropped crash tail ({reason})", path.display()));
+                    Journal::truncate_to(&path, load.valid_len)?;
+                }
+                for record in load.records {
+                    self.insert(record);
+                }
             }
         }
+        // Checkpoints of trials that committed are dead weight: the trial
+        // replays from its journal row, never from a restore.
+        let index = &self.index;
+        self.checkpoints.retain(|key, _| !index.contains_key(key));
         Ok(())
     }
 
@@ -130,11 +176,34 @@ impl RunStore {
         self.index.insert(key, self.records.len() - 1);
     }
 
+    fn insert_checkpoint(&mut self, record: CheckpointRecord) {
+        // Later lines supersede earlier ones, and within one run later
+        // lines carry later ticks; keeping the max tick also survives a
+        // log holding a superseded re-run's tail.
+        match self.checkpoints.entry(record.key) {
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                slot.insert(record);
+            }
+            std::collections::btree_map::Entry::Occupied(mut slot) => {
+                if record.tick >= slot.get().tick {
+                    slot.insert(record);
+                }
+            }
+        }
+    }
+
     /// The journal path of one tier.
     #[must_use]
     pub fn journal_path(&self, experiment: &str) -> PathBuf {
         self.dir
             .join(format!("{}.jsonl", experiment.to_lowercase()))
+    }
+
+    /// The checkpoint-log path of one tier, next to its journal.
+    #[must_use]
+    pub fn checkpoint_path(&self, experiment: &str) -> PathBuf {
+        self.dir
+            .join(format!("{}.ckpt.jsonl", experiment.to_lowercase()))
     }
 
     /// Returns the committed row of `key`, if present.
@@ -143,12 +212,14 @@ impl RunStore {
         self.index.get(&key).map(|&i| &self.records[i].row)
     }
 
-    /// Commits one trial: appends it to the tier's journal (resetting the
-    /// file first in fresh mode) and indexes it.
-    pub fn commit(&mut self, record: TrialRecord) -> Result<()> {
-        let token = record.experiment.clone();
-        if !self.resume && self.reset.insert(token.clone()) {
-            let path = self.journal_path(&token);
+    /// In fresh (non-resume) mode, the first write of a tier — trial or
+    /// checkpoint — resets both of that tier's files, so a fresh run never
+    /// mixes old and new state in either.
+    fn reset_tier_files(&mut self, token: &str) -> Result<()> {
+        if self.resume || !self.reset.insert(token.to_string()) {
+            return Ok(());
+        }
+        for path in [self.journal_path(token), self.checkpoint_path(token)] {
             match std::fs::remove_file(&path) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -160,14 +231,48 @@ impl RunStore {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Commits one trial: appends it to the tier's journal (resetting the
+    /// tier's files first in fresh mode) and indexes it.  Any surviving
+    /// mid-run checkpoint of the trial is dropped from the index — a
+    /// committed trial replays, never restores.
+    pub fn commit(&mut self, record: TrialRecord) -> Result<()> {
+        let token = record.experiment.clone();
+        self.reset_tier_files(&token)?;
         let path = self.journal_path(&token);
         let journal = self
             .journals
             .entry(token)
             .or_insert_with(|| Journal::new(path));
         journal.append(&record)?;
+        self.checkpoints.remove(&record.key);
         self.insert(record);
         Ok(())
+    }
+
+    /// Commits one mid-run checkpoint: appends it to the tier's checkpoint
+    /// log (resetting the tier's files first in fresh mode) and makes it
+    /// the trial's newest checkpoint.
+    pub fn commit_checkpoint(&mut self, record: CheckpointRecord) -> Result<()> {
+        let token = record.experiment.clone();
+        self.reset_tier_files(&token)?;
+        let path = self.checkpoint_path(&token);
+        let log = self
+            .checkpoint_logs
+            .entry(token)
+            .or_insert_with(|| CheckpointLog::new(path));
+        log.append(&record)?;
+        self.insert_checkpoint(record);
+        Ok(())
+    }
+
+    /// The newest surviving mid-run checkpoint of `key`, if any (and only
+    /// if the trial itself has not committed).
+    #[must_use]
+    pub fn latest_checkpoint(&self, key: TrialKey) -> Option<&CheckpointRecord> {
+        self.checkpoints.get(&key)
     }
 
     /// Every *live* committed record — one per trial key, later commits
@@ -288,6 +393,20 @@ impl TrialSink for StoreSink {
             .or_default()
             .computed += 1;
         Ok(())
+    }
+
+    fn latest_checkpoint(&self, _experiment: &str, key: TrialKey) -> Option<(u64, Value)> {
+        let store = self.store.lock().expect("store mutex poisoned");
+        store
+            .latest_checkpoint(key)
+            .map(|record| (record.tick, record.blob.clone()))
+    }
+
+    fn commit_checkpoint(&self, record: CheckpointRecord) -> Result<()> {
+        self.store
+            .lock()
+            .expect("store mutex poisoned")
+            .commit_checkpoint(record)
     }
 }
 
@@ -424,5 +543,111 @@ mod tests {
         assert_eq!(sink.replay("SIM_SCALE", rec.key), None);
         sink.commit(rec.clone()).unwrap();
         assert_eq!(sink.replay("SIM_SCALE", rec.key), None);
+        assert_eq!(sink.latest_checkpoint("SIM_SCALE", rec.key), None);
+        sink.commit_checkpoint(checkpoint(rec.key, 512)).unwrap();
+        assert_eq!(sink.latest_checkpoint("SIM_SCALE", rec.key), None);
+    }
+
+    fn checkpoint(key: TrialKey, tick: u64) -> CheckpointRecord {
+        CheckpointRecord {
+            key,
+            experiment: "MEM_SCALE".to_string(),
+            tick,
+            blob: Value::Object(vec![("ticks".to_string(), Value::String(tick.to_string()))]),
+        }
+    }
+
+    #[test]
+    fn checkpoints_survive_reopen_until_the_trial_commits() {
+        let dir = temp_dir("ckpt-resume");
+        let rec = record("MEM_SCALE", "chordring(n=1000)", 42, 17.0);
+        let mut store = RunStore::open(&dir, false).unwrap();
+        store.commit_checkpoint(checkpoint(rec.key, 512)).unwrap();
+        store.commit_checkpoint(checkpoint(rec.key, 1024)).unwrap();
+        drop(store);
+
+        // A resumed store serves the newest checkpoint of the unfinished
+        // trial, and its `.ckpt.jsonl` file never pollutes the trial index.
+        let mut store = RunStore::open(&dir, true).unwrap();
+        assert_eq!(store.replay(rec.key), None);
+        assert_eq!(store.latest_checkpoint(rec.key).map(|c| c.tick), Some(1024));
+        assert_eq!(store.committed_count("MEM_SCALE"), 0);
+
+        // Committing the trial retires its checkpoints.
+        store.commit(rec.clone()).unwrap();
+        assert_eq!(store.latest_checkpoint(rec.key), None);
+        drop(store);
+        let store = RunStore::open(&dir, true).unwrap();
+        assert_eq!(store.latest_checkpoint(rec.key), None);
+        assert_eq!(store.replay(rec.key), Some(&rec.row));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_falls_back_to_the_previous_checkpoint() {
+        let dir = temp_dir("ckpt-torn");
+        let rec = record("MEM_SCALE", "chordring(n=1000)", 42, 17.0);
+        let mut store = RunStore::open(&dir, false).unwrap();
+        store.commit_checkpoint(checkpoint(rec.key, 512)).unwrap();
+        store.commit_checkpoint(checkpoint(rec.key, 1024)).unwrap();
+        let path = store.checkpoint_path("MEM_SCALE");
+        drop(store);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let store = RunStore::open(&dir, true).unwrap();
+        assert_eq!(store.latest_checkpoint(rec.key).map(|c| c.tick), Some(512));
+        assert!(store.notes().iter().any(|n| n.contains("torn checkpoint")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_only_checkpoint_falls_back_to_a_cold_start() {
+        let dir = temp_dir("ckpt-cold");
+        let rec = record("MEM_SCALE", "chordring(n=1000)", 42, 17.0);
+        let mut store = RunStore::open(&dir, false).unwrap();
+        store.commit_checkpoint(checkpoint(rec.key, 512)).unwrap();
+        let path = store.checkpoint_path("MEM_SCALE");
+        drop(store);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+
+        let store = RunStore::open(&dir, true).unwrap();
+        assert_eq!(store.latest_checkpoint(rec.key), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_open_resets_checkpoints_alongside_the_journal() {
+        let dir = temp_dir("ckpt-fresh");
+        let rec = record("MEM_SCALE", "chordring(n=1000)", 42, 17.0);
+        let mut store = RunStore::open(&dir, false).unwrap();
+        store.commit_checkpoint(checkpoint(rec.key, 512)).unwrap();
+        drop(store);
+
+        // A fresh run's first commit of the tier wipes the stale
+        // checkpoint log along with the journal.
+        let mut store = RunStore::open(&dir, false).unwrap();
+        store
+            .commit(record("MEM_SCALE", "chordring(n=2000)", 2, 13.0))
+            .unwrap();
+        drop(store);
+        let store = RunStore::open(&dir, true).unwrap();
+        assert_eq!(store.latest_checkpoint(rec.key), None);
+        assert_eq!(store.committed_count("MEM_SCALE"), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn store_sink_round_trips_checkpoints() {
+        let dir = temp_dir("ckpt-sink");
+        let sink = StoreSink::new(RunStore::open(&dir, false).unwrap());
+        let rec = record("MEM_SCALE", "chordring(n=1000)", 42, 17.0);
+        assert_eq!(sink.latest_checkpoint("MEM_SCALE", rec.key), None);
+        sink.commit_checkpoint(checkpoint(rec.key, 512)).unwrap();
+        let (tick, blob) = sink.latest_checkpoint("MEM_SCALE", rec.key).unwrap();
+        assert_eq!(tick, 512);
+        assert_eq!(blob, checkpoint(rec.key, 512).blob);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

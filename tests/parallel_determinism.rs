@@ -72,10 +72,9 @@ fn perf_report_is_byte_identical_across_job_counts() {
     // serialize to the same bytes at 1 and 4 jobs.
     let report_at = |jobs: usize| {
         let config = HarnessConfig {
-            quick: true,
             seed: seeds::PARALLEL_PERF,
             jobs: Some(jobs),
-            shards: None,
+            ..HarnessConfig::quick()
         };
         let (report, _) = runner::run_perf_sized(&config, &gossip_store::NullSink, 256, 96, 4, 256)
             .expect("perf tier runs");
@@ -106,10 +105,9 @@ fn sim_scale_rows_are_byte_identical_across_job_counts() {
     let suite = gossip_workloads::scenarios::sim_scale_suite(512);
     let rows_at = |jobs: usize| {
         let config = HarnessConfig {
-            quick: true,
             seed: seeds::PARALLEL_SIM_SCALE,
             jobs: Some(jobs),
-            shards: None,
+            ..HarnessConfig::quick()
         };
         runner::sim_scale_rows(&config, &gossip_store::NullSink, &suite)
             .expect("sim-scale rows run")
@@ -140,10 +138,9 @@ fn deterministic_bench_table_renders_identically_across_job_counts() {
     // E9 has no wall-clock columns, so the whole rendered table must match.
     let table_at = |jobs: usize| {
         let config = HarnessConfig {
-            quick: true,
             seed: seeds::PARALLEL_TABLE,
             jobs: Some(jobs),
-            shards: None,
+            ..HarnessConfig::quick()
         };
         runner::run_e9(&config, &gossip_store::NullSink)
             .expect("E9 runs")

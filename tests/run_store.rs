@@ -28,12 +28,11 @@ fn temp_store(tag: &str) -> PathBuf {
 
 fn config(seed: u64) -> HarnessConfig {
     HarnessConfig {
-        quick: true,
         seed,
         // jobs = 1 keeps journal line order equal to trial order, so the
         // crash-simulation below knows exactly which trials survive.
         jobs: Some(1),
-        shards: None,
+        ..HarnessConfig::quick()
     }
 }
 

@@ -73,6 +73,25 @@ macro_rules! chacha_rng {
                 self.counter = self.counter.wrapping_add(1);
                 self.index = 0;
             }
+
+            /// The absolute position in the keystream, measured in 32-bit
+            /// words consumed since seeding (upstream-compatible shape).
+            pub fn get_word_pos(&self) -> u128 {
+                // `counter` has already been advanced past the block held in
+                // `buffer`, so the block currently being consumed is
+                // `counter - 1`; `index` words of it are gone.
+                (self.counter.wrapping_sub(1) as u128) * 16 + self.index as u128
+            }
+
+            /// Repositions the generator to an absolute keystream word
+            /// position, as previously observed via [`Self::get_word_pos`].
+            /// The subsequent output is bit-identical to a generator that
+            /// reached the same position by drawing.
+            pub fn set_word_pos(&mut self, pos: u128) {
+                self.counter = (pos / 16) as u64;
+                self.refill();
+                self.index = (pos % 16) as usize;
+            }
         }
 
         impl SeedableRng for $name {
@@ -170,6 +189,25 @@ mod tests {
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.01, "mean was {mean}");
+    }
+
+    #[test]
+    fn word_pos_round_trip_restores_the_stream() {
+        // Check both mid-block and block-boundary positions.
+        for draws in [0usize, 1, 15, 16, 17, 37, 64] {
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            for _ in 0..draws {
+                rng.next_u32();
+            }
+            let pos = rng.get_word_pos();
+            assert_eq!(pos, draws as u128);
+            let expected: Vec<u32> = (0..100).map(|_| rng.next_u32()).collect();
+            let mut restored = ChaCha8Rng::seed_from_u64(42);
+            restored.set_word_pos(pos);
+            assert_eq!(restored.get_word_pos(), pos);
+            let actual: Vec<u32> = (0..100).map(|_| restored.next_u32()).collect();
+            assert_eq!(actual, expected, "restore at word position {pos}");
+        }
     }
 
     #[test]
